@@ -1,0 +1,31 @@
+"""Shared scale and helpers for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables/figures at a
+CI-friendly scale, prints the rows, and asserts the *shape* of the result
+(who wins, how gaps trend) rather than absolute numbers — our substrate
+is a simulator with reconstructed parameters, not the authors' testbed.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import Scale
+
+#: benchmark scale: single seed, short windows — shapes remain stable
+BENCH = Scale(
+    name="bench",
+    repeats=1,
+    warmup_cycles=200,
+    measure_cycles=1_200,
+    max_cycles=60_000,
+)
+
+
+def show(result) -> None:
+    """Print an experiment's table (pytest -s shows it; always in logs)."""
+    print()
+    print(result.render())
+
+
+def increasing(values, slack=1.0) -> bool:
+    """True when the sequence trends upward (each step >= prev * slack)."""
+    return all(b >= a * slack for a, b in zip(values, values[1:]))

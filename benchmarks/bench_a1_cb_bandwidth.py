@@ -1,0 +1,40 @@
+"""A1 ablation: central-buffer port bandwidth.
+
+Ref [33] claims flit-wide RAMs / register pipelines (modelled as our
+full-bandwidth default) perform as well as a chunk-wide crossbar; this
+ablation shows multicast latency degrading once per-cycle buffer
+bandwidth is throttled well below one flit per port.
+"""
+
+from __future__ import annotations
+
+from _benchlib import BENCH, show
+
+from repro.experiments.ablations import run_cb_bandwidth_ablation
+
+BANDWIDTHS = (1, 2, 4, 8)
+
+
+def run():
+    return run_cb_bandwidth_ablation(
+        scale=BENCH,
+        num_hosts=64,
+        bandwidths=BANDWIDTHS,
+        num_multicasts=8,
+        degree=8,
+        payload_flits=64,
+    )
+
+
+def test_a1_cb_bandwidth(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(result)
+
+    by_bandwidth = dict(result.series("bandwidth", "latency"))
+    # starving the buffer (1 flit/cycle for the whole switch) clearly hurts
+    assert by_bandwidth[1] > 1.5 * by_bandwidth[8]
+    # full bandwidth is no worse than half: the extra ports stop mattering
+    assert by_bandwidth[8] <= by_bandwidth[4] * 1.10
+    # monotone non-increasing trend as bandwidth grows (small noise allowed)
+    ordered = [by_bandwidth[b] for b in BANDWIDTHS]
+    assert all(b <= a * 1.10 for a, b in zip(ordered, ordered[1:]))

@@ -1,0 +1,39 @@
+"""A2 ablation: turnaround vs. branch-on-up LCA routing (paper section 3).
+
+Both modes must cover the destination set; branch-on-up can deliver
+nearby destinations without climbing to the LCA first, so it is never
+meaningfully slower on an idle network.
+"""
+
+from __future__ import annotations
+
+from _benchlib import BENCH, show
+
+from repro.experiments.ablations import run_routing_mode_ablation
+
+DEGREES = (4, 8, 16, 32)
+
+
+def run():
+    return run_routing_mode_ablation(
+        scale=BENCH, num_hosts=64, degrees=DEGREES, payload_flits=64
+    )
+
+
+def test_a2_routing_mode(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(result)
+
+    for degree in DEGREES:
+        turnaround = result.value(
+            "latency", degree=degree, mode="turnaround"
+        )
+        branchy = result.value(
+            "latency", degree=degree, mode="branch_on_up"
+        )
+        assert turnaround > 0 and branchy > 0
+        # last-arrival latency is set by the deepest branch, which both
+        # modes route identically; they must agree closely at zero load
+        assert abs(turnaround - branchy) <= 0.10 * turnaround, (
+            f"d={degree}: modes diverged ({turnaround} vs {branchy})"
+        )

@@ -1,0 +1,39 @@
+"""A3 ablation: bit-string vs. multiport header encoding.
+
+The trade-off of paper section 3: bit-string headers grow linearly with
+system size but cover any set in one phase; multiport headers stay tiny
+but random destination sets decompose into several product-set phases,
+each a separate worm serialized at the source.
+"""
+
+from __future__ import annotations
+
+from _benchlib import BENCH, show
+
+from repro.experiments.ablations import run_encoding_ablation
+
+SIZES = (16, 64, 256)
+
+
+def run():
+    return run_encoding_ablation(scale=BENCH, sizes=SIZES, degree=8)
+
+
+def test_a3_encoding(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(result)
+
+    for row in result.rows:
+        n = row["num_hosts"]
+        if n >= 64:
+            # multiport headers stay small while bit-string grows with N
+            assert row["header_multiport"] < row["header_bitstring"], (
+                f"N={n}: multiport header should be smaller"
+            )
+        # but bit-string wins latency on random sets (single phase)
+        assert row["latency_bitstring"] <= row["latency_multiport"], (
+            f"N={n}: single-phase bit-string should not lose"
+        )
+
+    big = [r for r in result.rows if r["num_hosts"] == 256][0]
+    assert big["header_bitstring"] >= 4 * big["header_multiport"]

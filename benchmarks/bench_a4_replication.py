@@ -1,0 +1,44 @@
+"""A4 ablation: asynchronous vs. synchronous replication (paper §3).
+
+The paper rejects synchronous (lock-step) replication: a blocked branch
+stalls the whole worm, and per-switch arbitration serializes concurrent
+multicasts.  Under contention the asynchronous discipline must win, and
+the synchronous handicap must grow with concurrency.
+"""
+
+from __future__ import annotations
+
+from _benchlib import BENCH, show
+
+from repro.experiments.ablations import run_replication_ablation
+
+CONCURRENCY = (2, 4, 8, 16)
+
+
+def run():
+    return run_replication_ablation(
+        scale=BENCH, num_hosts=16, concurrency=CONCURRENCY, degree=6,
+        payload_flits=48,
+    )
+
+
+def test_a4_replication(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(result)
+
+    asynchronous = [
+        lat for _, lat in result.series("m", "latency",
+                                        replication="asynchronous")
+    ]
+    synchronous = [
+        lat for _, lat in result.series("m", "latency",
+                                        replication="synchronous")
+    ]
+    # at every concurrency level async is at least as good (tiny noise ok)
+    for m, a, s in zip(CONCURRENCY, asynchronous, synchronous):
+        assert a <= s * 1.03, f"m={m}: async ({a}) should not lose to sync ({s})"
+    # the synchronous handicap is clear under heavy concurrency
+    assert synchronous[-1] > 1.08 * asynchronous[-1], (
+        f"lock-step coupling should cost >8% at m={CONCURRENCY[-1]}: "
+        f"{synchronous[-1]} vs {asynchronous[-1]}"
+    )

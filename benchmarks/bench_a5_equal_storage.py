@@ -1,0 +1,40 @@
+"""A5 ablation: is the central buffer's advantage just more storage?
+
+Three switches with comparable buffering: CB (2048 shared flits), IB at
+its minimal legal size, and IB given the same 2048 flits statically
+split per input.  The claim of refs [36, 37] — dynamic sharing beats
+static partitioning — predicts the equal-storage IB still loses, and by
+about as much as the minimal one (its bottleneck is head-of-line
+blocking, not capacity).
+"""
+
+from __future__ import annotations
+
+from _benchlib import BENCH, show
+
+from repro.experiments.ablations import run_equal_storage_ablation
+
+LOADS = (0.3, 0.55)
+
+
+def run():
+    return run_equal_storage_ablation(scale=BENCH, num_hosts=64, loads=LOADS)
+
+
+def test_a5_equal_storage(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(result)
+
+    top = LOADS[-1]
+    cb = result.value("latency", load=top, variant="cb-2048-shared")
+    ib_min = result.value("latency", load=top, variant="ib-minimal")
+    ib_big = result.value("latency", load=top, variant="ib-2048-split")
+
+    # extra static storage buys the IB switch almost nothing
+    assert abs(ib_big - ib_min) < 0.15 * ib_min, (
+        f"static storage should not matter: {ib_min} vs {ib_big}"
+    )
+    # while the shared buffer, at the same total storage, clearly wins
+    assert cb < 0.85 * ib_big, (
+        f"CB ({cb}) must beat equal-storage IB ({ib_big})"
+    )

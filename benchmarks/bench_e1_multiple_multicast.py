@@ -1,0 +1,44 @@
+"""E1: multiple multicast — CB-HW vs IB-HW vs SW as concurrency grows.
+
+Paper shape: CB-HW lowest throughout; IB-HW degrades faster with
+concurrency; SW is several times slower at every point.
+"""
+
+from __future__ import annotations
+
+from _benchlib import BENCH, show
+
+from repro.experiments.multiple_multicast import run_multiple_multicast
+
+
+def run():
+    return run_multiple_multicast(
+        scale=BENCH,
+        num_hosts=64,
+        concurrency=(1, 2, 4, 8, 16),
+        degree=8,
+        payload_flits=64,
+    )
+
+
+def test_e1_multiple_multicast(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(result)
+
+    for m in (1, 2, 4, 8, 16):
+        cb = result.value("latency", m=m, scheme="cb-hw")
+        ib = result.value("latency", m=m, scheme="ib-hw")
+        sw = result.value("latency", m=m, scheme="sw")
+        # software multicast is far slower at every concurrency level
+        assert sw > 1.5 * cb, f"m={m}: SW ({sw}) should dominate CB ({cb})"
+        # the central buffer never loses to input buffers (small tolerance
+        # for arbitration noise at low concurrency)
+        assert cb <= ib * 1.10, f"m={m}: CB ({cb}) should not lose to IB ({ib})"
+
+    # contention grows latency with concurrency for the hardware schemes
+    cb_series = [lat for _, lat in result.series("m", "latency", scheme="cb-hw")]
+    assert cb_series[-1] > cb_series[0]
+    # and the IB handicap is visible at high concurrency
+    cb16 = result.value("latency", m=16, scheme="cb-hw")
+    ib16 = result.value("latency", m=16, scheme="ib-hw")
+    assert ib16 >= cb16

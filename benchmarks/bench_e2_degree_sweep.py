@@ -1,0 +1,37 @@
+"""E2: multicast latency vs. degree.
+
+Paper shape: hardware multicast is nearly flat in the degree; software
+grows with ceil(log2(d+1)) phases, reaching a multi-x gap by d=63.
+"""
+
+from __future__ import annotations
+
+from _benchlib import BENCH, show
+
+from repro.experiments.degree_sweep import run_degree_sweep
+
+DEGREES = (2, 4, 8, 16, 32, 63)
+
+
+def run():
+    return run_degree_sweep(
+        scale=BENCH, num_hosts=64, degrees=DEGREES, payload_flits=64
+    )
+
+
+def test_e2_degree_sweep(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(result)
+
+    cb = [lat for _, lat in result.series("degree", "latency", scheme="cb-hw")]
+    sw = [lat for _, lat in result.series("degree", "latency", scheme="sw")]
+
+    # hardware latency is nearly flat across a 30x degree range
+    assert max(cb) <= 1.5 * min(cb), f"CB-HW should be flat, got {cb}"
+    # software latency grows steadily with degree
+    assert sw == sorted(sw), f"SW should grow with degree, got {sw}"
+    assert sw[-1] > 3 * sw[0]
+    # the broadcast-degree gap is the paper's multi-x headline
+    assert sw[-1] > 3 * cb[-1], (
+        f"SW at d=63 ({sw[-1]}) should be several times CB ({cb[-1]})"
+    )

@@ -1,0 +1,37 @@
+"""E3: multicast latency vs. message length.
+
+Paper shape: both schemes grow linearly with payload, but software's
+slope is a multiple of hardware's (every binomial phase re-serializes the
+message), so the absolute gap widens with length.
+"""
+
+from __future__ import annotations
+
+from _benchlib import BENCH, show
+
+from repro.experiments.length_sweep import run_length_sweep
+
+LENGTHS = (16, 32, 64, 128, 256)
+
+
+def run():
+    return run_length_sweep(
+        scale=BENCH, num_hosts=64, lengths=LENGTHS, degree=8
+    )
+
+
+def test_e3_length_sweep(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(result)
+
+    cb = [lat for _, lat in result.series("length", "latency", scheme="cb-hw")]
+    sw = [lat for _, lat in result.series("length", "latency", scheme="sw")]
+
+    # both grow with message length
+    assert cb == sorted(cb)
+    assert sw == sorted(sw)
+    # software stays slower everywhere
+    assert all(s > c for c, s in zip(cb, sw))
+    # and the absolute gap widens with length
+    gaps = [s - c for c, s in zip(cb, sw)]
+    assert gaps[-1] > 2 * gaps[0], f"gap should widen with length: {gaps}"

@@ -1,0 +1,48 @@
+"""E4: bimodal traffic — the multicast scheme's impact on everyone else.
+
+Paper shape: at matched nominal load, software multicast (a) delivers
+much worse multicast latency and (b) degrades the *background unicast*
+traffic more than hardware multicast does, increasingly so with load —
+the abstract's "affects background unicast traffic less adversely".
+"""
+
+from __future__ import annotations
+
+from _benchlib import BENCH, show
+
+from repro.experiments.bimodal import run_bimodal
+
+LOADS = (0.15, 0.3, 0.45)
+
+
+def run():
+    return run_bimodal(
+        scale=BENCH,
+        num_hosts=64,
+        loads=LOADS,
+        multicast_fraction=1.0 / 16.0,
+        degree=8,
+        payload_flits=32,
+    )
+
+
+def test_e4_bimodal(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(result)
+
+    for load in LOADS:
+        hw_op = result.value("op_latency", load=load, scheme="cb-hw")
+        sw_op = result.value("op_latency", load=load, scheme="sw")
+        assert sw_op > 1.5 * hw_op, (
+            f"load={load}: SW ops ({sw_op}) should dominate HW ({hw_op})"
+        )
+
+    # background unicast suffers more under software multicast at the
+    # highest load (the extra unicasts and start-ups congest the network)
+    top = LOADS[-1]
+    hw_uni = result.value("unicast_latency", load=top, scheme="cb-hw")
+    sw_uni = result.value("unicast_latency", load=top, scheme="sw")
+    assert sw_uni > hw_uni, (
+        f"background unicast at load {top} should be worse under SW "
+        f"({sw_uni}) than HW ({hw_uni})"
+    )

@@ -1,0 +1,47 @@
+"""E5: system-size scaling (16 / 64 / 256 hosts).
+
+Paper shape: hardware broadcast grows only with tree depth; software
+broadcast pays log2(N) serialized phases, so the HW/SW ratio widens with
+system size.
+"""
+
+from __future__ import annotations
+
+from _benchlib import BENCH, show
+
+from repro.experiments.system_size import run_system_size
+
+SIZES = (16, 64, 256)
+
+
+def run():
+    return run_system_size(scale=BENCH, sizes=SIZES, payload_flits=64)
+
+
+def test_e5_system_size(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(result)
+
+    cb_broadcast, sw_broadcast = [], []
+    for n in SIZES:
+        cb = result.value(
+            "latency", num_hosts=n, workload="broadcast", scheme="cb-hw"
+        )
+        sw = result.value(
+            "latency", num_hosts=n, workload="broadcast", scheme="sw"
+        )
+        # hardware wins broadcast by a wide margin at every size
+        assert sw > 2.5 * cb, f"N={n}: SW ({sw}) vs CB ({cb})"
+        cb_broadcast.append(cb)
+        sw_broadcast.append(sw)
+
+    # both grow with system size, software much faster in absolute terms
+    assert cb_broadcast == sorted(cb_broadcast)
+    assert sw_broadcast == sorted(sw_broadcast)
+    sw_growth = sw_broadcast[-1] - sw_broadcast[0]
+    cb_growth = cb_broadcast[-1] - cb_broadcast[0]
+    assert sw_growth > 2 * cb_growth
+
+    # hardware broadcast scales gently: 16 -> 256 hosts costs under 2.5x
+    # (the growth is tree depth plus the O(N) bit-string header)
+    assert cb_broadcast[-1] < 2.5 * cb_broadcast[0]

@@ -1,0 +1,39 @@
+"""E6: pure unicast — central vs. input buffer organisation.
+
+Paper shape (after refs [36, 37]): both organisations match at low load;
+head-of-line blocking makes the input-buffer switch's latency blow up
+earlier as load rises, while accepted throughput stays comparable below
+saturation.
+"""
+
+from __future__ import annotations
+
+from _benchlib import BENCH, show
+
+from repro.experiments.unicast_baseline import run_unicast_baseline
+
+LOADS = (0.15, 0.35, 0.55)
+
+
+def run():
+    return run_unicast_baseline(
+        scale=BENCH, num_hosts=64, loads=LOADS, payload_flits=32
+    )
+
+
+def test_e6_unicast_baseline(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(result)
+
+    cb = [v for _, v in result.series("load", "latency", scheme="cb-hw")]
+    ib = [v for _, v in result.series("load", "latency", scheme="ib-hw")]
+
+    # latency grows with load for both
+    assert cb == sorted(cb)
+    assert ib == sorted(ib)
+    # near-identical at low load
+    assert abs(cb[0] - ib[0]) < 0.15 * cb[0]
+    # the input-buffer switch degrades faster at the top load point
+    assert ib[-1] > 1.25 * cb[-1], (
+        f"IB ({ib[-1]}) should clearly trail CB ({cb[-1]}) at high load"
+    )

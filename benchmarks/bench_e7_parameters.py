@@ -1,0 +1,36 @@
+"""E7: methodology table and zero-load calibration.
+
+The simulator must land exactly on the closed-form zero-load latency —
+the calibration any simulation-methodology section reports.
+"""
+
+from __future__ import annotations
+
+from _benchlib import BENCH, show
+
+from repro.experiments.parameters import run_parameters
+
+
+def run():
+    return run_parameters(scale=BENCH, num_hosts=64)
+
+
+def test_e7_parameters(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(result)
+
+    simulated = result.value("value", parameter="zero_load_simulated")
+    model = result.value("value", parameter="zero_load_model")
+    assert simulated == model, (
+        f"zero-load simulator ({simulated}) must match the analytic model "
+        f"({model})"
+    )
+    # the parameter table covers the full methodology
+    names = {row["parameter"] for row in result.rows}
+    for expected in (
+        "hosts (N)",
+        "central buffer [flits]",
+        "per-input quota [chunks]",
+        "software send overhead [cycles]",
+    ):
+        assert expected in names

@@ -1,0 +1,48 @@
+"""X1 extension: barrier synchronization with multicast release.
+
+The paper's follow-up direction (ref [34]): releasing a barrier with one
+multidestination worm beats a software broadcast release in both latency
+and release skew, at every system size.
+"""
+
+from __future__ import annotations
+
+from _benchlib import BENCH, show
+
+from repro.experiments.extensions import run_barrier_scaling
+
+SIZES = (16, 64, 256)
+
+
+def run():
+    return run_barrier_scaling(scale=BENCH, sizes=SIZES)
+
+
+def test_x1_barrier(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(result)
+
+    for n in SIZES:
+        hw_latency = result.value(
+            "latency", num_hosts=n, release="hardware_multicast"
+        )
+        sw_latency = result.value(
+            "latency", num_hosts=n, release="software_broadcast"
+        )
+        hw_skew = result.value(
+            "skew", num_hosts=n, release="hardware_multicast"
+        )
+        sw_skew = result.value(
+            "skew", num_hosts=n, release="software_broadcast"
+        )
+        assert hw_latency < sw_latency, f"N={n}"
+        assert hw_skew < sw_skew, f"N={n}"
+
+    # both latencies grow with system size; the gap does not close
+    hw = [r["latency"] for r in result.rows
+          if r["release"] == "hardware_multicast"]
+    sw = [r["latency"] for r in result.rows
+          if r["release"] == "software_broadcast"]
+    assert hw == sorted(hw)
+    assert sw == sorted(sw)
+    assert sw[-1] - hw[-1] >= sw[0] - hw[0] * 0.5

@@ -1,0 +1,37 @@
+"""X2 extension: hot-spot traffic, central vs. input buffers.
+
+Tree saturation around a hot destination punishes statically partitioned
+input buffers (whole-path head-of-line blocking) far more than the
+dynamically shared central buffer.
+"""
+
+from __future__ import annotations
+
+from _benchlib import BENCH, show
+
+from repro.experiments.extensions import run_hotspot
+
+FRACTIONS = (0.0, 0.05, 0.10)
+
+
+def run():
+    return run_hotspot(
+        scale=BENCH, num_hosts=64, load=0.3, fractions=FRACTIONS
+    )
+
+
+def test_x2_hotspot(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(result)
+
+    cb = [v for _, v in result.series("fraction", "latency", scheme="cb-hw")]
+    ib = [v for _, v in result.series("fraction", "latency", scheme="ib-hw")]
+
+    # a hot spot degrades both, the input-buffer switch far more
+    assert cb[-1] > cb[0]
+    assert ib[-1] > ib[0]
+    assert ib[-1] > 1.4 * cb[-1], (
+        f"hot-spot should hurt IB ({ib[-1]}) much more than CB ({cb[-1]})"
+    )
+    # without a hot spot the organisations are close
+    assert ib[0] < 1.25 * cb[0]

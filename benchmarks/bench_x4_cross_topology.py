@@ -1,0 +1,41 @@
+"""X4 extension: multidestination worms across topology families.
+
+The paper claims its schemes apply to every category of switch-based
+system (BMIN, UMIN, irregular NOW); the hardware advantage must hold on
+all three, with flat HW latency and log-growing SW latency everywhere.
+"""
+
+from __future__ import annotations
+
+from _benchlib import BENCH, show
+
+from repro.experiments.cross_topology import run_cross_topology
+
+DEGREES = (4, 8, 12)
+TOPOLOGIES = ("bmin", "umin", "irregular")
+
+
+def run():
+    return run_cross_topology(scale=BENCH, num_hosts=16, degrees=DEGREES)
+
+
+def test_x4_cross_topology(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(result)
+
+    for topology in TOPOLOGIES:
+        hw = [
+            lat for _, lat in result.series(
+                "degree", "latency", topology=topology, scheme="cb-hw"
+            )
+        ]
+        sw = [
+            lat for _, lat in result.series(
+                "degree", "latency", topology=topology, scheme="sw"
+            )
+        ]
+        # hardware flat, software growing, clear gap — on every family
+        assert max(hw) <= 1.3 * min(hw), f"{topology}: HW not flat: {hw}"
+        assert sw[-1] > sw[0], f"{topology}: SW should grow: {sw}"
+        for h, s in zip(hw, sw):
+            assert s > 2 * h, f"{topology}: SW ({s}) vs HW ({h})"

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Capacity planning: where does each switch organisation saturate?
+
+Uses the saturation finder to locate the maximum sustainable uniform
+load for the central-buffer and input-buffer switches, then sketches the
+latency-load curves as an ASCII chart — the two numbers and one picture
+a system architect wants first.
+
+Run:  python examples/capacity_planning.py   (takes a minute or two)
+"""
+
+from repro import SimulationConfig, SwitchArchitecture
+from repro.experiments.saturation import find_saturation_load, probe_load
+from repro.metrics.ascii_chart import render_chart
+from repro.metrics.report import Table
+from repro.network.simulation import run_simulation
+from repro.traffic.unicast import UniformRandomUnicast
+
+
+def latency_at(config, load):
+    result = run_simulation(
+        config,
+        UniformRandomUnicast(
+            load=load, payload_flits=32,
+            warmup_cycles=300, measure_cycles=2_000,
+        ),
+        max_cycles=30_000,
+    )
+    if result.unicast_latency.count == 0:
+        return None
+    return result.unicast_latency.mean
+
+
+def main() -> None:
+    # saturation here means the latency knee (4x the low-load latency):
+    # a full-bisection fat tree carries ~100% of uniform traffic, so
+    # delay, not throughput, is what separates the organisations
+    variants = {
+        "central-buffer": SimulationConfig(num_hosts=64),
+        "input-buffer": SimulationConfig(
+            num_hosts=64,
+            switch_architecture=SwitchArchitecture.INPUT_BUFFER,
+        ),
+    }
+
+    table = Table(
+        "Saturation load (uniform random unicast, 32-flit payloads)",
+        ["switch", "saturation load", "probes"],
+    )
+    for name, config in variants.items():
+        estimate, probes = find_saturation_load(
+            config, tolerance=0.1, warmup_cycles=300, measure_cycles=2_000
+        )
+        table.add_row(name, round(estimate, 2), len(probes))
+    table.write()
+    print()
+
+    series = {}
+    for name, config in variants.items():
+        points = []
+        for load in (0.1, 0.25, 0.4, 0.55, 0.7):
+            latency = latency_at(config, load)
+            if latency is not None:
+                points.append((load, latency))
+        series[name] = points
+    print(render_chart(
+        series,
+        title="unicast latency vs offered load",
+        x_label="offered load",
+        y_label="cycles",
+    ))
+
+
+if __name__ == "__main__":
+    main()

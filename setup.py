@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The pinned toolchain on some offline hosts lacks the ``wheel`` package
+that PEP 660 editable installs require; this shim lets
+``pip install -e . --no-build-isolation`` (or ``--no-use-pep517``) fall
+back to the classic ``setup.py develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

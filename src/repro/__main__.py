@@ -1,0 +1,64 @@
+"""``python -m repro``: a quick demonstration of the library.
+
+Runs the paper's headline comparison (one multicast under all three
+schemes) on a small system and points at the experiment runner for the
+full evaluation.  For everything else use
+``python -m repro.experiments.runner``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    MulticastScheme,
+    SimulationConfig,
+    SingleMulticast,
+    SwitchArchitecture,
+    __version__,
+    run_simulation,
+)
+from repro.metrics.report import Table
+
+
+def main() -> int:
+    """Run the demo and print pointers to the full harness."""
+    print(f"repro {__version__} — multidestination worms in switch-based "
+          "parallel systems (ISCA 1997 reproduction)")
+    print()
+    table = Table(
+        "Demo: 8-destination multicast on a 64-host BMIN [cycles]",
+        ["scheme", "last arrival", "mean arrival"],
+    )
+    cases = [
+        ("central buffer + hardware worms",
+         SwitchArchitecture.CENTRAL_BUFFER, MulticastScheme.HARDWARE),
+        ("input buffers  + hardware worms",
+         SwitchArchitecture.INPUT_BUFFER, MulticastScheme.HARDWARE),
+        ("central buffer + software binomial",
+         SwitchArchitecture.CENTRAL_BUFFER, MulticastScheme.SOFTWARE),
+    ]
+    for label, architecture, scheme in cases:
+        result = run_simulation(
+            SimulationConfig(
+                num_hosts=64, switch_architecture=architecture, seed=1
+            ),
+            SingleMulticast(
+                source=0, degree=8, payload_flits=64, scheme=scheme
+            ),
+        )
+        (operation,) = result.collector.completed_operations()
+        table.add_row(
+            label, operation.last_latency,
+            round(operation.average_latency, 1),
+        )
+    table.write()
+    print()
+    print("Full evaluation:   python -m repro.experiments.runner --all")
+    print("Benchmarks:        pytest benchmarks/ --benchmark-only")
+    print("Examples:          python examples/quickstart.py")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

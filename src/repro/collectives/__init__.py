@@ -1,0 +1,62 @@
+"""Collective operations built on the multicast substrate.
+
+The paper closes by pointing at switch-supported **barrier
+synchronization** (their follow-up, ref [34]) and other collectives as
+the next step for multidestination message passing.  This package
+implements those collectives at the host-protocol level:
+
+* :mod:`repro.collectives.barrier` — barrier synchronization: a binomial
+  *gather* of ready messages to a root, then a *release* broadcast that
+  is either a single multidestination worm (the hardware-accelerated
+  variant) or a binomial software broadcast (the pure-software baseline).
+* :mod:`repro.collectives.reduction` — global reduction (e.g. MPI
+  Allreduce-style sum/max): values combine pairwise up the binomial
+  tree, and the result is broadcast back by either scheme.
+* :mod:`repro.collectives.gather` — gather, all-gather (whose broadcast
+  half rides hardware multicast) and personalized scatter (direct vs.
+  tree delegation).
+* :mod:`repro.collectives.reliable` — ACK/timeout reliable multicast
+  with loss injection; retransmissions go out as one worm addressed to
+  exactly the unacknowledged subset (the reliability direction of
+  ref [34]).
+
+Both engines drive real messages through the flit-level network, so
+collective latency includes every contention and overhead effect the
+rest of the library models.
+"""
+
+from repro.collectives.barrier import (
+    BarrierEngine,
+    BarrierOperation,
+    ReleaseScheme,
+)
+from repro.collectives.gather import (
+    GatherEngine,
+    GatherOperation,
+    ScatterEngine,
+    ScatterOperation,
+    ScatterStrategy,
+)
+from repro.collectives.reduction import (
+    ReductionEngine,
+    ReductionOperation,
+)
+from repro.collectives.reliable import (
+    ReliableMulticastEngine,
+    ReliableMulticastOperation,
+)
+
+__all__ = [
+    "BarrierEngine",
+    "BarrierOperation",
+    "GatherEngine",
+    "GatherOperation",
+    "ReductionEngine",
+    "ReductionOperation",
+    "ReleaseScheme",
+    "ReliableMulticastEngine",
+    "ReliableMulticastOperation",
+    "ScatterEngine",
+    "ScatterOperation",
+    "ScatterStrategy",
+]

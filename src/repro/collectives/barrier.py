@@ -1,0 +1,217 @@
+"""Barrier synchronization over the simulated network.
+
+A barrier has two halves:
+
+* **gather** — every participant reports "ready"; ready messages combine
+  up a binomial tree (a child's ready implies its whole subtree is
+  ready), so the root learns of global arrival after ceil(log2(P))
+  serialized message hops;
+* **release** — the root tells everyone to proceed.  The release is
+  where hardware multicast shines: one multidestination worm replaces a
+  second log-depth software broadcast, cutting barrier latency roughly
+  in half and removing the intermediate hosts' forwarding overheads from
+  the critical path (the direction of the authors' follow-up work,
+  ref [34]).
+
+Barrier latency is measured per participant (enter to release) and for
+the operation (first enter to last release) — the collective analogue of
+the paper's last-arrival metric.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.schemes import MulticastScheme
+from repro.errors import ConfigurationError, ProtocolError
+from repro.flits.destset import DestinationSet
+from repro.flits.packet import Message, TrafficClass
+from repro.host.node import HostNode
+from repro.host.software_multicast import binomial_schedule
+
+
+class ReleaseScheme(enum.Enum):
+    """How the barrier release travels back to the participants."""
+
+    #: one multidestination worm from the root
+    HARDWARE_MULTICAST = "hardware_multicast"
+    #: binomial software broadcast (unicast forwards)
+    SOFTWARE_BROADCAST = "software_broadcast"
+
+
+class BarrierOperation:
+    """One barrier instance across a participant set."""
+
+    def __init__(
+        self,
+        barrier_id: int,
+        participants: Sequence[int],
+        release_scheme: ReleaseScheme,
+    ) -> None:
+        if len(participants) < 2:
+            raise ConfigurationError("a barrier needs at least 2 participants")
+        if len(set(participants)) != len(participants):
+            raise ConfigurationError("duplicate barrier participants")
+        self.barrier_id = barrier_id
+        self.participants = sorted(participants)
+        self.release_scheme = release_scheme
+        #: the gather tree: parent of each participant (root maps to None)
+        self.root = self.participants[0]
+        children = binomial_schedule(self.root, self.participants[1:])
+        self.children: Dict[int, List[int]] = {
+            host: list(kids) for host, kids in children.items()
+        }
+        self.parent: Dict[int, Optional[int]] = {self.root: None}
+        for host, kids in self.children.items():
+            for kid in kids:
+                self.parent[kid] = host
+        self.enter_cycles: Dict[int, int] = {}
+        self.release_cycles: Dict[int, int] = {}
+        self._subtree_ready: Dict[int, int] = {
+            host: 0 for host in self.participants
+        }
+        self.released_cycle: Optional[int] = None
+        self.completed_cycle: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # state queries
+    # ------------------------------------------------------------------
+    def ready_to_report(self, host: int) -> bool:
+        """True when ``host`` has entered and heard from all children."""
+        return (
+            host in self.enter_cycles
+            and self._subtree_ready[host] == len(self.children.get(host, []))
+        )
+
+    @property
+    def complete(self) -> bool:
+        """True when every participant has been released."""
+        return self.completed_cycle is not None
+
+    @property
+    def last_latency(self) -> Optional[int]:
+        """First-enter to last-release (the barrier's full span)."""
+        if self.completed_cycle is None:
+            return None
+        return self.completed_cycle - min(self.enter_cycles.values())
+
+    @property
+    def skew(self) -> Optional[int]:
+        """Release spread: how unsimultaneously participants resume."""
+        if self.completed_cycle is None:
+            return None
+        return max(self.release_cycles.values()) - min(
+            self.release_cycles.values()
+        )
+
+
+class BarrierEngine:
+    """Drives barrier protocols over a built network's host nodes."""
+
+    READY = "barrier_ready"
+    RELEASE = "barrier_release"
+
+    def __init__(self, nodes: Sequence[HostNode]) -> None:
+        self.nodes = list(nodes)
+        self._operations: Dict[int, BarrierOperation] = {}
+        self._next_id = 0
+        for node in self.nodes:
+            node.add_delivery_listener(self._on_delivery)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def create(
+        self,
+        participants: Sequence[int],
+        release_scheme: ReleaseScheme = ReleaseScheme.HARDWARE_MULTICAST,
+    ) -> BarrierOperation:
+        """Register a new barrier instance (no messages yet)."""
+        operation = BarrierOperation(self._next_id, participants, release_scheme)
+        self._operations[operation.barrier_id] = operation
+        self._next_id += 1
+        return operation
+
+    def enter(self, operation: BarrierOperation, host: int) -> None:
+        """Participant ``host`` arrives at the barrier now."""
+        if host not in operation.parent:
+            raise ProtocolError(
+                f"host {host} is not a participant of barrier "
+                f"{operation.barrier_id}"
+            )
+        if host in operation.enter_cycles:
+            raise ProtocolError(
+                f"host {host} entered barrier {operation.barrier_id} twice"
+            )
+        node = self.nodes[host]
+        operation.enter_cycles[host] = node.sim.now
+        self._maybe_report(operation, host)
+
+    def operation(self, barrier_id: int) -> Optional[BarrierOperation]:
+        """Look up a barrier instance."""
+        return self._operations.get(barrier_id)
+
+    # ------------------------------------------------------------------
+    # protocol machinery
+    # ------------------------------------------------------------------
+    def _maybe_report(self, operation: BarrierOperation, host: int) -> None:
+        if not operation.ready_to_report(host):
+            return
+        parent = operation.parent[host]
+        node = self.nodes[host]
+        if parent is None:
+            self._release(operation)
+            return
+        node.post_message(
+            destinations=DestinationSet.single(node.universe, parent),
+            payload_flits=1,
+            traffic_class=TrafficClass.CONTROL,
+            tag=(self.READY, operation.barrier_id),
+        )
+
+    def _release(self, operation: BarrierOperation) -> None:
+        root_node = self.nodes[operation.root]
+        now = root_node.sim.now
+        operation.released_cycle = now
+        operation.release_cycles[operation.root] = now
+        others = DestinationSet.from_ids(
+            root_node.universe,
+            [h for h in operation.participants if h != operation.root],
+        )
+        scheme = (
+            MulticastScheme.HARDWARE
+            if operation.release_scheme is ReleaseScheme.HARDWARE_MULTICAST
+            else MulticastScheme.SOFTWARE
+        )
+        root_node.post_multicast(
+            others,
+            payload_flits=1,
+            scheme=scheme,
+            tag=(self.RELEASE, operation.barrier_id),
+        )
+        self._maybe_complete(operation)
+
+    def _on_delivery(self, node: HostNode, message: Message, now: int) -> None:
+        tag = message.tag
+        if not isinstance(tag, tuple) or len(tag) != 2:
+            return
+        kind, barrier_id = tag
+        operation = self._operations.get(barrier_id)
+        if operation is None:
+            return
+        if kind == self.READY:
+            operation._subtree_ready[node.host_id] += 1
+            self._maybe_report(operation, node.host_id)
+        elif kind == self.RELEASE:
+            if node.host_id in operation.release_cycles:
+                raise ProtocolError(
+                    f"host {node.host_id} released twice in barrier "
+                    f"{operation.barrier_id}"
+                )
+            operation.release_cycles[node.host_id] = now
+            self._maybe_complete(operation)
+
+    def _maybe_complete(self, operation: BarrierOperation) -> None:
+        if len(operation.release_cycles) == len(operation.participants):
+            operation.completed_cycle = max(operation.release_cycles.values())

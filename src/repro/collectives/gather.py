@@ -1,0 +1,371 @@
+"""Gather, scatter and all-gather over the simulated network.
+
+These complete the collective set the paper's introduction motivates
+(broadcast/multicast "are used in several other operations"):
+
+* **gather** — every participant sends its block to a root.  There is no
+  hardware assist to exploit (the traffic is inherently many-to-one),
+  but the binomial *combining* tree halves the root's serialized
+  receives: children concatenate their subtree's blocks and forward one
+  larger message upward.
+* **scatter** — the root sends a *different* block to every participant.
+  Multidestination worms carry one payload to many destinations, so
+  personalized traffic cannot ride a single worm; the root either sends
+  d serialized unicasts (direct) or delegates halves of the block down a
+  binomial tree (tree), trading total bytes moved for start-up count.
+* **all-gather** — gather followed by a broadcast of the concatenation,
+  where the broadcast *does* benefit from hardware multicast.
+
+Block sizes are in flits; a message that carries ``k`` blocks is simply
+``k * block_flits`` long, so wire serialization of the growing
+concatenations is modelled exactly.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.schemes import MulticastScheme
+from repro.errors import ConfigurationError, ProtocolError
+from repro.flits.destset import DestinationSet
+from repro.flits.packet import Message, TrafficClass
+from repro.host.node import HostNode
+from repro.host.software_multicast import binomial_schedule
+
+
+class ScatterStrategy(enum.Enum):
+    """How the root distributes personalized blocks."""
+
+    #: the root sends every block itself (d serialized start-ups)
+    DIRECT = "direct"
+    #: halves of the block set are delegated down a binomial tree
+    TREE = "tree"
+
+
+class GatherOperation:
+    """One gather (or the gather half of an all-gather)."""
+
+    def __init__(
+        self,
+        gather_id: int,
+        participants: Sequence[int],
+        block_flits: int,
+        broadcast_result: Optional[MulticastScheme],
+    ) -> None:
+        if len(participants) < 2:
+            raise ConfigurationError("a gather needs at least 2 participants")
+        self.gather_id = gather_id
+        self.participants = sorted(participants)
+        self.block_flits = block_flits
+        self.broadcast_result = broadcast_result
+        self.root = self.participants[0]
+        children = binomial_schedule(self.root, self.participants[1:])
+        self.children: Dict[int, List[int]] = {
+            host: list(kids) for host, kids in children.items()
+        }
+        self.parent: Dict[int, Optional[int]] = {self.root: None}
+        for host, kids in self.children.items():
+            for kid in kids:
+                self.parent[kid] = host
+        #: blocks currently held per host (own + received subtrees)
+        self.blocks_held: Dict[int, int] = {}
+        self.pending_children: Dict[int, int] = {
+            host: len(self.children.get(host, []))
+            for host in self.participants
+        }
+        self.started_cycle: Optional[int] = None
+        self.gathered_cycle: Optional[int] = None
+        self.result_cycles: Dict[int, int] = {}
+        self.completed_cycle: Optional[int] = None
+
+    def subtree_size(self, host: int) -> int:
+        """Participants in ``host``'s gather subtree (inclusive)."""
+        total = 1
+        for kid in self.children.get(host, []):
+            total += self.subtree_size(kid)
+        return total
+
+    @property
+    def complete(self) -> bool:
+        """True when the operation (including any broadcast) finished."""
+        return self.completed_cycle is not None
+
+    @property
+    def last_latency(self) -> Optional[int]:
+        """First contribution to final completion."""
+        if self.completed_cycle is None or self.started_cycle is None:
+            return None
+        return self.completed_cycle - self.started_cycle
+
+
+class GatherEngine:
+    """Drives gather / all-gather protocols over a network's nodes."""
+
+    BLOCKS = "gather_blocks"
+    RESULT = "gather_result"
+
+    def __init__(self, nodes: Sequence[HostNode]) -> None:
+        self.nodes = list(nodes)
+        self._operations: Dict[int, GatherOperation] = {}
+        self._block_counts: Dict[tuple, int] = {}
+        self._next_id = 0
+        for node in self.nodes:
+            node.add_delivery_listener(self._on_delivery)
+
+    def create(
+        self,
+        participants: Sequence[int],
+        block_flits: int = 8,
+        broadcast_result: Optional[MulticastScheme] = None,
+    ) -> GatherOperation:
+        """Register a gather; pass ``broadcast_result`` for all-gather."""
+        operation = GatherOperation(
+            self._next_id, participants, block_flits, broadcast_result
+        )
+        self._operations[operation.gather_id] = operation
+        self._next_id += 1
+        return operation
+
+    def contribute(self, operation: GatherOperation, host: int) -> None:
+        """Participant ``host`` makes its block available now."""
+        if host not in operation.parent:
+            raise ProtocolError(
+                f"host {host} is not a participant of gather "
+                f"{operation.gather_id}"
+            )
+        if host in operation.blocks_held:
+            raise ProtocolError(
+                f"host {host} contributed twice to gather "
+                f"{operation.gather_id}"
+            )
+        node = self.nodes[host]
+        if operation.started_cycle is None:
+            operation.started_cycle = node.sim.now
+        operation.blocks_held[host] = 1
+        self._maybe_forward(operation, host)
+
+    def operation(self, gather_id: int) -> Optional[GatherOperation]:
+        """Look up a gather instance."""
+        return self._operations.get(gather_id)
+
+    # ------------------------------------------------------------------
+    # protocol machinery
+    # ------------------------------------------------------------------
+    def _maybe_forward(self, operation: GatherOperation, host: int) -> None:
+        if host not in operation.blocks_held:
+            return
+        if operation.pending_children[host] > 0:
+            return
+        node = self.nodes[host]
+        parent = operation.parent[host]
+        if parent is None:
+            self._finish_gather(operation, node)
+            return
+        blocks = operation.blocks_held[host]
+        message = node.post_message(
+            destinations=DestinationSet.single(node.universe, parent),
+            payload_flits=blocks * operation.block_flits,
+            traffic_class=TrafficClass.CONTROL,
+            tag=(self.BLOCKS, operation.gather_id),
+        )
+        self._block_counts[
+            (operation.gather_id, message.message_id)
+        ] = blocks
+
+    def _finish_gather(self, operation: GatherOperation, root_node) -> None:
+        now = root_node.sim.now
+        operation.gathered_cycle = now
+        if operation.broadcast_result is None:
+            operation.completed_cycle = now
+            return
+        operation.result_cycles[operation.root] = now
+        others = DestinationSet.from_ids(
+            root_node.universe,
+            [h for h in operation.participants if h != operation.root],
+        )
+        total = len(operation.participants) * operation.block_flits
+        root_node.post_multicast(
+            others,
+            payload_flits=total,
+            scheme=operation.broadcast_result,
+            tag=(self.RESULT, operation.gather_id),
+        )
+
+    def _on_delivery(self, node: HostNode, message: Message, now: int) -> None:
+        tag = message.tag
+        if not isinstance(tag, tuple) or len(tag) != 2:
+            return
+        kind, gather_id = tag
+        operation = self._operations.get(gather_id)
+        if operation is None:
+            return
+        if kind == self.BLOCKS:
+            key = (gather_id, message.message_id)
+            blocks = self._block_counts.pop(key)
+            host = node.host_id
+            operation.blocks_held[host] = (
+                operation.blocks_held.get(host, 0) + blocks
+            )
+            operation.pending_children[host] -= 1
+            self._maybe_forward(operation, host)
+        elif kind == self.RESULT:
+            operation.result_cycles[node.host_id] = now
+            if len(operation.result_cycles) == len(operation.participants):
+                operation.completed_cycle = max(
+                    operation.result_cycles.values()
+                )
+
+
+class ScatterOperation:
+    """One scatter: a personalized block from the root to everyone."""
+
+    def __init__(
+        self,
+        scatter_id: int,
+        root: int,
+        participants: Sequence[int],
+        block_flits: int,
+        strategy: ScatterStrategy,
+    ) -> None:
+        if len(participants) < 2:
+            raise ConfigurationError("a scatter needs at least 2 participants")
+        if root not in participants:
+            raise ConfigurationError("the scatter root must participate")
+        self.scatter_id = scatter_id
+        self.root = root
+        self.participants = sorted(participants)
+        self.block_flits = block_flits
+        self.strategy = strategy
+        others = [h for h in self.participants if h != root]
+        children = binomial_schedule(root, others)
+        self.children: Dict[int, List[int]] = {
+            host: list(kids) for host, kids in children.items()
+        }
+        self.started_cycle: Optional[int] = None
+        self.block_cycles: Dict[int, int] = {}
+        self.completed_cycle: Optional[int] = None
+
+    def subtree(self, host: int) -> List[int]:
+        """Hosts in ``host``'s delegation subtree (inclusive)."""
+        out = [host]
+        for kid in self.children.get(host, []):
+            out.extend(self.subtree(kid))
+        return out
+
+    @property
+    def complete(self) -> bool:
+        """True when every non-root participant has its block."""
+        return self.completed_cycle is not None
+
+    @property
+    def last_latency(self) -> Optional[int]:
+        """Start to the last block delivery."""
+        if self.completed_cycle is None or self.started_cycle is None:
+            return None
+        return self.completed_cycle - self.started_cycle
+
+
+class ScatterEngine:
+    """Drives scatter protocols over a network's nodes."""
+
+    BUNDLE = "scatter_bundle"
+
+    def __init__(self, nodes: Sequence[HostNode]) -> None:
+        self.nodes = list(nodes)
+        self._operations: Dict[int, ScatterOperation] = {}
+        self._next_id = 0
+        for node in self.nodes:
+            node.add_delivery_listener(self._on_delivery)
+
+    def create(
+        self,
+        root: int,
+        participants: Sequence[int],
+        block_flits: int = 8,
+        strategy: ScatterStrategy = ScatterStrategy.TREE,
+    ) -> ScatterOperation:
+        """Register a scatter instance (no messages yet)."""
+        operation = ScatterOperation(
+            self._next_id, root, participants, block_flits, strategy
+        )
+        self._operations[operation.scatter_id] = operation
+        self._next_id += 1
+        return operation
+
+    def start(self, operation: ScatterOperation) -> None:
+        """The root begins distributing now."""
+        root_node = self.nodes[operation.root]
+        operation.started_cycle = root_node.sim.now
+        operation.block_cycles[operation.root] = root_node.sim.now
+        if operation.strategy is ScatterStrategy.DIRECT:
+            for host in operation.participants:
+                if host == operation.root:
+                    continue
+                root_node.post_message(
+                    destinations=DestinationSet.single(
+                        root_node.universe, host
+                    ),
+                    payload_flits=operation.block_flits,
+                    traffic_class=TrafficClass.CONTROL,
+                    tag=(self.BUNDLE, operation.scatter_id, (host,)),
+                )
+        else:
+            self._delegate(operation, operation.root)
+        self._maybe_complete(operation)
+
+    def operation(self, scatter_id: int) -> Optional[ScatterOperation]:
+        """Look up a scatter instance."""
+        return self._operations.get(scatter_id)
+
+    # ------------------------------------------------------------------
+    # protocol machinery
+    # ------------------------------------------------------------------
+    def _delegate(self, operation: ScatterOperation, host: int) -> None:
+        """Send each child its whole subtree's blocks in one message."""
+        node = self.nodes[host]
+        for child in operation.children.get(host, []):
+            bundle = tuple(operation.subtree(child))
+            node.post_message(
+                destinations=DestinationSet.single(node.universe, child),
+                payload_flits=len(bundle) * operation.block_flits,
+                traffic_class=TrafficClass.CONTROL,
+                tag=(self.BUNDLE, operation.scatter_id, bundle),
+            )
+
+    def _on_delivery(self, node: HostNode, message: Message, now: int) -> None:
+        tag = message.tag
+        if not isinstance(tag, tuple) or len(tag) != 3:
+            return
+        kind, scatter_id, bundle = tag
+        if kind != self.BUNDLE:
+            return
+        operation = self._operations.get(scatter_id)
+        if operation is None:
+            return
+        host = node.host_id
+        if host in operation.block_cycles:
+            raise ProtocolError(
+                f"host {host} received its scatter block twice"
+            )
+        operation.block_cycles[host] = now
+        if operation.strategy is ScatterStrategy.TREE and len(bundle) > 1:
+            # forward the children's sub-bundles after the recv overhead
+            self._delegate_later(operation, node)
+        self._maybe_complete(operation)
+
+    def _delegate_later(self, operation: ScatterOperation, node) -> None:
+        ready = node.sim.now + node.params.sw_recv_overhead
+        for child in operation.children.get(node.host_id, []):
+            bundle = tuple(operation.subtree(child))
+            node.post_message(
+                destinations=DestinationSet.single(node.universe, child),
+                payload_flits=len(bundle) * operation.block_flits,
+                traffic_class=TrafficClass.CONTROL,
+                tag=(self.BUNDLE, operation.scatter_id, bundle),
+                not_before=ready,
+            )
+
+    def _maybe_complete(self, operation: ScatterOperation) -> None:
+        if len(operation.block_cycles) == len(operation.participants):
+            operation.completed_cycle = max(operation.block_cycles.values())

@@ -1,0 +1,213 @@
+"""Global reductions (sum/min/max) over the simulated network.
+
+Values combine pairwise up the same binomial tree the software multicast
+uses (a child sends its subtree's partial result to its parent), and the
+root broadcasts the final value with either multicast scheme.  The
+payload carries the reduction vector, so longer vectors serialize on the
+wire exactly as data messages do.
+
+This is the "reduction" the paper's introduction lists among the
+collective operations that broadcast/multicast underlie.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.schemes import MulticastScheme
+from repro.errors import ConfigurationError, ProtocolError
+from repro.flits.destset import DestinationSet
+from repro.flits.packet import Message, TrafficClass
+from repro.host.node import HostNode
+from repro.host.software_multicast import binomial_schedule
+
+Combine = Callable[[int, int], int]
+
+
+class ReductionOperation:
+    """One all-reduce instance across a participant set."""
+
+    def __init__(
+        self,
+        reduction_id: int,
+        participants: Sequence[int],
+        combine: Combine,
+        payload_flits: int,
+        result_scheme: MulticastScheme,
+    ) -> None:
+        if len(participants) < 2:
+            raise ConfigurationError(
+                "a reduction needs at least 2 participants"
+            )
+        self.reduction_id = reduction_id
+        self.participants = sorted(participants)
+        self.combine = combine
+        self.payload_flits = payload_flits
+        self.result_scheme = result_scheme
+        self.root = self.participants[0]
+        children = binomial_schedule(self.root, self.participants[1:])
+        self.children: Dict[int, List[int]] = {
+            host: list(kids) for host, kids in children.items()
+        }
+        self.parent: Dict[int, Optional[int]] = {self.root: None}
+        for host, kids in self.children.items():
+            for kid in kids:
+                self.parent[kid] = host
+        self.contributions: Dict[int, int] = {}
+        self.partials: Dict[int, int] = {}
+        self.pending_children: Dict[int, int] = {
+            host: len(self.children.get(host, []))
+            for host in self.participants
+        }
+        self.result: Optional[int] = None
+        self.result_cycles: Dict[int, int] = {}
+        self.started_cycle: Optional[int] = None
+        self.completed_cycle: Optional[int] = None
+
+    @property
+    def complete(self) -> bool:
+        """True when every participant holds the result."""
+        return self.completed_cycle is not None
+
+    @property
+    def last_latency(self) -> Optional[int]:
+        """First contribution to last result delivery."""
+        if self.completed_cycle is None or self.started_cycle is None:
+            return None
+        return self.completed_cycle - self.started_cycle
+
+
+class ReductionEngine:
+    """Drives reduction protocols over a built network's host nodes."""
+
+    PARTIAL = "reduce_partial"
+    RESULT = "reduce_result"
+
+    def __init__(self, nodes: Sequence[HostNode]) -> None:
+        self.nodes = list(nodes)
+        self._operations: Dict[int, ReductionOperation] = {}
+        #: in-flight partial values keyed by (reduction, message id)
+        self._values: Dict[tuple, int] = {}
+        self._next_id = 0
+        for node in self.nodes:
+            node.add_delivery_listener(self._on_delivery)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def create(
+        self,
+        participants: Sequence[int],
+        combine: Combine = lambda a, b: a + b,
+        payload_flits: int = 4,
+        result_scheme: MulticastScheme = MulticastScheme.HARDWARE,
+    ) -> ReductionOperation:
+        """Register a new reduction instance (no messages yet)."""
+        operation = ReductionOperation(
+            self._next_id, participants, combine, payload_flits,
+            result_scheme,
+        )
+        self._operations[operation.reduction_id] = operation
+        self._next_id += 1
+        return operation
+
+    def contribute(
+        self, operation: ReductionOperation, host: int, value: int
+    ) -> None:
+        """Participant ``host`` contributes its local ``value`` now."""
+        if host not in operation.parent:
+            raise ProtocolError(
+                f"host {host} is not a participant of reduction "
+                f"{operation.reduction_id}"
+            )
+        if host in operation.contributions:
+            raise ProtocolError(
+                f"host {host} contributed twice to reduction "
+                f"{operation.reduction_id}"
+            )
+        node = self.nodes[host]
+        if operation.started_cycle is None:
+            operation.started_cycle = node.sim.now
+        operation.contributions[host] = value
+        self._fold(operation, host, value)
+        self._maybe_send_partial(operation, host)
+
+    def operation(self, reduction_id: int) -> Optional[ReductionOperation]:
+        """Look up a reduction instance."""
+        return self._operations.get(reduction_id)
+
+    # ------------------------------------------------------------------
+    # protocol machinery
+    # ------------------------------------------------------------------
+    def _fold(
+        self, operation: ReductionOperation, host: int, value: int
+    ) -> None:
+        """Combine one value (own contribution or a child's subtree
+        partial) into the host's running partial."""
+        if host in operation.partials:
+            operation.partials[host] = operation.combine(
+                operation.partials[host], value
+            )
+        else:
+            operation.partials[host] = value
+
+    def _maybe_send_partial(
+        self, operation: ReductionOperation, host: int
+    ) -> None:
+        if host not in operation.contributions:
+            return
+        if operation.pending_children[host] > 0:
+            return
+        parent = operation.parent[host]
+        node = self.nodes[host]
+        if parent is None:
+            self._broadcast_result(operation)
+            return
+        message = node.post_message(
+            destinations=DestinationSet.single(node.universe, parent),
+            payload_flits=operation.payload_flits,
+            traffic_class=TrafficClass.CONTROL,
+            tag=(self.PARTIAL, operation.reduction_id),
+        )
+        key = (operation.reduction_id, message.message_id)
+        self._values[key] = operation.partials[host]
+
+    def _broadcast_result(self, operation: ReductionOperation) -> None:
+        root_node = self.nodes[operation.root]
+        now = root_node.sim.now
+        operation.result = operation.partials[operation.root]
+        operation.result_cycles[operation.root] = now
+        others = DestinationSet.from_ids(
+            root_node.universe,
+            [h for h in operation.participants if h != operation.root],
+        )
+        root_node.post_multicast(
+            others,
+            payload_flits=operation.payload_flits,
+            scheme=operation.result_scheme,
+            tag=(self.RESULT, operation.reduction_id),
+        )
+        self._maybe_complete(operation)
+
+    def _on_delivery(self, node: HostNode, message: Message, now: int) -> None:
+        tag = message.tag
+        if not isinstance(tag, tuple) or len(tag) != 2:
+            return
+        kind, reduction_id = tag
+        operation = self._operations.get(reduction_id)
+        if operation is None:
+            return
+        if kind == self.PARTIAL:
+            key = (reduction_id, message.message_id)
+            value = self._values.pop(key)
+            host = node.host_id
+            self._fold(operation, host, value)
+            operation.pending_children[host] -= 1
+            self._maybe_send_partial(operation, host)
+        elif kind == self.RESULT:
+            operation.result_cycles[node.host_id] = now
+            self._maybe_complete(operation)
+
+    def _maybe_complete(self, operation: ReductionOperation) -> None:
+        if len(operation.result_cycles) == len(operation.participants):
+            operation.completed_cycle = max(operation.result_cycles.values())

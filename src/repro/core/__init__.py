@@ -1,0 +1,46 @@
+"""The paper's primary contribution, as a topology-independent core.
+
+This package holds the pieces that are *the idea* of the paper rather
+than simulator plumbing:
+
+* the scheme/architecture vocabulary (:class:`SwitchArchitecture`,
+  :class:`MulticastScheme`),
+* a pure-functional model of multidestination worm replication
+  (:mod:`repro.core.path_model`) that predicts, without simulating time,
+  exactly which links a worm traverses and which hosts it reaches —
+  used both by analysis code and by property tests that cross-check the
+  flit-level simulator, and
+* closed-form zero-load latency models (:mod:`repro.core.latency_model`)
+  for hardware and software multicast, used to sanity-check simulation
+  results and to reason about the crossovers the paper reports.
+"""
+
+from repro.core.schemes import MulticastScheme, SwitchArchitecture
+from repro.core.path_model import WormTraversal, trace_worm
+from repro.core.latency_model import (
+    hardware_multicast_zero_load,
+    software_multicast_zero_load,
+    unicast_zero_load,
+)
+from repro.core.contention import (
+    binomial_phases,
+    flow_link_load,
+    multicast_link_load,
+    phase_conflicts,
+    unicast_links,
+)
+
+__all__ = [
+    "MulticastScheme",
+    "SwitchArchitecture",
+    "WormTraversal",
+    "binomial_phases",
+    "flow_link_load",
+    "hardware_multicast_zero_load",
+    "multicast_link_load",
+    "phase_conflicts",
+    "software_multicast_zero_load",
+    "trace_worm",
+    "unicast_links",
+    "unicast_zero_load",
+]

@@ -1,0 +1,143 @@
+"""Static link-contention analysis of collective schedules.
+
+The U-MIN software multicast (ref [38]) is defined by its claim: the
+unicasts of one phase use disjoint links, so phases never self-contend.
+This module checks such claims *analytically*: it reconstructs the phase
+structure of a binomial schedule, traces each unicast's path with the
+deterministic router, and counts per-phase traversals of every directed
+link.  The same machinery measures the static footprint of concurrent
+hardware multicasts (how many worm trees would cross each link).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.path_model import trace_worm
+from repro.flits.destset import DestinationSet
+from repro.host.software_multicast import binomial_schedule
+from repro.routing.base import (
+    MulticastRoutingMode,
+    UpPortPolicy,
+    UpSelector,
+    make_up_selector,
+)
+from repro.routing.table import SwitchRoutingTable
+from repro.topology.graph import Topology
+
+Link = Tuple[int, int]
+Flow = Tuple[int, int]
+
+
+def binomial_phases(
+    source: int, destinations: Sequence[int]
+) -> List[List[Flow]]:
+    """The (sender, receiver) pairs of each binomial phase, in order.
+
+    Phase *k* contains every send a host issues as its *k*-th serialized
+    action after being informed (the root counts from phase 1); order
+    within a phase is traversal order, not significant.
+
+    >>> [sorted(phase) for phase in binomial_phases(0, [1, 2, 3])]
+    [[(0, 2)], [(0, 1), (2, 3)]]
+    """
+    schedule = binomial_schedule(source, destinations)
+    phases: Dict[int, List[Flow]] = {}
+
+    def walk(host: int, informed_phase: int) -> None:
+        for index, child in enumerate(schedule.get(host, [])):
+            phase = informed_phase + index + 1
+            phases.setdefault(phase, []).append((host, child))
+            walk(child, phase)
+
+    walk(source, 0)
+    return [phases[k] for k in sorted(phases)]
+
+
+def unicast_links(
+    topology: Topology,
+    tables: List[SwitchRoutingTable],
+    source: int,
+    destination: int,
+    up_selector: Optional[UpSelector] = None,
+) -> List[Link]:
+    """Every (switch, output port) a unicast crosses, deterministically."""
+    if up_selector is None:
+        up_selector = make_up_selector(UpPortPolicy.DETERMINISTIC)
+    traversal = trace_worm(
+        topology,
+        tables,
+        source,
+        DestinationSet.single(tables[0].num_hosts, destination),
+        mode=MulticastRoutingMode.TURNAROUND,
+        up_selector=up_selector,
+    )
+    return traversal.links
+
+
+def flow_link_load(
+    topology: Topology,
+    tables: List[SwitchRoutingTable],
+    flows: Sequence[Flow],
+    up_selector: Optional[UpSelector] = None,
+) -> Dict[Link, int]:
+    """Traversal count per directed link for simultaneous unicasts."""
+    load: Dict[Link, int] = {}
+    for source, destination in flows:
+        for link in unicast_links(
+            topology, tables, source, destination, up_selector
+        ):
+            load[link] = load.get(link, 0) + 1
+    return load
+
+
+def phase_conflicts(
+    topology: Topology,
+    tables: List[SwitchRoutingTable],
+    source: int,
+    destinations: Sequence[int],
+    up_selector: Optional[UpSelector] = None,
+) -> List[int]:
+    """Maximum per-link traversal count of each binomial phase.
+
+    A value of 1 everywhere means the schedule is self-contention-free
+    (the U-MIN property); larger values count flows that would share a
+    link within one phase.
+    """
+    out = []
+    for flows in binomial_phases(source, destinations):
+        load = flow_link_load(topology, tables, flows, up_selector)
+        out.append(max(load.values()) if load else 0)
+    return out
+
+
+def multicast_link_load(
+    topology: Topology,
+    tables: List[SwitchRoutingTable],
+    operations: Sequence[Tuple[int, Sequence[int]]],
+    mode: MulticastRoutingMode = MulticastRoutingMode.TURNAROUND,
+    up_selector: Optional[UpSelector] = None,
+) -> Dict[Link, int]:
+    """Static link footprint of concurrent hardware multicasts.
+
+    ``operations`` is a list of (source, destination ids).  Each worm
+    crosses every link of its replication tree exactly once, so the
+    returned counts are the number of worms over each link — a proxy for
+    where concurrent multicasts will queue.
+    """
+    if up_selector is None:
+        up_selector = make_up_selector(UpPortPolicy.DETERMINISTIC)
+    universe = tables[0].num_hosts
+    load: Dict[Link, int] = {}
+    for source, ids in operations:
+        traversal = trace_worm(
+            topology,
+            tables,
+            source,
+            DestinationSet.from_ids(universe, ids),
+            mode=mode,
+            up_selector=up_selector,
+        )
+        for link in traversal.links:
+            load[link] = load.get(link, 0) + 1
+    return load

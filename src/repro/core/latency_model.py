@@ -1,0 +1,113 @@
+"""Closed-form zero-load latency models.
+
+These reproduce the back-of-envelope arithmetic the paper's discussion
+rests on: a hardware multicast pays the pipeline once (its deepest branch
+behaves like one unicast), while a binomial software multicast pays
+``ceil(log2(d+1))`` serialized phases, each with fresh software start-up
+overhead.  The flit-level simulator should approach these numbers at zero
+load; tests assert agreement within a small per-hop tolerance.
+
+All times are in cycles; ``hops`` counts switches on the path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+from repro.host.software_multicast import binomial_schedule
+
+
+def unicast_zero_load(
+    hops: int,
+    size_flits: int,
+    link_latency: int = 1,
+    routing_delay: int = 2,
+    header_flits: int = 1,
+    send_overhead: int = 0,
+) -> int:
+    """Tail-arrival time of one unblocked unicast packet.
+
+    The head crosses ``hops + 1`` links (NI to first switch, then between
+    switches, then to the destination NI) and is held at each switch until
+    its header has arrived and the routing decision is made; the tail
+    follows the head by ``size_flits - 1`` cycles on a bubble-free path.
+    """
+    if hops < 0:
+        raise ValueError("hops must be non-negative")
+    head = (hops + 1) * link_latency + hops * (header_flits - 1 + routing_delay)
+    return send_overhead + head + size_flits - 1
+
+
+def hardware_multicast_zero_load(
+    max_hops: int,
+    size_flits: int,
+    link_latency: int = 1,
+    routing_delay: int = 2,
+    header_flits: int = 1,
+    send_overhead: int = 0,
+) -> int:
+    """Last-arrival latency of one unblocked multidestination worm.
+
+    With asynchronous replication and no contention every branch
+    progresses independently, so the operation finishes when the deepest
+    branch (``max_hops`` switches) delivers — one unicast-shaped pipeline,
+    regardless of the number of destinations.
+    """
+    return unicast_zero_load(
+        max_hops, size_flits, link_latency, routing_delay, header_flits,
+        send_overhead,
+    )
+
+
+def software_multicast_zero_load(
+    source: int,
+    destinations: Sequence[int],
+    hops_between: Dict[tuple, int],
+    size_flits: int,
+    link_latency: int = 1,
+    routing_delay: int = 2,
+    header_flits: int = 1,
+    send_overhead: int = 0,
+    recv_overhead: int = 0,
+) -> int:
+    """Last-arrival latency of a binomial software multicast at zero load.
+
+    Walks the same binomial schedule the runtime engine uses.  Each host
+    serializes its sends (``send_overhead`` apart) and pays
+    ``recv_overhead`` before its first forward; every hop then behaves as
+    an unblocked unicast.
+
+    ``hops_between`` maps ``(src, dst)`` to switch hops (e.g. from
+    :meth:`repro.topology.bmin.BidirectionalMin.min_switch_hops`).
+    """
+    schedule = binomial_schedule(source, destinations)
+    arrival: Dict[int, int] = {source: 0}
+    # Children lists are in send order; process hosts in arrival order.
+    frontier = [source]
+    while frontier:
+        frontier.sort(key=lambda h: arrival[h])
+        host = frontier.pop(0)
+        base = arrival[host]
+        if host != source:
+            base += recv_overhead
+        for index, child in enumerate(schedule.get(host, [])):
+            inject_ready = base + (index + 1) * send_overhead
+            wire = unicast_zero_load(
+                hops_between[(host, child)],
+                size_flits,
+                link_latency,
+                routing_delay,
+                header_flits,
+                send_overhead=0,
+            )
+            arrival[child] = inject_ready + wire - 0
+            frontier.append(child)
+    return max(arrival[d] for d in destinations)
+
+
+def software_multicast_phase_count(num_destinations: int) -> int:
+    """Communication phases of the binomial scheme: ceil(log2(d + 1))."""
+    if num_destinations < 0:
+        raise ValueError("num_destinations must be non-negative")
+    return math.ceil(math.log2(num_destinations + 1)) if num_destinations else 0

@@ -1,0 +1,131 @@
+"""Pure-functional model of multidestination worm replication.
+
+Given a topology and its routing tables, :func:`trace_worm` walks the
+replication tree of a worm *without simulating time*: at every switch it
+runs the same reachability decode the flit-level switches use and follows
+each branch.  The result — reached hosts, traversed links, branch depth —
+is the ground truth for:
+
+* property tests (the simulator must deliver to exactly the traced set),
+* analytic latency models (the deepest branch bounds zero-load latency),
+* link-contention analysis of concurrent multicasts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import RoutingError
+from repro.flits.destset import DestinationSet
+from repro.flits.packet import Message, Packet, TrafficClass
+from repro.flits.worm import Worm
+from repro.routing.base import (
+    MulticastRoutingMode,
+    UpPortPolicy,
+    UpSelector,
+    make_up_selector,
+)
+from repro.routing.table import SwitchRoutingTable
+from repro.topology.graph import Endpoint, NodeKind, Topology
+
+
+@dataclass
+class WormTraversal:
+    """Everything a worm touches on its way to its destinations."""
+
+    #: hosts the worm is delivered to
+    delivered: DestinationSet
+    #: every switch output port the worm crosses, in visit order
+    links: List[Tuple[int, int]] = field(default_factory=list)
+    #: switches visited (with multiplicity, in visit order)
+    switches: List[int] = field(default_factory=list)
+    #: switch count along the deepest branch (source NI to slowest host)
+    max_depth: int = 0
+
+    def link_load(self) -> Dict[Tuple[int, int], int]:
+        """Traversal count per (switch, output port) link."""
+        load: Dict[Tuple[int, int], int] = {}
+        for link in self.links:
+            load[link] = load.get(link, 0) + 1
+        return load
+
+
+def _phantom_worm(
+    source: int, destinations: DestinationSet
+) -> Worm:
+    """A timeless worm carrying only routing-relevant state."""
+    message = Message(
+        message_id=-1,
+        source=source,
+        destinations=destinations,
+        payload_flits=1,
+        traffic_class=TrafficClass.MULTICAST,
+        created_cycle=0,
+    )
+    packet = Packet(
+        packet_id=-1,
+        message=message,
+        destinations=destinations,
+        header_flits=1,
+        payload_flits=1,
+    )
+    return Worm.root(packet)
+
+
+def trace_worm(
+    topology: Topology,
+    tables: List[SwitchRoutingTable],
+    source: int,
+    destinations: DestinationSet,
+    mode: MulticastRoutingMode = MulticastRoutingMode.TURNAROUND,
+    up_selector: Optional[UpSelector] = None,
+) -> WormTraversal:
+    """Replicate a worm through the routing tables and report its tree.
+
+    ``up_selector`` defaults to the deterministic policy, matching the
+    simulator's default so traced paths and simulated paths coincide.
+    """
+    if up_selector is None:
+        up_selector = make_up_selector(UpPortPolicy.DETERMINISTIC)
+    result = WormTraversal(
+        delivered=DestinationSet.empty(destinations.universe)
+    )
+    first_switch = topology.host_attachment(source).node
+    root = _phantom_worm(source, destinations)
+    stack: List[Tuple[int, Worm, int]] = [(first_switch, root, 1)]
+    guard = 0
+    limit = 16 * max(len(tables), 1) * max(len(destinations), 1) + 64
+    while stack:
+        guard += 1
+        if guard > limit:
+            raise RoutingError(
+                "worm replication did not terminate; routing tables are "
+                "likely cyclic"
+            )
+        switch, worm, depth = stack.pop()
+        result.switches.append(switch)
+        result.max_depth = max(result.max_depth, depth)
+        table = tables[switch]
+        for request in table.compute_requests(
+            worm, mode=mode, up_selector=up_selector, self_check=True
+        ):
+            result.links.append((switch, request.port))
+            branch = worm.branch(request.destinations, request.descending)
+            host = table.delivers_to(request.port)
+            if host is not None:
+                if not branch.destinations.is_singleton():
+                    raise RoutingError(
+                        f"host port {request.port} of switch {switch} "
+                        f"received a multi-destination branch"
+                    )
+                result.delivered = result.delivered | branch.destinations
+                continue
+            peer = topology.neighbor_of(Endpoint.switch(switch, request.port))
+            if peer is None or peer.kind != NodeKind.SWITCH:
+                raise RoutingError(
+                    f"switch {switch} port {request.port} forwards into "
+                    f"nothing routable"
+                )
+            stack.append((peer.node, branch, depth + 1))
+    return result

@@ -1,0 +1,23 @@
+"""The architectural vocabulary of the paper's design space."""
+
+from __future__ import annotations
+
+import enum
+
+
+class SwitchArchitecture(enum.Enum):
+    """Which buffer organisation the switches use (paper sections 4-5)."""
+
+    #: SP2-style shared central buffer with output queuing (section 4)
+    CENTRAL_BUFFER = "central_buffer"
+    #: statically partitioned whole-packet input buffers (section 5)
+    INPUT_BUFFER = "input_buffer"
+
+
+class MulticastScheme(enum.Enum):
+    """How collective operations are implemented."""
+
+    #: multidestination worms replicated inside the switches
+    HARDWARE = "hardware"
+    #: binomial-tree unicasts driven by host software (the baseline)
+    SOFTWARE = "software"

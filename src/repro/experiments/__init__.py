@@ -1,0 +1,76 @@
+"""Experiment definitions reproducing the paper's evaluation.
+
+One module per evaluation axis (see DESIGN.md's per-experiment index):
+
+=====  ==============================================  =====================
+Exp    Paper axis                                      Module
+=====  ==============================================  =====================
+E1     multiple multicast vs. concurrency              multiple_multicast
+E2     latency vs. degree of multicast                 degree_sweep
+E3     latency vs. message length                      length_sweep
+E4     bimodal traffic impact on background unicast    bimodal
+E5     system-size scaling                             system_size
+E6     unicast baseline of the buffer organisations    unicast_baseline
+E7     methodology / parameter table                   parameters
+A1     ablation: central-buffer bandwidth              ablations
+A2     ablation: LCA routing mode                      ablations
+A3     ablation: header encodings                      ablations
+=====  ==============================================  =====================
+
+Every experiment function accepts a :class:`~repro.experiments.common.Scale`
+(``QUICK`` for benches/CI, ``PAPER`` for full-size runs) and returns an
+:class:`~repro.experiments.common.ExperimentResult` with both structured
+rows and a printable table.
+"""
+
+from repro.experiments.common import (
+    PAPER,
+    QUICK,
+    ExperimentResult,
+    Scale,
+    Scheme,
+)
+from repro.experiments.multiple_multicast import run_multiple_multicast
+from repro.experiments.degree_sweep import run_degree_sweep
+from repro.experiments.length_sweep import run_length_sweep
+from repro.experiments.bimodal import run_bimodal
+from repro.experiments.system_size import run_system_size
+from repro.experiments.unicast_baseline import run_unicast_baseline
+from repro.experiments.parameters import run_parameters
+from repro.experiments.ablations import (
+    run_cb_bandwidth_ablation,
+    run_encoding_ablation,
+    run_equal_storage_ablation,
+    run_replication_ablation,
+    run_routing_mode_ablation,
+)
+from repro.experiments.cross_topology import run_cross_topology
+from repro.experiments.extensions import (
+    run_barrier_scaling,
+    run_buffer_occupancy,
+    run_hotspot,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "PAPER",
+    "QUICK",
+    "Scale",
+    "Scheme",
+    "run_barrier_scaling",
+    "run_bimodal",
+    "run_buffer_occupancy",
+    "run_cb_bandwidth_ablation",
+    "run_cross_topology",
+    "run_degree_sweep",
+    "run_encoding_ablation",
+    "run_equal_storage_ablation",
+    "run_hotspot",
+    "run_length_sweep",
+    "run_multiple_multicast",
+    "run_parameters",
+    "run_replication_ablation",
+    "run_routing_mode_ablation",
+    "run_system_size",
+    "run_unicast_baseline",
+]

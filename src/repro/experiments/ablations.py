@@ -1,0 +1,288 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+A1 — central-buffer bandwidth: the paper (via ref [33]) argues flit-wide
+RAMs and register pipelines perform as well as a chunk-wide crossbar; we
+sweep the per-cycle read/write caps to show where bandwidth starts to
+matter.
+
+A2 — LCA routing mode: turnaround (replicate only on the way down) vs.
+branch-on-up (replicate toward in-subtree destinations while ascending).
+
+A3 — header encodings: bit-string (single phase, O(N) header) vs.
+multiport (tiny header, multiple phases for non-product sets) as system
+size grows.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.schemes import SwitchArchitecture
+from repro.experiments.common import (
+    QUICK,
+    ExperimentResult,
+    Scale,
+    Scheme,
+    base_config,
+    mean,
+)
+from repro.flits.destset import DestinationSet
+from repro.metrics.report import Table
+from repro.network.config import EncodingKind
+from repro.network.simulation import run_simulation
+from repro.routing.base import MulticastRoutingMode
+from repro.switches.base import ReplicationMode
+from repro.traffic.multicast import MultipleMulticastBurst, SingleMulticast
+
+
+def run_cb_bandwidth_ablation(
+    scale: Scale = QUICK,
+    num_hosts: int = 64,
+    bandwidths: Sequence[int] = (1, 2, 4, 8),
+    num_multicasts: int = 8,
+    degree: int = 8,
+    payload_flits: int = 64,
+) -> ExperimentResult:
+    """A1: E1's workload under reduced central-buffer port bandwidth."""
+    table = Table(
+        f"A1: central-buffer bandwidth (N={num_hosts}, m={num_multicasts}, "
+        f"d={degree}) — mean last-arrival latency [cycles]",
+        ["flits/cycle", "cb-hw"],
+    )
+    result = ExperimentResult("a1_cb_bandwidth", table)
+    for bandwidth in bandwidths:
+        latencies = []
+        for seed in scale.seeds():
+            config = base_config(
+                num_hosts,
+                seed=seed,
+                cb_write_bandwidth=bandwidth,
+                cb_read_bandwidth=bandwidth,
+            )
+            workload = MultipleMulticastBurst(
+                num_multicasts=num_multicasts,
+                degree=degree,
+                payload_flits=payload_flits,
+                scheme=Scheme.CB_HW.multicast_scheme,
+            )
+            run = run_simulation(config, workload, max_cycles=scale.max_cycles)
+            latencies.append(run.op_last_latency.mean)
+        latency = mean(latencies)
+        table.add_row(bandwidth, latency)
+        result.rows.append({"bandwidth": bandwidth, "latency": latency})
+    return result
+
+
+def run_routing_mode_ablation(
+    scale: Scale = QUICK,
+    num_hosts: int = 64,
+    degrees: Sequence[int] = (4, 8, 16, 32),
+    payload_flits: int = 64,
+) -> ExperimentResult:
+    """A2: turnaround vs. branch-on-up LCA routing on E2's workload."""
+    modes = list(MulticastRoutingMode)
+    table = Table(
+        f"A2: multicast routing mode (N={num_hosts}) — "
+        "mean last-arrival latency [cycles]",
+        ["degree"] + [mode.value for mode in modes],
+    )
+    result = ExperimentResult("a2_routing_mode", table)
+    for degree in degrees:
+        cells = [degree]
+        for mode in modes:
+            latencies = []
+            for seed in scale.seeds():
+                config = base_config(
+                    num_hosts, seed=seed, multicast_mode=mode
+                )
+                workload = SingleMulticast(
+                    source=seed % num_hosts,
+                    degree=degree,
+                    payload_flits=payload_flits,
+                    scheme=Scheme.CB_HW.multicast_scheme,
+                )
+                run = run_simulation(
+                    config, workload, max_cycles=scale.max_cycles
+                )
+                latencies.append(run.op_last_latency.mean)
+            latency = mean(latencies)
+            cells.append(latency)
+            result.rows.append(
+                {"degree": degree, "mode": mode.value, "latency": latency}
+            )
+        table.add_row(*cells)
+    return result
+
+
+def run_encoding_ablation(
+    scale: Scale = QUICK,
+    sizes: Sequence[int] = (16, 64, 256),
+    degree: int = 8,
+    payload_flits: int = 64,
+) -> ExperimentResult:
+    """A3: bit-string vs. multiport encoding across system sizes.
+
+    Reports the multicast header size each encoding needs and the measured
+    operation latency (multiport pays extra phases for random —
+    non-product — destination sets; bit-string pays a header that grows
+    with N)."""
+    kinds = [EncodingKind.BITSTRING, EncodingKind.MULTIPORT]
+    table = Table(
+        f"A3: header encodings (d={degree}) — header [flits] and "
+        "latency [cycles]",
+        ["N", "hdr@bitstring", "hdr@multiport", "lat@bitstring",
+         "lat@multiport"],
+    )
+    result = ExperimentResult("a3_encoding", table)
+    for num_hosts in sizes:
+        if degree >= num_hosts:
+            continue
+        headers = {}
+        latencies = {}
+        for kind in kinds:
+            config = base_config(num_hosts, encoding=kind)
+            encoding = config.build_encoding()
+            headers[kind] = encoding.header_flits(
+                DestinationSet.full(num_hosts)
+            )
+            values = []
+            for seed in scale.seeds():
+                run = run_simulation(
+                    config.derived(seed=seed),
+                    SingleMulticast(
+                        source=seed % num_hosts,
+                        degree=degree,
+                        payload_flits=payload_flits,
+                        scheme=Scheme.CB_HW.multicast_scheme,
+                    ),
+                    max_cycles=scale.max_cycles,
+                )
+                values.append(run.op_last_latency.mean)
+            latencies[kind] = mean(values)
+        table.add_row(
+            num_hosts,
+            headers[EncodingKind.BITSTRING],
+            headers[EncodingKind.MULTIPORT],
+            latencies[EncodingKind.BITSTRING],
+            latencies[EncodingKind.MULTIPORT],
+        )
+        result.rows.append(
+            {
+                "num_hosts": num_hosts,
+                "header_bitstring": headers[EncodingKind.BITSTRING],
+                "header_multiport": headers[EncodingKind.MULTIPORT],
+                "latency_bitstring": latencies[EncodingKind.BITSTRING],
+                "latency_multiport": latencies[EncodingKind.MULTIPORT],
+            }
+        )
+    return result
+
+
+def run_replication_ablation(
+    scale: Scale = QUICK,
+    num_hosts: int = 16,
+    concurrency: Sequence[int] = (2, 4, 8, 16),
+    degree: int = 6,
+    payload_flits: int = 48,
+) -> ExperimentResult:
+    """A4: asynchronous vs. synchronous replication (paper §3).
+
+    Both run on the input-buffer switch (synchronous replication needs
+    the per-switch arbitration of ref [6], which the IB design hosts
+    naturally).  Under concurrent multicasts, lock-step forwarding lets
+    any blocked branch stall its whole worm, and the single-worm-at-a-
+    time port arbitration serializes replication at each switch — the
+    performance argument for the paper's asynchronous choice.
+    """
+    modes = list(ReplicationMode)
+    table = Table(
+        f"A4: replication discipline on the IB switch (N={num_hosts}, "
+        f"d={degree}) — mean last-arrival latency [cycles]",
+        ["m"] + [mode.value for mode in modes],
+    )
+    result = ExperimentResult("a4_replication", table)
+    for m in concurrency:
+        cells = [m]
+        for mode in modes:
+            latencies = []
+            for seed in scale.seeds():
+                config = base_config(
+                    num_hosts,
+                    seed=seed,
+                    switch_architecture=SwitchArchitecture.INPUT_BUFFER,
+                    replication=mode,
+                )
+                workload = MultipleMulticastBurst(
+                    num_multicasts=m,
+                    degree=degree,
+                    payload_flits=payload_flits,
+                    scheme=Scheme.IB_HW.multicast_scheme,
+                )
+                run = run_simulation(
+                    config, workload, max_cycles=scale.max_cycles
+                )
+                latencies.append(run.op_last_latency.mean)
+            latency = mean(latencies)
+            cells.append(latency)
+            result.rows.append(
+                {"m": m, "replication": mode.value, "latency": latency}
+            )
+        table.add_row(*cells)
+    return result
+
+
+def run_equal_storage_ablation(
+    scale: Scale = QUICK,
+    num_hosts: int = 64,
+    loads: Sequence[float] = (0.3, 0.45, 0.6),
+    payload_flits: int = 32,
+) -> ExperimentResult:
+    """A5: is the central buffer's win just more silicon?
+
+    Compares three switches with identical behaviourally relevant totals:
+    the central-buffer switch (2048 shared flits), the input-buffer
+    switch at its minimal legal size (one max packet per input), and the
+    input-buffer switch given the same 2048 flits of storage as the
+    central buffer (256 flits per input, ~1.9 packets each).  If sharing
+    is what matters — the claim of refs [36, 37] the paper builds on —
+    the equal-storage IB switch must still trail the CB switch.
+    """
+    from repro.traffic.unicast import UniformRandomUnicast
+
+    variants = [
+        ("cb-2048-shared", Scheme.CB_HW, None),
+        ("ib-minimal", Scheme.IB_HW, None),
+        ("ib-2048-split", Scheme.IB_HW, 256),
+    ]
+    table = Table(
+        f"A5: equal-storage comparison (N={num_hosts}) — unicast latency "
+        "[cycles]",
+        ["load"] + [name for name, _, _ in variants],
+    )
+    result = ExperimentResult("a5_equal_storage", table)
+    for load in loads:
+        cells = [load]
+        for name, scheme, buffer_flits in variants:
+            latencies = []
+            for seed in scale.seeds():
+                config = scheme.apply(base_config(num_hosts, seed=seed))
+                if buffer_flits is not None:
+                    config = config.derived(input_buffer_flits=buffer_flits)
+                workload = UniformRandomUnicast(
+                    load=load,
+                    payload_flits=payload_flits,
+                    warmup_cycles=scale.warmup_cycles,
+                    measure_cycles=scale.measure_cycles,
+                )
+                run = run_simulation(
+                    config, workload, max_cycles=scale.max_cycles
+                )
+                if run.unicast_latency.count:
+                    latencies.append(run.unicast_latency.mean)
+            latency = mean(latencies)
+            cells.append(latency)
+            result.rows.append(
+                {"load": load, "variant": name, "latency": latency}
+            )
+        table.add_row(*cells)
+    return result

@@ -1,0 +1,145 @@
+"""Shared plumbing for the experiment suite."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.schemes import MulticastScheme, SwitchArchitecture
+from repro.metrics.report import Table
+from repro.network.config import SimulationConfig
+
+
+class Scheme(enum.Enum):
+    """The three implementations the paper compares throughout."""
+
+    #: hardware multidestination worms on the central-buffer switch
+    CB_HW = "cb-hw"
+    #: hardware multidestination worms on the input-buffer switch
+    IB_HW = "ib-hw"
+    #: binomial software multicast (runs on the central-buffer switch)
+    SW = "sw"
+
+    def apply(self, config: SimulationConfig) -> SimulationConfig:
+        """The simulation config realising this scheme."""
+        if self is Scheme.CB_HW:
+            return config.derived(
+                switch_architecture=SwitchArchitecture.CENTRAL_BUFFER
+            )
+        if self is Scheme.IB_HW:
+            return config.derived(
+                switch_architecture=SwitchArchitecture.INPUT_BUFFER
+            )
+        return config.derived(
+            switch_architecture=SwitchArchitecture.CENTRAL_BUFFER
+        )
+
+    @property
+    def multicast_scheme(self) -> MulticastScheme:
+        """Hardware or software collective implementation."""
+        if self is Scheme.SW:
+            return MulticastScheme.SOFTWARE
+        return MulticastScheme.HARDWARE
+
+
+@dataclass(frozen=True)
+class Scale:
+    """How big an experiment run is.
+
+    ``QUICK`` keeps benches and CI fast (small repeats, short windows);
+    ``PAPER`` runs the full sweeps the tables in EXPERIMENTS.md report.
+    """
+
+    name: str
+    repeats: int
+    warmup_cycles: int
+    measure_cycles: int
+    max_cycles: int
+
+    def seeds(self, base: int = 1) -> List[int]:
+        """Deterministic seed list for repeated runs."""
+        return [base + 97 * index for index in range(self.repeats)]
+
+
+QUICK = Scale(
+    name="quick",
+    repeats=2,
+    warmup_cycles=300,
+    measure_cycles=1_500,
+    max_cycles=60_000,
+)
+
+PAPER = Scale(
+    name="paper",
+    repeats=5,
+    warmup_cycles=2_000,
+    measure_cycles=10_000,
+    max_cycles=2_000_000,
+)
+
+
+@dataclass
+class ExperimentResult:
+    """Structured rows plus a printable table for one experiment."""
+
+    experiment: str
+    table: Table
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def series(self, key: str, value: str, **filters: object) -> List[tuple]:
+        """(key, value) pairs of rows matching all ``filters``."""
+        out = []
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in filters.items()):
+                out.append((row[key], row[value]))
+        return out
+
+    def value(self, value: str, **filters: object) -> Optional[object]:
+        """The single matching row's value, or ``None``."""
+        matches = self.series(value, value, **filters)
+        if len(matches) != 1:
+            return None
+        return matches[0][1]
+
+    def render(self) -> str:
+        """The printable table."""
+        return self.table.render()
+
+    def chart(
+        self,
+        x_key: str,
+        y_key: str,
+        series_key: str,
+        title: str = "",
+    ) -> str:
+        """An ASCII chart of ``y_key`` over ``x_key``, one mark per
+        distinct ``series_key`` value.  Rows with non-numeric values are
+        skipped."""
+        from repro.metrics.ascii_chart import render_chart
+
+        series: Dict[str, list] = {}
+        for row in self.rows:
+            x, y = row.get(x_key), row.get(y_key)
+            name = row.get(series_key) or "series"
+            if not isinstance(x, (int, float)) or not isinstance(
+                y, (int, float)
+            ):
+                continue
+            series.setdefault(str(name), []).append((float(x), float(y)))
+        return render_chart(
+            series, title=title or self.experiment,
+            x_label=x_key, y_label=y_key,
+        )
+
+
+def mean(values: List[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty list."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def base_config(num_hosts: int = 64, **overrides) -> SimulationConfig:
+    """The paper's default system, with experiment overrides applied."""
+    return SimulationConfig(num_hosts=num_hosts, **overrides)

@@ -1,0 +1,68 @@
+"""E2: multicast latency vs. number of destinations.
+
+One multicast on an idle network, degree swept from 2 to N-1, averaged
+over random destination sets.  Hardware multicast latency is nearly flat
+in the degree (one worm, replicated in the switches), while the software
+scheme grows with ceil(log2(d+1)) serialized phases — the paper's
+up-to-4x gap.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.common import (
+    QUICK,
+    ExperimentResult,
+    Scale,
+    Scheme,
+    base_config,
+    mean,
+)
+from repro.metrics.report import Table
+from repro.network.simulation import run_simulation
+from repro.traffic.multicast import SingleMulticast
+
+DEFAULT_DEGREES = (2, 4, 8, 16, 32, 63)
+
+
+def run_degree_sweep(
+    scale: Scale = QUICK,
+    num_hosts: int = 64,
+    degrees: Sequence[int] = DEFAULT_DEGREES,
+    payload_flits: int = 64,
+    schemes: Optional[Sequence[Scheme]] = None,
+) -> ExperimentResult:
+    """Run E2 and return per-(degree, scheme) last-arrival latencies."""
+    schemes = list(schemes) if schemes is not None else list(Scheme)
+    table = Table(
+        f"E2: single multicast latency vs. degree (N={num_hosts}, "
+        f"{payload_flits}-flit payload) [cycles]",
+        ["degree"] + [scheme.value for scheme in schemes],
+    )
+    result = ExperimentResult("e2_degree_sweep", table)
+    for degree in degrees:
+        if degree >= num_hosts:
+            continue
+        cells = [degree]
+        for scheme in schemes:
+            latencies = []
+            for seed in scale.seeds():
+                config = scheme.apply(base_config(num_hosts, seed=seed))
+                workload = SingleMulticast(
+                    source=seed % num_hosts,
+                    degree=degree,
+                    payload_flits=payload_flits,
+                    scheme=scheme.multicast_scheme,
+                )
+                run = run_simulation(
+                    config, workload, max_cycles=scale.max_cycles
+                )
+                latencies.append(run.op_last_latency.mean)
+            latency = mean(latencies)
+            cells.append(latency)
+            result.rows.append(
+                {"degree": degree, "scheme": scheme.value, "latency": latency}
+            )
+        table.add_row(*cells)
+    return result

@@ -1,0 +1,185 @@
+"""Extension experiments beyond the paper's evaluation section.
+
+The paper's conclusion names barrier synchronization (their follow-up,
+ref [34]) and hot-spot traffic as the work in progress; these
+experiments carry the reproduction into that territory with the
+machinery already built:
+
+X1 — barrier latency and release skew vs. system size, comparing a
+     multidestination-worm release against a software broadcast release;
+X2 — hot-spot unicast traffic, central vs. input buffer organisation;
+X3 — central-buffer occupancy by switch level under bimodal traffic,
+     hardware vs. software multicast (how much buffering each scheme
+     actually consumes).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.collectives.barrier import BarrierEngine, ReleaseScheme
+from repro.experiments.common import (
+    QUICK,
+    ExperimentResult,
+    Scale,
+    Scheme,
+    base_config,
+    mean,
+)
+from repro.metrics.probe import central_buffer_occupancy_by_level
+from repro.metrics.report import Table
+from repro.network.builder import build_network
+from repro.network.simulation import run_workload
+from repro.traffic.bimodal import BimodalTraffic
+from repro.traffic.hotspot import HotspotTraffic
+
+
+def run_barrier_scaling(
+    scale: Scale = QUICK,
+    sizes: Sequence[int] = (16, 64, 256),
+) -> ExperimentResult:
+    """X1: full-system barrier latency/skew vs. N for both releases."""
+    table = Table(
+        "X1: barrier synchronization — latency and release skew [cycles]",
+        ["N", "lat@hw-release", "skew@hw-release",
+         "lat@sw-release", "skew@sw-release"],
+    )
+    result = ExperimentResult("x1_barrier", table)
+    for num_hosts in sizes:
+        measured = {}
+        for release in ReleaseScheme:
+            latencies, skews = [], []
+            for seed in scale.seeds():
+                network = build_network(base_config(num_hosts, seed=seed))
+                engine = BarrierEngine(network.nodes)
+                operation = engine.create(
+                    list(range(num_hosts)), release_scheme=release
+                )
+
+                def enter_all(op=operation, eng=engine, n=num_hosts):
+                    for host in range(n):
+                        eng.enter(op, host)
+
+                network.sim.schedule_at(0, enter_all)
+                network.sim.run_until(
+                    lambda op=operation: op.complete,
+                    max_cycles=scale.max_cycles,
+                    stall_limit=30_000,
+                )
+                latencies.append(operation.last_latency)
+                skews.append(operation.skew)
+            measured[release] = (mean(latencies), mean(skews))
+            result.rows.append(
+                {
+                    "num_hosts": num_hosts,
+                    "release": release.value,
+                    "latency": mean(latencies),
+                    "skew": mean(skews),
+                }
+            )
+        hw = measured[ReleaseScheme.HARDWARE_MULTICAST]
+        sw = measured[ReleaseScheme.SOFTWARE_BROADCAST]
+        table.add_row(num_hosts, hw[0], hw[1], sw[0], sw[1])
+    return result
+
+
+def run_hotspot(
+    scale: Scale = QUICK,
+    num_hosts: int = 64,
+    load: float = 0.3,
+    fractions: Sequence[float] = (0.0, 0.02, 0.05, 0.10),
+    payload_flits: int = 32,
+) -> ExperimentResult:
+    """X2: hot-spot unicast — latency vs. hot fraction, CB vs. IB."""
+    schemes = [Scheme.CB_HW, Scheme.IB_HW]
+    table = Table(
+        f"X2: hot-spot traffic (N={num_hosts}, load={load}) — "
+        "unicast latency [cycles]",
+        ["hot fraction"] + [scheme.value for scheme in schemes],
+    )
+    result = ExperimentResult("x2_hotspot", table)
+    for fraction in fractions:
+        cells = [fraction]
+        for scheme in schemes:
+            latencies = []
+            for seed in scale.seeds():
+                config = scheme.apply(base_config(num_hosts, seed=seed))
+                workload = HotspotTraffic(
+                    load=load,
+                    hotspot_fraction=fraction,
+                    hotspot_host=0,
+                    payload_flits=payload_flits,
+                    warmup_cycles=scale.warmup_cycles,
+                    measure_cycles=scale.measure_cycles,
+                )
+                network = build_network(config)
+                run = run_workload(
+                    network, workload, max_cycles=scale.max_cycles
+                )
+                if run.unicast_latency.count:
+                    latencies.append(run.unicast_latency.mean)
+            latency = mean(latencies)
+            cells.append(latency)
+            result.rows.append(
+                {
+                    "fraction": fraction,
+                    "scheme": scheme.value,
+                    "latency": latency,
+                }
+            )
+        table.add_row(*cells)
+    return result
+
+
+def run_buffer_occupancy(
+    scale: Scale = QUICK,
+    num_hosts: int = 64,
+    load: float = 0.3,
+    degree: int = 8,
+) -> ExperimentResult:
+    """X3: central-buffer occupancy by level under bimodal traffic."""
+    schemes = [Scheme.CB_HW, Scheme.SW]
+    table = Table(
+        f"X3: mean central-buffer occupancy by level "
+        f"(N={num_hosts}, load={load}, d={degree}) [chunks]",
+        ["level"] + [scheme.value for scheme in schemes],
+    )
+    result = ExperimentResult("x3_occupancy", table)
+    per_scheme = {}
+    for scheme in schemes:
+        occupancy_sums: dict = {}
+        for seed in scale.seeds():
+            config = scheme.apply(base_config(num_hosts, seed=seed))
+            workload = BimodalTraffic(
+                load=load,
+                multicast_fraction=1.0 / 16.0,
+                degree=degree,
+                payload_flits=32,
+                scheme=scheme.multicast_scheme,
+                warmup_cycles=scale.warmup_cycles,
+                measure_cycles=scale.measure_cycles,
+            )
+            network = build_network(config)
+            run_workload(network, workload, max_cycles=scale.max_cycles)
+            for level, value in central_buffer_occupancy_by_level(
+                network
+            ).items():
+                occupancy_sums.setdefault(level, []).append(value)
+        per_scheme[scheme] = {
+            level: mean(values) for level, values in occupancy_sums.items()
+        }
+    levels = sorted(per_scheme[schemes[0]])
+    for level in levels:
+        cells = [level]
+        for scheme in schemes:
+            value = per_scheme[scheme][level]
+            cells.append(round(value, 2))
+            result.rows.append(
+                {
+                    "level": level,
+                    "scheme": scheme.value,
+                    "occupancy": value,
+                }
+            )
+        table.add_row(*cells)
+    return result

@@ -1,0 +1,122 @@
+"""Command-line experiment runner.
+
+Run one experiment (or all of them) and print the paper-style tables::
+
+    python -m repro.experiments.runner --experiment e1 --scale quick
+    python -m repro.experiments.runner --all --scale paper
+
+``quick`` scale finishes in seconds per experiment; ``paper`` scale runs
+the full sweeps recorded in EXPERIMENTS.md (minutes to hours).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.experiments.common import PAPER, QUICK, ExperimentResult, Scale
+from repro.experiments.ablations import (
+    run_cb_bandwidth_ablation,
+    run_encoding_ablation,
+    run_equal_storage_ablation,
+    run_replication_ablation,
+    run_routing_mode_ablation,
+)
+from repro.experiments.bimodal import run_bimodal
+from repro.experiments.degree_sweep import run_degree_sweep
+from repro.experiments.length_sweep import run_length_sweep
+from repro.experiments.multiple_multicast import run_multiple_multicast
+from repro.experiments.parameters import run_parameters
+from repro.experiments.system_size import run_system_size
+from repro.experiments.unicast_baseline import run_unicast_baseline
+from repro.experiments.cross_topology import run_cross_topology
+from repro.experiments.extensions import (
+    run_barrier_scaling,
+    run_buffer_occupancy,
+    run_hotspot,
+)
+
+EXPERIMENTS: Dict[str, Callable[[Scale], ExperimentResult]] = {
+    "e1": run_multiple_multicast,
+    "e2": run_degree_sweep,
+    "e3": run_length_sweep,
+    "e4": run_bimodal,
+    "e5": run_system_size,
+    "e6": run_unicast_baseline,
+    "e7": run_parameters,
+    "a1": run_cb_bandwidth_ablation,
+    "a2": run_routing_mode_ablation,
+    "a3": run_encoding_ablation,
+    "a4": run_replication_ablation,
+    "a5": run_equal_storage_ablation,
+    "x1": run_barrier_scaling,
+    "x2": run_hotspot,
+    "x3": run_buffer_occupancy,
+    "x4": run_cross_topology,
+}
+
+#: (x key, y key, series key) for experiments with chartable sweeps
+CHARTS: Dict[str, tuple] = {
+    "e1": ("m", "latency", "scheme"),
+    "e2": ("degree", "latency", "scheme"),
+    "e3": ("length", "latency", "scheme"),
+    "e4": ("load", "unicast_latency", "scheme"),
+    "e6": ("load", "latency", "scheme"),
+    "a1": ("bandwidth", "latency", "scheme"),
+    "a4": ("m", "latency", "replication"),
+    "a5": ("load", "latency", "variant"),
+    "x2": ("fraction", "latency", "scheme"),
+}
+
+
+def main(argv=None) -> int:
+    """Entry point for ``python -m repro.experiments.runner``."""
+    parser = argparse.ArgumentParser(
+        description="Reproduce the paper's tables and figures."
+    )
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--experiment",
+        choices=sorted(EXPERIMENTS),
+        help="one experiment id (see DESIGN.md)",
+    )
+    group.add_argument(
+        "--all", action="store_true", help="run every experiment"
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "paper"),
+        default="quick",
+        help="quick: seconds per experiment; paper: full sweeps",
+    )
+    parser.add_argument(
+        "--csv", action="store_true", help="also print CSV after each table"
+    )
+    parser.add_argument(
+        "--chart", action="store_true",
+        help="also print an ASCII chart for sweep experiments",
+    )
+    args = parser.parse_args(argv)
+
+    scale = QUICK if args.scale == "quick" else PAPER
+    names = sorted(EXPERIMENTS) if args.all else [args.experiment]
+    for name in names:
+        started = time.time()
+        result = EXPERIMENTS[name](scale)
+        elapsed = time.time() - started
+        print(result.render())
+        print(f"[{name} finished in {elapsed:.1f}s at scale={scale.name}]")
+        if args.chart and name in CHARTS:
+            x_key, y_key, series_key = CHARTS[name]
+            print()
+            print(result.chart(x_key, y_key, series_key))
+        if args.csv:
+            print(result.table.to_csv())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""E5: system-size scaling (16 / 64 / 256 hosts).
+
+For each system size we run a broadcast and a quarter-system multicast.
+Hardware multicast scales with the tree depth (log_a N extra switch
+hops), while software multicast pays log2(d+1) phases — which grows with
+the *destination count*, so the gap widens sharply with system size.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.common import (
+    QUICK,
+    ExperimentResult,
+    Scale,
+    Scheme,
+    base_config,
+    mean,
+)
+from repro.metrics.report import Table
+from repro.network.simulation import run_simulation
+from repro.traffic.multicast import SingleMulticast
+
+DEFAULT_SIZES = (16, 64, 256)
+
+
+def run_system_size(
+    scale: Scale = QUICK,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    payload_flits: int = 64,
+    schemes: Optional[Sequence[Scheme]] = None,
+) -> ExperimentResult:
+    """Run E5: broadcast and N/4-degree multicast at each system size."""
+    schemes = list(schemes) if schemes is not None else list(Scheme)
+    columns = ["N", "workload"]
+    columns.extend(scheme.value for scheme in schemes)
+    table = Table(
+        f"E5: multicast latency vs. system size "
+        f"({payload_flits}-flit payload) [cycles]",
+        columns,
+    )
+    result = ExperimentResult("e5_system_size", table)
+    for num_hosts in sizes:
+        for label, degree in (
+            ("broadcast", num_hosts - 1),
+            ("quarter", max(2, num_hosts // 4)),
+        ):
+            cells = [num_hosts, label]
+            for scheme in schemes:
+                latencies = []
+                for seed in scale.seeds():
+                    config = scheme.apply(base_config(num_hosts, seed=seed))
+                    workload = SingleMulticast(
+                        source=seed % num_hosts,
+                        degree=degree,
+                        payload_flits=payload_flits,
+                        scheme=scheme.multicast_scheme,
+                    )
+                    run = run_simulation(
+                        config, workload, max_cycles=scale.max_cycles
+                    )
+                    latencies.append(run.op_last_latency.mean)
+                latency = mean(latencies)
+                cells.append(latency)
+                result.rows.append(
+                    {
+                        "num_hosts": num_hosts,
+                        "workload": label,
+                        "scheme": scheme.value,
+                        "latency": latency,
+                    }
+                )
+            table.add_row(*cells)
+    return result

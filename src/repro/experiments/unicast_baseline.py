@@ -1,0 +1,86 @@
+"""E6: pure-unicast comparison of the two buffer organisations.
+
+Uniform random unicast traffic at a swept offered load.  This validates
+the premise the paper inherits from refs [36, 37]: a dynamically shared
+central buffer outperforms statically partitioned input buffers for
+ordinary traffic too (input buffers suffer head-of-line blocking), which
+is why enhancing the central-buffer switch — the more complex design —
+is worth the trouble.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.common import (
+    QUICK,
+    ExperimentResult,
+    Scale,
+    Scheme,
+    base_config,
+    mean,
+)
+from repro.flits.packet import TrafficClass
+from repro.metrics.report import Table
+from repro.network.simulation import run_simulation
+from repro.traffic.unicast import UniformRandomUnicast
+
+DEFAULT_LOADS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6)
+
+
+def run_unicast_baseline(
+    scale: Scale = QUICK,
+    num_hosts: int = 64,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    payload_flits: int = 32,
+    schemes: Optional[Sequence[Scheme]] = None,
+) -> ExperimentResult:
+    """Run E6; rows carry latency and throughput per (load, architecture)."""
+    schemes = (
+        list(schemes)
+        if schemes is not None
+        else [Scheme.CB_HW, Scheme.IB_HW]
+    )
+    columns = ["load"]
+    for scheme in schemes:
+        columns.append(f"lat@{scheme.value}")
+        columns.append(f"thr@{scheme.value}")
+    table = Table(
+        f"E6: uniform unicast (N={num_hosts}, {payload_flits}-flit payload)"
+        " — latency [cycles] and accepted throughput [flits/cycle/host]",
+        columns,
+    )
+    result = ExperimentResult("e6_unicast_baseline", table)
+    for load in loads:
+        cells = [load]
+        for scheme in schemes:
+            latencies, throughputs = [], []
+            for seed in scale.seeds():
+                config = scheme.apply(base_config(num_hosts, seed=seed))
+                workload = UniformRandomUnicast(
+                    load=load,
+                    payload_flits=payload_flits,
+                    warmup_cycles=scale.warmup_cycles,
+                    measure_cycles=scale.measure_cycles,
+                )
+                run = run_simulation(
+                    config, workload, max_cycles=scale.max_cycles
+                )
+                if run.unicast_latency.count:
+                    latencies.append(run.unicast_latency.mean)
+                throughputs.append(
+                    run.throughput(TrafficClass.UNICAST, scale.measure_cycles)
+                )
+            latency = mean(latencies)
+            throughput = mean(throughputs)
+            cells.extend([latency, throughput])
+            result.rows.append(
+                {
+                    "load": load,
+                    "scheme": scheme.value,
+                    "latency": latency,
+                    "throughput": throughput,
+                }
+            )
+        table.add_row(*cells)
+    return result

@@ -1,0 +1,23 @@
+"""Messages, packets, flits and multidestination header encodings."""
+
+from repro.flits.destset import DestinationSet
+from repro.flits.encoding import (
+    BitStringEncoding,
+    HeaderEncoding,
+    MultiportEncoding,
+)
+from repro.flits.flit import Flit
+from repro.flits.packet import Message, Packet, TrafficClass
+from repro.flits.worm import Worm
+
+__all__ = [
+    "BitStringEncoding",
+    "DestinationSet",
+    "Flit",
+    "HeaderEncoding",
+    "Message",
+    "MultiportEncoding",
+    "Packet",
+    "TrafficClass",
+    "Worm",
+]

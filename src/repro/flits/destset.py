@@ -1,0 +1,169 @@
+"""Destination sets represented as immutable bit masks.
+
+The paper's bit-string header encoding is literally an N-bit vector with
+bit *i* set when host *i* is a destination; switches decode it by ANDing
+the header against per-output-port *reachability* vectors.
+:class:`DestinationSet` mirrors that representation: it wraps a Python
+integer bitmask, so the simulator's decode step is a single ``&`` — the
+same operation the proposed hardware performs — and set algebra on even
+1024-host systems stays cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class DestinationSet:
+    """An immutable set of host identifiers drawn from ``range(universe)``.
+
+    Parameters
+    ----------
+    universe:
+        System size N; members must lie in ``range(universe)``.
+    mask:
+        Integer bitmask with bit *i* set when host *i* is a member.
+
+    Examples
+    --------
+    >>> d = DestinationSet.from_ids(8, [1, 3, 5])
+    >>> list(d)
+    [1, 3, 5]
+    >>> (d & DestinationSet.from_ids(8, [3, 4])).mask
+    8
+    """
+
+    __slots__ = ("universe", "mask")
+
+    def __init__(self, universe: int, mask: int = 0) -> None:
+        if universe <= 0:
+            raise ValueError("universe must be positive")
+        if mask < 0:
+            raise ValueError("mask must be non-negative")
+        if mask >> universe:
+            raise ValueError(
+                f"mask {mask:#x} has members outside universe of {universe}"
+            )
+        object.__setattr__(self, "universe", universe)
+        object.__setattr__(self, "mask", mask)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("DestinationSet is immutable")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_ids(cls, universe: int, ids: Iterable[int]) -> "DestinationSet":
+        """Build a set from an iterable of host ids."""
+        mask = 0
+        for host in ids:
+            if not 0 <= host < universe:
+                raise ValueError(f"host {host} outside universe of {universe}")
+            mask |= 1 << host
+        return cls(universe, mask)
+
+    @classmethod
+    def single(cls, universe: int, host: int) -> "DestinationSet":
+        """The singleton set {host}."""
+        return cls.from_ids(universe, (host,))
+
+    @classmethod
+    def full(cls, universe: int) -> "DestinationSet":
+        """The broadcast set of every host in the universe."""
+        return cls(universe, (1 << universe) - 1)
+
+    @classmethod
+    def empty(cls, universe: int) -> "DestinationSet":
+        """The empty set over the given universe."""
+        return cls(universe, 0)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return bin(self.mask).count("1")
+
+    def __bool__(self) -> bool:
+        return self.mask != 0
+
+    def __contains__(self, host: int) -> bool:
+        return 0 <= host < self.universe and bool(self.mask >> host & 1)
+
+    def __iter__(self) -> Iterator[int]:
+        mask = self.mask
+        host = 0
+        while mask:
+            if mask & 1:
+                yield host
+            mask >>= 1
+            host += 1
+
+    def is_singleton(self) -> bool:
+        """True when the set has exactly one member."""
+        return self.mask != 0 and self.mask & (self.mask - 1) == 0
+
+    def lowest(self) -> int:
+        """The smallest member; raises :class:`ValueError` when empty."""
+        if not self.mask:
+            raise ValueError("empty destination set has no lowest member")
+        return (self.mask & -self.mask).bit_length() - 1
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other: "DestinationSet") -> None:
+        if self.universe != other.universe:
+            raise ValueError(
+                f"universe mismatch: {self.universe} vs {other.universe}"
+            )
+
+    def __and__(self, other: "DestinationSet") -> "DestinationSet":
+        self._check_compatible(other)
+        return DestinationSet(self.universe, self.mask & other.mask)
+
+    def __or__(self, other: "DestinationSet") -> "DestinationSet":
+        self._check_compatible(other)
+        return DestinationSet(self.universe, self.mask | other.mask)
+
+    def __sub__(self, other: "DestinationSet") -> "DestinationSet":
+        self._check_compatible(other)
+        return DestinationSet(self.universe, self.mask & ~other.mask)
+
+    def intersect_mask(self, mask: int) -> "DestinationSet":
+        """AND against a raw bitmask (the hardware decode primitive)."""
+        return DestinationSet(self.universe, self.mask & mask)
+
+    def issubset(self, other: "DestinationSet") -> bool:
+        """True when every member of self is in ``other``."""
+        self._check_compatible(other)
+        return self.mask & ~other.mask == 0
+
+    def isdisjoint(self, other: "DestinationSet") -> bool:
+        """True when self and ``other`` share no member."""
+        self._check_compatible(other)
+        return self.mask & other.mask == 0
+
+    def without(self, host: int) -> "DestinationSet":
+        """The set with one host removed (no-op when absent)."""
+        return DestinationSet(self.universe, self.mask & ~(1 << host))
+
+    # ------------------------------------------------------------------
+    # dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DestinationSet):
+            return NotImplemented
+        return self.universe == other.universe and self.mask == other.mask
+
+    def __hash__(self) -> int:
+        return hash((self.universe, self.mask))
+
+    def __repr__(self) -> str:
+        members = list(self)
+        if len(members) > 12:
+            head = ", ".join(map(str, members[:12]))
+            body = f"{head}, ... ({len(members)} total)"
+        else:
+            body = ", ".join(map(str, members))
+        return f"DestinationSet(N={self.universe}, {{{body}}})"

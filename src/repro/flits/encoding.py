@@ -1,0 +1,228 @@
+"""Header encodings for multidestination worms (paper section 3).
+
+Two encodings from the paper are implemented:
+
+* :class:`BitStringEncoding` — the N-bit vector the paper adopts for its
+  switch designs.  Any destination set is covered by a single worm
+  (single-phase multicast); the cost is a header that grows linearly with
+  system size.
+* :class:`MultiportEncoding` — the encoding of the authors' earlier work
+  (Sivaram, Panda and Stunkel, SPDP'96, refs [32, 33]).  A worm's header
+  carries one port mask per stage, so a single worm covers exactly a
+  *product set* of destinations (a cartesian product of digit choices);
+  arbitrary sets need multiple phases.  The header is small and decoding
+  is trivial, but multicast latency pays for the extra phases.
+
+Both encodings expose the same interface: the size of the header in flits
+for a given destination set, and the decomposition of a destination set
+into per-phase worm destination sets.  Inside the simulator all worms are
+routed from their destination *set* (the hardware's reachability-AND
+decode produces identical port decisions for either encoding), so the
+encodings differ only in header length and phase count — exactly the
+trade-off the paper discusses.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import List, Sequence, Set, Tuple
+
+from repro.flits.destset import DestinationSet
+
+
+class HeaderEncoding(ABC):
+    """How a multidestination worm names its destinations."""
+
+    #: short identifier used in reports
+    name: str = "abstract"
+
+    @abstractmethod
+    def header_flits(self, destinations: DestinationSet) -> int:
+        """Number of header flits a worm for ``destinations`` carries."""
+
+    @abstractmethod
+    def phases(self, destinations: DestinationSet) -> List[DestinationSet]:
+        """Split ``destinations`` into per-worm sets, one worm per phase.
+
+        The returned sets are non-empty, pairwise disjoint, and their
+        union equals ``destinations``.
+        """
+
+    def covers_in_one_phase(self, destinations: DestinationSet) -> bool:
+        """True when a single worm can carry the whole set."""
+        return len(self.phases(destinations)) <= 1
+
+
+class BitStringEncoding(HeaderEncoding):
+    """N-bit destination vector: single-phase, header grows with N.
+
+    Parameters
+    ----------
+    num_hosts:
+        System size N.
+    flit_payload_bits:
+        Bits of destination vector one header flit carries.
+    control_flits:
+        Fixed flits for packet type, length and sequencing information,
+        present in every header (also the entire header of a unicast
+        packet).
+    """
+
+    name = "bitstring"
+
+    def __init__(
+        self,
+        num_hosts: int,
+        flit_payload_bits: int = 16,
+        control_flits: int = 1,
+    ) -> None:
+        if num_hosts <= 0:
+            raise ValueError("num_hosts must be positive")
+        if flit_payload_bits <= 0:
+            raise ValueError("flit_payload_bits must be positive")
+        if control_flits < 1:
+            raise ValueError("control_flits must be at least 1")
+        self.num_hosts = num_hosts
+        self.flit_payload_bits = flit_payload_bits
+        self.control_flits = control_flits
+
+    def header_flits(self, destinations: DestinationSet) -> int:
+        """Control flits plus the destination vector, for multi-destination
+        worms; a unicast destination fits in the control flits."""
+        if destinations.is_singleton():
+            return self.control_flits
+        vector_flits = math.ceil(self.num_hosts / self.flit_payload_bits)
+        return self.control_flits + vector_flits
+
+    def phases(self, destinations: DestinationSet) -> List[DestinationSet]:
+        """Bit-strings address arbitrary sets: always a single phase."""
+        if not destinations:
+            return []
+        return [destinations]
+
+
+class MultiportEncoding(HeaderEncoding):
+    """Per-stage port masks: tiny header, product-set coverage only.
+
+    Hosts are numbered so that host *h* has digit representation
+    ``(d_{levels-1}, ..., d_0)`` in base ``arity`` (``arity`` = down-ports
+    per switch = k/2 for a k-port switch).  A single worm's header holds
+    one ``arity``-bit mask per level; the worm reaches every host whose
+    digit at each level is enabled in that level's mask — a cartesian
+    product of digit sets.
+
+    Arbitrary destination sets are decomposed greedily into disjoint
+    product sets (one phase per product).  The greedy cover is not
+    guaranteed minimal (minimal product cover is NP-hard) but matches the
+    constructive scheme of ref [32]: start from one destination and grow
+    each dimension while the grown product stays inside the uncovered set.
+    """
+
+    name = "multiport"
+
+    def __init__(
+        self,
+        arity: int,
+        levels: int,
+        flit_payload_bits: int = 16,
+        control_flits: int = 1,
+    ) -> None:
+        if arity < 2:
+            raise ValueError("arity must be at least 2")
+        if levels < 1:
+            raise ValueError("levels must be at least 1")
+        if flit_payload_bits <= 0:
+            raise ValueError("flit_payload_bits must be positive")
+        if control_flits < 1:
+            raise ValueError("control_flits must be at least 1")
+        self.arity = arity
+        self.levels = levels
+        self.flit_payload_bits = flit_payload_bits
+        self.control_flits = control_flits
+        self.num_hosts = arity**levels
+
+    # ------------------------------------------------------------------
+    # digit helpers
+    # ------------------------------------------------------------------
+    def digits(self, host: int) -> Tuple[int, ...]:
+        """Digits of ``host`` in base ``arity``, most significant first."""
+        if not 0 <= host < self.num_hosts:
+            raise ValueError(f"host {host} outside universe {self.num_hosts}")
+        out = []
+        for level in reversed(range(self.levels)):
+            out.append(host // self.arity**level % self.arity)
+        return tuple(out)
+
+    def host_from_digits(self, digits: Sequence[int]) -> int:
+        """Inverse of :meth:`digits`."""
+        if len(digits) != self.levels:
+            raise ValueError(f"expected {self.levels} digits, got {len(digits)}")
+        host = 0
+        for digit in digits:
+            if not 0 <= digit < self.arity:
+                raise ValueError(f"digit {digit} outside arity {self.arity}")
+            host = host * self.arity + digit
+        return host
+
+    def product_members(self, digit_sets: Sequence[Set[int]]) -> List[int]:
+        """Every host in the cartesian product of the given digit sets."""
+        hosts = [0]
+        for digit_set in digit_sets:
+            hosts = [
+                h * self.arity + d for h in hosts for d in sorted(digit_set)
+            ]
+        return hosts
+
+    # ------------------------------------------------------------------
+    # HeaderEncoding interface
+    # ------------------------------------------------------------------
+    def header_flits(self, destinations: DestinationSet) -> int:
+        """Control flits plus ``levels`` masks of ``arity`` bits each."""
+        if destinations.is_singleton():
+            return self.control_flits
+        mask_bits = self.levels * self.arity
+        return self.control_flits + math.ceil(mask_bits / self.flit_payload_bits)
+
+    def phases(self, destinations: DestinationSet) -> List[DestinationSet]:
+        """Greedy disjoint product-set cover of ``destinations``."""
+        if destinations.universe != self.num_hosts:
+            raise ValueError(
+                f"destination universe {destinations.universe} does not match "
+                f"encoding universe {self.num_hosts}"
+            )
+        remaining = set(destinations)
+        out: List[DestinationSet] = []
+        while remaining:
+            seed = min(remaining)
+            digit_sets: List[Set[int]] = [{d} for d in self.digits(seed)]
+            grown = True
+            while grown:
+                grown = False
+                for level in range(self.levels):
+                    for candidate in range(self.arity):
+                        if candidate in digit_sets[level]:
+                            continue
+                        trial = [set(s) for s in digit_sets]
+                        trial[level].add(candidate)
+                        members = self.product_members(trial)
+                        if all(m in remaining for m in members):
+                            digit_sets = trial
+                            grown = True
+            members = self.product_members(digit_sets)
+            remaining.difference_update(members)
+            out.append(DestinationSet.from_ids(self.num_hosts, members))
+        return out
+
+    def is_product_set(self, destinations: DestinationSet) -> bool:
+        """True when a single worm covers ``destinations``."""
+        if not destinations:
+            return False
+        digit_sets: List[Set[int]] = [set() for _ in range(self.levels)]
+        for host in destinations:
+            for level, digit in enumerate(self.digits(host)):
+                digit_sets[level].add(digit)
+        product_size = 1
+        for digit_set in digit_sets:
+            product_size *= len(digit_set)
+        return product_size == len(destinations)

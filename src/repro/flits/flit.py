@@ -1,0 +1,61 @@
+"""Flits: the unit of link transfer and flow control.
+
+A flit belongs to a :class:`~repro.flits.worm.Worm` (one replicated branch
+of a packet).  Replication duplicates a flit's bits, not its identity, so
+flits of sibling branches share the same packet and index but different
+worms.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.flits.packet import Packet
+    from repro.flits.worm import Worm
+
+
+class Flit:
+    """One flit of a worm, identified by ``(worm, index)``."""
+
+    __slots__ = ("worm", "index")
+
+    def __init__(self, worm: "Worm", index: int) -> None:
+        if not 0 <= index < worm.size_flits:
+            raise ValueError(
+                f"flit index {index} outside worm of {worm.size_flits} flits"
+            )
+        self.worm = worm
+        self.index = index
+
+    @property
+    def packet(self) -> "Packet":
+        """The packet whose data this flit carries."""
+        return self.worm.packet
+
+    @property
+    def is_head(self) -> bool:
+        """True for the first flit, which opens routing at each switch."""
+        return self.index == 0
+
+    @property
+    def is_header(self) -> bool:
+        """True for every flit of the routing header."""
+        return self.index < self.worm.header_flits
+
+    @property
+    def is_tail(self) -> bool:
+        """True for the final flit, which releases resources as it drains."""
+        return self.index == self.worm.size_flits - 1
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Flit):
+            return NotImplemented
+        return self.worm is other.worm and self.index == other.index
+
+    def __hash__(self) -> int:
+        return hash((id(self.worm), self.index))
+
+    def __repr__(self) -> str:
+        kind = "H" if self.is_head else ("T" if self.is_tail else "B")
+        return f"Flit({self.packet.packet_id}:{self.index}{kind})"

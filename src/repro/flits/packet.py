@@ -1,0 +1,204 @@
+"""Messages and packets.
+
+A *message* is what a host asks the network to deliver; a *packet* is the
+unit that traverses the network as one worm.  Messages no larger than the
+maximum packet payload map to a single packet; larger messages are
+segmented.  The deadlock-freedom rule of the paper (a multidestination
+packet must be completely bufferable at a switch) bounds the packet size
+by the switch buffer size, so segmentation is what lets arbitrarily long
+messages ride hardware multicast.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import List, Optional
+
+from repro.flits.destset import DestinationSet
+from repro.flits.encoding import HeaderEncoding
+
+
+class TrafficClass(enum.Enum):
+    """Why a packet exists, for metric attribution."""
+
+    #: ordinary point-to-point traffic
+    UNICAST = "unicast"
+    #: a hardware multidestination worm
+    MULTICAST = "multicast"
+    #: a unicast packet that implements one hop of a software multicast
+    SW_MULTICAST = "sw_multicast"
+    #: a collective-protocol control message (barrier/reduction traffic)
+    CONTROL = "control"
+
+
+class Message:
+    """A host-level send request.
+
+    Parameters
+    ----------
+    message_id:
+        Unique id within one simulation (allocated by the host layer).
+    source:
+        Injecting host id.
+    destinations:
+        Destination set; a singleton for unicast.
+    payload_flits:
+        Data flits, excluding routing header.
+    traffic_class:
+        Attribution class for metrics.
+    created_cycle:
+        Cycle the workload generated the message (queueing at the host
+        counts toward latency, as in the paper's latency definition).
+    op_id:
+        Identifier of the collective operation this message belongs to,
+        shared by every packet of a multicast (hardware or software).
+    """
+
+    __slots__ = (
+        "message_id",
+        "source",
+        "destinations",
+        "payload_flits",
+        "traffic_class",
+        "created_cycle",
+        "op_id",
+        "tag",
+    )
+
+    def __init__(
+        self,
+        message_id: int,
+        source: int,
+        destinations: DestinationSet,
+        payload_flits: int,
+        traffic_class: TrafficClass,
+        created_cycle: int,
+        op_id: Optional[int] = None,
+        tag: Optional[object] = None,
+    ) -> None:
+        if payload_flits < 1:
+            raise ValueError("payload_flits must be at least 1")
+        if not destinations:
+            raise ValueError("a message needs at least one destination")
+        if source in destinations:
+            raise ValueError("a message may not target its own source")
+        self.message_id = message_id
+        self.source = source
+        self.destinations = destinations
+        self.payload_flits = payload_flits
+        self.traffic_class = traffic_class
+        self.created_cycle = created_cycle
+        self.op_id = op_id
+        #: protocol metadata (collective engines match deliveries by tag);
+        #: models a couple of header bits plus an operation identifier
+        self.tag = tag
+
+    def segment(
+        self,
+        encoding: HeaderEncoding,
+        max_payload_flits: int,
+        first_packet_id: int,
+    ) -> List["Packet"]:
+        """Split into packets of at most ``max_payload_flits`` payload.
+
+        Packet ids are allocated contiguously from ``first_packet_id`` so
+        the caller can keep a single deterministic id counter.
+        """
+        if max_payload_flits < 1:
+            raise ValueError("max_payload_flits must be at least 1")
+        count = math.ceil(self.payload_flits / max_payload_flits)
+        packets = []
+        remaining = self.payload_flits
+        for index in range(count):
+            payload = min(max_payload_flits, remaining)
+            remaining -= payload
+            packets.append(
+                Packet(
+                    packet_id=first_packet_id + index,
+                    message=self,
+                    destinations=self.destinations,
+                    header_flits=encoding.header_flits(self.destinations),
+                    payload_flits=payload,
+                    sequence=index,
+                    is_last=index == count - 1,
+                )
+            )
+        return packets
+
+    def __repr__(self) -> str:
+        return (
+            f"Message(id={self.message_id}, src={self.source}, "
+            f"dests={len(self.destinations)}, payload={self.payload_flits}f, "
+            f"class={self.traffic_class.value})"
+        )
+
+
+class Packet:
+    """One worm: a routing header followed by payload flits.
+
+    The final flit (``size_flits - 1``) is the tail; resources along the
+    worm's path are released as the tail drains past them.
+    """
+
+    __slots__ = (
+        "packet_id",
+        "message",
+        "destinations",
+        "header_flits",
+        "payload_flits",
+        "sequence",
+        "is_last",
+        "injected_cycle",
+    )
+
+    def __init__(
+        self,
+        packet_id: int,
+        message: Message,
+        destinations: DestinationSet,
+        header_flits: int,
+        payload_flits: int,
+        sequence: int = 0,
+        is_last: bool = True,
+    ) -> None:
+        if header_flits < 1:
+            raise ValueError("header_flits must be at least 1")
+        if payload_flits < 1:
+            raise ValueError("payload_flits must be at least 1")
+        self.packet_id = packet_id
+        self.message = message
+        self.destinations = destinations
+        self.header_flits = header_flits
+        self.payload_flits = payload_flits
+        self.sequence = sequence
+        self.is_last = is_last
+        #: cycle the head flit entered the network; set by the host NI
+        self.injected_cycle: Optional[int] = None
+
+    @property
+    def size_flits(self) -> int:
+        """Total worm length in flits (header + payload)."""
+        return self.header_flits + self.payload_flits
+
+    @property
+    def source(self) -> int:
+        """Injecting host id."""
+        return self.message.source
+
+    @property
+    def traffic_class(self) -> TrafficClass:
+        """Metric attribution class inherited from the message."""
+        return self.message.traffic_class
+
+    @property
+    def is_multidestination(self) -> bool:
+        """True when the worm carries more than one destination."""
+        return not self.destinations.is_singleton()
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(id={self.packet_id}, msg={self.message.message_id}, "
+            f"src={self.source}, dests={len(self.destinations)}, "
+            f"{self.size_flits}f)"
+        )

@@ -1,0 +1,13 @@
+"""Hosts: network interfaces, nodes, and the software multicast engine."""
+
+from repro.host.interface import HostInterface
+from repro.host.node import HostNode, HostParams
+from repro.host.software_multicast import SoftwareMulticastEngine, binomial_schedule
+
+__all__ = [
+    "HostInterface",
+    "HostNode",
+    "HostParams",
+    "SoftwareMulticastEngine",
+    "binomial_schedule",
+]

@@ -1,0 +1,163 @@
+"""Host network interface: flit-level injection and ejection.
+
+The NI injects queued worms one flit per cycle (subject to link credits)
+and sinks arriving flits at full rate, handing completed packets to the
+host node.  Its receive buffer is modelled as ample: ejected flits free
+their credit immediately, so the network is never back-pressured by a
+host that is merely receiving — matching the paper's assumption that
+reception bandwidth at the destination NI is not the bottleneck.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.errors import ProtocolError
+from repro.flits.flit import Flit
+from repro.flits.worm import Worm
+from repro.sim.component import Component
+from repro.sim.trace import NULL_TRACER, Tracer
+from repro.switches.link import Link
+
+DeliveryCallback = Callable[[Worm, int], None]
+
+
+class HostInterface(Component):
+    """One host's injection/ejection engine.
+
+    ``rx_depth`` is the receive-FIFO depth advertised to the switch as
+    credits.  Credits are returned as flits are consumed, so the depth
+    matters only relative to the credit round-trip time: on long links a
+    shallow FIFO throttles ejection (see
+    ``tests/switches/test_central_buffer.py::TestPipelineTiming``).
+    """
+
+    #: default receive-FIFO depth
+    RX_DEPTH = 4
+
+    def __init__(
+        self,
+        host_id: int,
+        tracer: Tracer = NULL_TRACER,
+        rx_depth: int = RX_DEPTH,
+    ) -> None:
+        super().__init__(f"ni{host_id}")
+        if rx_depth < 1:
+            raise ProtocolError("rx_depth must be at least 1")
+        self.host_id = host_id
+        self.rx_depth = rx_depth
+        self.tracer = tracer
+        self.out_link: Optional[Link] = None
+        self.in_link: Optional[Link] = None
+        self._inject: Deque[Worm] = deque()
+        self._inject_cursor = 0
+        self._rx_worm: Optional[Worm] = None
+        self._rx_count = 0
+        self._on_delivery: Optional[DeliveryCallback] = None
+        #: flits ever injected / ejected (statistics)
+        self.flits_injected = 0
+        self.flits_ejected = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def connect_out(self, link: Link) -> None:
+        """Wire the injection link toward the switch."""
+        if self.out_link is not None:
+            raise ProtocolError(f"{self.name}: out link already wired")
+        self.out_link = link
+
+    def connect_in(self, link: Link) -> None:
+        """Wire the ejection link from the switch and declare our depth."""
+        if self.in_link is not None:
+            raise ProtocolError(f"{self.name}: in link already wired")
+        self.in_link = link
+        link.set_credits(self.rx_depth)
+
+    def on_delivery(self, callback: DeliveryCallback) -> None:
+        """Register the node's packet-delivery handler."""
+        self._on_delivery = callback
+
+    # ------------------------------------------------------------------
+    # node-facing API
+    # ------------------------------------------------------------------
+    def enqueue(self, worm: Worm) -> None:
+        """Queue a root worm for injection (FIFO)."""
+        self._inject.append(worm)
+
+    @property
+    def injection_backlog(self) -> int:
+        """Worms queued or partially injected."""
+        return len(self._inject)
+
+    # ------------------------------------------------------------------
+    # per-cycle behaviour
+    # ------------------------------------------------------------------
+    def tick(self, now: int) -> None:
+        self._eject(now)
+        self._inject_one(now)
+
+    def _eject(self, now: int) -> None:
+        if self.in_link is None or not self.in_link.pending_arrival(now):
+            return
+        for flit in self.in_link.receive(now):
+            self.in_link.return_credit(now)
+            self._absorb(flit, now)
+
+    def _absorb(self, flit: Flit, now: int) -> None:
+        if self._rx_worm is None:
+            if not flit.is_head:
+                raise ProtocolError(
+                    f"{self.name}: body flit {flit!r} without head"
+                )
+            worm = flit.worm
+            if not worm.destinations.is_singleton() or (
+                self.host_id not in worm.destinations
+            ):
+                raise ProtocolError(
+                    f"{self.name}: received worm addressed to "
+                    f"{worm.destinations!r}"
+                )
+            self._rx_worm = worm
+            self._rx_count = 0
+        if flit.worm is not self._rx_worm or flit.index != self._rx_count:
+            raise ProtocolError(
+                f"{self.name}: out-of-order flit {flit!r} "
+                f"(expected index {self._rx_count})"
+            )
+        self._rx_count += 1
+        self.flits_ejected += 1
+        self.sim.note_progress()
+        if flit.is_tail:
+            worm = self._rx_worm
+            self._rx_worm = None
+            self.tracer.emit(
+                now, self.name, "packet_delivered",
+                packet=worm.packet.packet_id,
+            )
+            if self._on_delivery is not None:
+                self._on_delivery(worm, now)
+
+    def _inject_one(self, now: int) -> None:
+        if self.out_link is None or not self._inject:
+            return
+        worm = self._inject[0]
+        if not self.out_link.can_send(now):
+            return
+        if self._inject_cursor == 0 and worm.packet.injected_cycle is None:
+            worm.packet.injected_cycle = now
+        self.out_link.send(now, Flit(worm, self._inject_cursor))
+        self._inject_cursor += 1
+        self.flits_injected += 1
+        self.sim.note_progress()
+        if self._inject_cursor == worm.size_flits:
+            self._inject.popleft()
+            self._inject_cursor = 0
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def idle(self) -> bool:
+        """True when nothing is being injected or reassembled."""
+        return not self._inject and self._rx_worm is None

@@ -1,0 +1,16 @@
+"""Metric collection and report formatting."""
+
+from repro.metrics.collectors import (
+    ClassStats,
+    MetricsCollector,
+    Operation,
+)
+from repro.metrics.report import Table, format_table
+
+__all__ = [
+    "ClassStats",
+    "MetricsCollector",
+    "Operation",
+    "Table",
+    "format_table",
+]

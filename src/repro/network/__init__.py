@@ -1,0 +1,15 @@
+"""Network assembly and the top-level simulation facade."""
+
+from repro.network.config import SimulationConfig, TopologyKind, EncodingKind
+from repro.network.builder import Network, build_network
+from repro.network.simulation import SimulationResult, run_simulation
+
+__all__ = [
+    "EncodingKind",
+    "Network",
+    "SimulationConfig",
+    "SimulationResult",
+    "TopologyKind",
+    "build_network",
+    "run_simulation",
+]

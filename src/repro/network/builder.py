@@ -1,0 +1,168 @@
+"""Assemble a runnable network from a :class:`SimulationConfig`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.core.schemes import SwitchArchitecture
+from repro.errors import ConfigurationError
+from repro.flits.destset import DestinationSet
+from repro.flits.encoding import HeaderEncoding
+from repro.host.interface import HostInterface
+from repro.host.node import HostNode, allocate_nodes
+from repro.metrics.collectors import MetricsCollector
+from repro.network.config import SimulationConfig, TopologyKind
+from repro.routing.reachability import tables_for_bmin, tables_for_umin
+from repro.routing.table import SwitchRoutingTable
+from repro.routing.updown import tables_for_irregular
+from repro.sim.kernel import Simulator
+from repro.sim.trace import NULL_TRACER, Tracer
+from repro.switches.base import SwitchBase
+from repro.switches.central_buffer import CentralBufferSwitch
+from repro.switches.input_buffer import InputBufferSwitch
+from repro.switches.link import Link
+from repro.topology.bmin import BidirectionalMin
+from repro.topology.graph import NodeKind, Topology
+from repro.topology.irregular import IrregularNetwork
+from repro.topology.umin import UnidirectionalMin
+
+TopologyObject = Union[BidirectionalMin, UnidirectionalMin, IrregularNetwork]
+
+
+@dataclass
+class Network:
+    """A built, runnable network and all its parts."""
+
+    config: SimulationConfig
+    sim: Simulator
+    topology: Topology
+    topology_object: TopologyObject
+    tables: List[SwitchRoutingTable]
+    switches: List[SwitchBase]
+    interfaces: List[HostInterface]
+    nodes: List[HostNode]
+    collector: MetricsCollector
+    encoding: HeaderEncoding
+    links: List[Link] = field(default_factory=list)
+
+    @property
+    def num_hosts(self) -> int:
+        """System size N."""
+        return self.config.num_hosts
+
+    def unicast_header_flits(self) -> int:
+        """Header size of a single-destination packet."""
+        return self.encoding.header_flits(
+            DestinationSet.single(self.num_hosts, 0)
+        )
+
+    def quiescent(self) -> bool:
+        """True when nothing is in flight anywhere."""
+        return (
+            self.collector.outstanding_messages == 0
+            and all(ni.idle() for ni in self.interfaces)
+            and all(sw.idle() for sw in self.switches)
+        )
+
+
+def _build_topology(config: SimulationConfig):
+    if config.topology is TopologyKind.BMIN:
+        bmin = BidirectionalMin.for_hosts(config.num_hosts, config.arity)
+        return bmin, bmin.topology, tables_for_bmin(bmin)
+    if config.topology is TopologyKind.UMIN:
+        levels = 1
+        size = config.arity
+        while size < config.num_hosts:
+            size *= config.arity
+            levels += 1
+        umin = UnidirectionalMin(config.arity, levels)
+        return umin, umin.topology, tables_for_umin(umin)
+    if config.topology is TopologyKind.IRREGULAR:
+        irregular = IrregularNetwork(
+            num_switches=config.irregular_switches,
+            hosts_per_switch=config.num_hosts // config.irregular_switches,
+            ports_per_switch=2 * config.arity,
+            extra_links=config.irregular_extra_links,
+            seed=config.topology_seed,
+        )
+        return irregular, irregular.topology, tables_for_irregular(irregular)
+    raise ConfigurationError(f"unknown topology kind {config.topology!r}")
+
+
+def _switch_class(architecture: SwitchArchitecture):
+    if architecture is SwitchArchitecture.CENTRAL_BUFFER:
+        return CentralBufferSwitch
+    if architecture is SwitchArchitecture.INPUT_BUFFER:
+        return InputBufferSwitch
+    raise ConfigurationError(f"unknown architecture {architecture!r}")
+
+
+def build_network(
+    config: SimulationConfig, tracer: Optional[Tracer] = None
+) -> Network:
+    """Build every component of the configured system and wire it up."""
+    config.validate()
+    tracer = tracer if tracer is not None else NULL_TRACER
+    topology_object, topology, tables = _build_topology(config)
+    sim = Simulator(seed=config.seed)
+    encoding = config.build_encoding()
+    collector = MetricsCollector(config.num_hosts)
+    settings = config.switch_settings()
+    switch_class = _switch_class(config.switch_architecture)
+
+    switches: List[SwitchBase] = []
+    for switch_id, ports in enumerate(topology.switch_ports):
+        switch = switch_class(
+            name=f"sw{switch_id}",
+            table=tables[switch_id],
+            num_ports=ports,
+            settings=settings,
+            tracer=tracer,
+        )
+        sim.add_component(switch)
+        switches.append(switch)
+
+    interfaces: List[HostInterface] = []
+    for host in range(config.num_hosts):
+        interface = HostInterface(
+            host, tracer=tracer, rx_depth=config.ni_rx_depth
+        )
+        sim.add_component(interface)
+        interfaces.append(interface)
+
+    links: List[Link] = []
+    for spec in topology.links:
+        link = Link(
+            name=f"{spec.src}->{spec.dst}", latency=config.link_latency
+        )
+        links.append(link)
+        if spec.src.kind == NodeKind.HOST:
+            interfaces[spec.src.node].connect_out(link)
+        else:
+            switches[spec.src.node].connect_out(spec.src.port, link)
+        if spec.dst.kind == NodeKind.HOST:
+            interfaces[spec.dst.node].connect_in(link)
+        else:
+            switches[spec.dst.node].connect_in(spec.dst.port, link)
+
+    nodes = allocate_nodes(
+        sim=sim,
+        interfaces=interfaces,
+        encoding=encoding,
+        collector=collector,
+        params=config.host_params(),
+    )
+    return Network(
+        config=config,
+        sim=sim,
+        topology=topology,
+        topology_object=topology_object,
+        tables=tables,
+        switches=switches,
+        interfaces=interfaces,
+        nodes=nodes,
+        collector=collector,
+        encoding=encoding,
+        links=links,
+    )

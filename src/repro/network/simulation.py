@@ -1,0 +1,185 @@
+"""Top-level run loop and result bundle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import SimulationError
+from repro.flits.packet import TrafficClass
+from repro.metrics.collectors import MetricsCollector
+from repro.network.builder import Network, build_network
+from repro.network.config import SimulationConfig
+from repro.sim.stats import RunningStats
+from repro.traffic.base import Workload
+
+#: a network with zero progress for this many cycles (and no pending
+#: calendar events) is declared wedged
+STALL_LIMIT = 50_000
+
+
+@dataclass
+class SimulationResult:
+    """Everything an experiment needs from one finished run."""
+
+    config: SimulationConfig
+    cycles: int
+    completed: bool
+    collector: MetricsCollector
+
+    # ------------------------------------------------------------------
+    # convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def unicast_latency(self) -> RunningStats:
+        """Per-delivery latency of background unicast messages."""
+        return self.collector.classes[TrafficClass.UNICAST].latency
+
+    @property
+    def multicast_message_latency(self) -> RunningStats:
+        """Per-delivery latency of hardware multicast messages."""
+        return self.collector.classes[TrafficClass.MULTICAST].latency
+
+    @property
+    def op_last_latency(self) -> RunningStats:
+        """Last-arrival latency over completed multicast operations."""
+        return self.collector.op_last_latency
+
+    @property
+    def op_average_latency(self) -> RunningStats:
+        """Mean per-destination latency over completed operations."""
+        return self.collector.op_average_latency
+
+    def delivered_flits(self, traffic_class: TrafficClass) -> int:
+        """In-window delivered payload flits for one class."""
+        return self.collector.classes[traffic_class].payload_flits
+
+    def throughput(
+        self, traffic_class: TrafficClass, window_cycles: int
+    ) -> float:
+        """Delivered payload flits per cycle per host over a window."""
+        if window_cycles <= 0:
+            return 0.0
+        return (
+            self.delivered_flits(traffic_class)
+            / window_cycles
+            / self.config.num_hosts
+        )
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dict of headline numbers, for reports and tests."""
+        out: Dict[str, float] = {
+            "cycles": self.cycles,
+            "completed": float(self.completed),
+            "operations": float(self.collector.operations_created),
+        }
+        for traffic_class, stats in self.collector.classes.items():
+            prefix = traffic_class.value
+            out[f"{prefix}_deliveries"] = float(stats.deliveries)
+            out[f"{prefix}_latency_mean"] = (
+                stats.latency.mean if stats.latency.count else 0.0
+            )
+        if self.op_last_latency.count:
+            out["op_last_latency_mean"] = self.op_last_latency.mean
+            out["op_avg_latency_mean"] = self.op_average_latency.mean
+        return out
+
+    def report(self) -> str:
+        """A human-readable multi-section run report.
+
+        Includes the run header, per-class delivery statistics with
+        latency percentiles, and collective-operation statistics.
+        """
+        from repro.metrics.report import Table
+
+        lines = [
+            f"simulation report — N={self.config.num_hosts}, "
+            f"{self.config.switch_architecture.value} switches, "
+            f"{self.cycles} cycles, "
+            f"{'completed' if self.completed else 'BUDGET EXHAUSTED'}",
+        ]
+        classes = Table(
+            "per-class deliveries",
+            ["class", "deliveries", "mean", "p50", "p95", "max",
+             "payload flits"],
+        )
+        for traffic_class, stats in sorted(
+            self.collector.classes.items(), key=lambda kv: kv[0].value
+        ):
+            if not stats.deliveries:
+                continue
+            classes.add_row(
+                traffic_class.value,
+                stats.deliveries,
+                round(stats.latency.mean, 1),
+                stats.latency_histogram.percentile(0.50),
+                stats.latency_histogram.percentile(0.95),
+                stats.latency.max,
+                stats.payload_flits,
+            )
+        lines.append(classes.render())
+        if self.op_last_latency.count:
+            ops = Table(
+                "multicast operations",
+                ["metric", "count", "mean", "min", "max"],
+            )
+            ops.add_row(
+                "last-arrival latency",
+                self.op_last_latency.count,
+                round(self.op_last_latency.mean, 1),
+                self.op_last_latency.min,
+                self.op_last_latency.max,
+            )
+            ops.add_row(
+                "mean-arrival latency",
+                self.op_average_latency.count,
+                round(self.op_average_latency.mean, 1),
+                round(self.op_average_latency.min, 1),
+                round(self.op_average_latency.max, 1),
+            )
+            lines.append(ops.render())
+        return "\n\n".join(lines)
+
+
+def run_workload(
+    network: Network,
+    workload: Workload,
+    max_cycles: Optional[int] = None,
+    stall_limit: int = STALL_LIMIT,
+) -> SimulationResult:
+    """Run ``workload`` on an already-built network to completion.
+
+    Returns a result with ``completed=False`` (rather than raising) when
+    the cycle budget runs out — a saturated open-loop run is data, not an
+    error.  A genuine stall (no progress and nothing scheduled) still
+    raises :class:`~repro.errors.SimulationError`.
+    """
+    budget = max_cycles if max_cycles is not None else workload.max_cycles_hint()
+    workload.start(network)
+    completed = True
+    try:
+        network.sim.run_until(
+            lambda: workload.finished(network),
+            max_cycles=budget,
+            stall_limit=stall_limit,
+        )
+    except SimulationError as error:
+        if "suspected deadlock" in str(error):
+            raise
+        completed = False
+    return SimulationResult(
+        config=network.config,
+        cycles=network.sim.now,
+        completed=completed,
+        collector=network.collector,
+    )
+
+
+def run_simulation(
+    config: SimulationConfig,
+    workload: Workload,
+    max_cycles: Optional[int] = None,
+) -> SimulationResult:
+    """Build the configured network and run one workload on it."""
+    network = build_network(config)
+    return run_workload(network, workload, max_cycles=max_cycles)

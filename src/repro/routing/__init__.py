@@ -1,0 +1,25 @@
+"""Routing: reachability decode and multidestination port-request logic."""
+
+from repro.routing.base import (
+    MulticastRoutingMode,
+    PortRequest,
+    UpPortPolicy,
+    make_up_selector,
+)
+from repro.routing.table import SwitchRoutingTable
+from repro.routing.reachability import (
+    tables_for_bmin,
+    tables_for_umin,
+)
+from repro.routing.updown import tables_for_irregular
+
+__all__ = [
+    "MulticastRoutingMode",
+    "PortRequest",
+    "SwitchRoutingTable",
+    "UpPortPolicy",
+    "make_up_selector",
+    "tables_for_bmin",
+    "tables_for_irregular",
+    "tables_for_umin",
+]

@@ -1,0 +1,90 @@
+"""Reachability-register construction for regular MINs.
+
+The registers are computed bottom-up from the topology itself, mimicking
+how a real system would program the switches at boot: a level-0 down-port
+reaches exactly its attached host, and a higher switch's down-port
+reaches the whole subtree of the child switch it is cabled to.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import RoutingError
+from repro.routing.table import SwitchRoutingTable
+from repro.topology.bmin import BidirectionalMin
+from repro.topology.graph import NodeKind
+from repro.topology.umin import UnidirectionalMin
+
+
+def tables_for_bmin(bmin: BidirectionalMin) -> List[SwitchRoutingTable]:
+    """Per-switch routing tables for a bidirectional MIN, by switch id."""
+    topo = bmin.topology
+    subtree: Dict[int, int] = {}
+    tables: List[SwitchRoutingTable] = [None] * bmin.num_switches  # type: ignore[list-item]
+    for level in range(bmin.levels):
+        for index in range(bmin.switches_per_level):
+            switch = bmin.switch_id(level, index)
+            down_reach: Dict[int, int] = {}
+            host_ports: Dict[int, int] = {}
+            peers = topo.switch_port_peers(switch)
+            for port in bmin.down_ports(switch):
+                peer = peers[port]
+                if peer is None:
+                    raise RoutingError(
+                        f"switch {switch} down port {port} is unwired"
+                    )
+                if peer.kind == NodeKind.HOST:
+                    down_reach[port] = 1 << peer.node
+                    host_ports[port] = peer.node
+                else:
+                    down_reach[port] = subtree[peer.node]
+            table = SwitchRoutingTable(
+                switch_id=switch,
+                num_hosts=bmin.num_hosts,
+                down_reach=down_reach,
+                up_ports=list(bmin.up_ports(switch)),
+                host_ports=host_ports,
+            )
+            tables[switch] = table
+            subtree[switch] = table.subtree_mask
+    return tables
+
+
+def tables_for_umin(umin: UnidirectionalMin) -> List[SwitchRoutingTable]:
+    """Per-switch routing tables for a unidirectional MIN, by switch id.
+
+    Every port is a forward port (``down_reach``); there are no up-ports,
+    so worms never ascend and the decode degenerates to the pure
+    destination-split the butterfly supports.
+    """
+    topo = umin.topology
+    all_reach: Dict[int, int] = {}
+    tables: List[SwitchRoutingTable] = [None] * umin.num_switches  # type: ignore[list-item]
+    for stage in reversed(range(umin.stages)):
+        for index in range(umin.switches_per_stage):
+            switch = umin.switch_id(stage, index)
+            down_reach: Dict[int, int] = {}
+            host_ports: Dict[int, int] = {}
+            peers = topo.switch_port_peers(switch)
+            for port in umin.output_ports(switch):
+                peer = peers[port]
+                if peer is None:
+                    raise RoutingError(
+                        f"switch {switch} output port {port} is unwired"
+                    )
+                if peer.kind == NodeKind.HOST:
+                    down_reach[port] = 1 << peer.node
+                    host_ports[port] = peer.node
+                else:
+                    down_reach[port] = all_reach[peer.node]
+            table = SwitchRoutingTable(
+                switch_id=switch,
+                num_hosts=umin.num_hosts,
+                down_reach=down_reach,
+                up_ports=[],
+                host_ports=host_ports,
+            )
+            tables[switch] = table
+            all_reach[switch] = table.subtree_mask
+    return tables

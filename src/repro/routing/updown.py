@@ -1,0 +1,57 @@
+"""Tree-based (up*/down*-style) routing tables for irregular networks.
+
+Deadlock-free routing on an irregular switch network is classically
+obtained by superimposing a tree (Autonet's up*/down*, ref [30]); the
+paper notes its multidestination schemes carry over to such networks by
+routing worms on the tree.  These tables route all traffic on the
+spanning-tree links recorded by
+:class:`~repro.topology.irregular.IrregularNetwork`: each switch's
+down-ports are its host and tree-child ports, and its single up-port
+leads to its tree parent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.routing.table import SwitchRoutingTable
+from repro.topology.irregular import IrregularNetwork
+
+
+def tables_for_irregular(network: IrregularNetwork) -> List[SwitchRoutingTable]:
+    """Per-switch routing tables following the network's spanning tree."""
+    subtree_mask: Dict[int, int] = {}
+
+    def mask_for(switch: int) -> int:
+        cached = subtree_mask.get(switch)
+        if cached is not None:
+            return cached
+        mask = 0
+        for host, _port in network.host_ports[switch]:
+            mask |= 1 << host
+        for child, _port in network.child_ports[switch]:
+            mask |= mask_for(child)
+        subtree_mask[switch] = mask
+        return mask
+
+    tables: List[SwitchRoutingTable] = []
+    for switch in range(network.num_switches):
+        down_reach: Dict[int, int] = {}
+        host_ports: Dict[int, int] = {}
+        for host, port in network.host_ports[switch]:
+            down_reach[port] = 1 << host
+            host_ports[port] = host
+        for child, port in network.child_ports[switch]:
+            down_reach[port] = mask_for(child)
+        parent_port = network.parent_port[switch]
+        up_ports = [] if parent_port is None else [parent_port]
+        tables.append(
+            SwitchRoutingTable(
+                switch_id=switch,
+                num_hosts=network.num_hosts,
+                down_reach=down_reach,
+                up_ports=up_ports,
+                host_ports=host_ports,
+            )
+        )
+    return tables

@@ -1,0 +1,41 @@
+"""Base class for everything the kernel ticks once per cycle."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Simulator
+
+
+class Component:
+    """A named simulation component ticked once per cycle.
+
+    Subclasses implement :meth:`tick`.  Because all inter-component traffic
+    crosses links with latency >= 1, a component may only *send* state that
+    becomes visible to peers next cycle, so tick order between components
+    never changes behaviour.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._sim: "Simulator | None" = None
+
+    @property
+    def sim(self) -> "Simulator":
+        """The simulator this component is registered with."""
+        if self._sim is None:
+            raise RuntimeError(
+                f"component {self.name!r} is not attached to a simulator"
+            )
+        return self._sim
+
+    def attach(self, sim: "Simulator") -> None:
+        """Called by :meth:`Simulator.add_component`; do not call directly."""
+        self._sim = sim
+
+    def tick(self, now: int) -> None:
+        """Advance this component by one cycle.  ``now`` is the cycle index."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"

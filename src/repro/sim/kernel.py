@@ -1,0 +1,179 @@
+"""The cycle-driven simulation kernel.
+
+One :class:`Simulator` owns the clock, an event calendar for future
+callbacks, and the ordered list of components to tick each cycle.  The
+kernel deliberately has no knowledge of networks, flits, or switches — it
+only advances time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.component import Component
+from repro.sim.rng import RngStreams
+
+Event = Callable[[], None]
+
+
+class Simulator:
+    """Clock, calendar and component registry.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for :attr:`rng`; all component randomness should be drawn
+        from named streams of this factory.
+
+    Notes
+    -----
+    The kernel exposes a *progress marker* (:attr:`progress`) that
+    components bump whenever they move a flit or deliver a message.
+    Facades use it to detect a wedged simulation (see
+    :class:`repro.errors.DeadlockSuspected`) without the kernel needing to
+    understand what progress means.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now = 0
+        self.rng = RngStreams(seed)
+        self.progress = 0
+        self._components: List[Component] = []
+        self._calendar: List[Tuple[int, int, Event]] = []
+        self._sequence = itertools.count()
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def add_component(self, component: Component) -> Component:
+        """Register ``component`` to be ticked every cycle; returns it."""
+        component.attach(self)
+        self._components.append(component)
+        return component
+
+    @property
+    def components(self) -> List[Component]:
+        """Registered components in tick order (read-only view by convention)."""
+        return self._components
+
+    # ------------------------------------------------------------------
+    # calendar
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, event: Event) -> None:
+        """Run ``event`` ``delay`` cycles from now (``delay`` >= 0).
+
+        Events scheduled for cycle *t* run at the start of cycle *t*,
+        before any component ticks.  Events scheduled for the same cycle
+        run in scheduling order.
+        """
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.schedule_at(self.now + delay, event)
+
+    def schedule_at(self, cycle: int, event: Event) -> None:
+        """Run ``event`` at the start of the given absolute ``cycle``."""
+        if cycle < self.now:
+            raise ValueError(
+                f"cannot schedule event in the past (now={self.now}, at={cycle})"
+            )
+        heapq.heappush(self._calendar, (cycle, next(self._sequence), event))
+
+    @property
+    def pending_events(self) -> int:
+        """Number of calendar events not yet executed."""
+        return len(self._calendar)
+
+    def next_event_cycle(self) -> Optional[int]:
+        """Cycle of the earliest pending calendar event, or ``None``."""
+        if not self._calendar:
+            return None
+        return self._calendar[0][0]
+
+    # ------------------------------------------------------------------
+    # progress accounting
+    # ------------------------------------------------------------------
+    def note_progress(self) -> None:
+        """Record that observable work happened this cycle."""
+        self.progress += 1
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Execute one cycle: calendar events for ``now``, then all ticks."""
+        while self._calendar and self._calendar[0][0] == self.now:
+            _, _, event = heapq.heappop(self._calendar)
+            event()
+        now = self.now
+        for component in self._components:
+            component.tick(now)
+        self.now = now + 1
+
+    def run(self, cycles: int) -> None:
+        """Advance the clock by ``cycles`` cycles."""
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        for _ in range(cycles):
+            self.step()
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        max_cycles: int,
+        stall_limit: Optional[int] = None,
+    ) -> int:
+        """Step until ``predicate()`` is true; return cycles executed.
+
+        Parameters
+        ----------
+        predicate:
+            Checked before each cycle; the run stops as soon as it holds.
+        max_cycles:
+            Hard bound on cycles to execute; exceeding it raises
+            :class:`~repro.errors.SimulationError`.
+        stall_limit:
+            If given, raise :class:`~repro.errors.SimulationError` when no
+            component reports progress *and* no calendar event fires for
+            this many consecutive cycles while the predicate is false —
+            the signature of a deadlocked network.
+        """
+        executed = 0
+        last_progress = self.progress
+        stalled = 0
+        while not predicate():
+            if executed >= max_cycles:
+                raise SimulationError(
+                    f"predicate still false after {max_cycles} cycles"
+                )
+            event_this_cycle = (
+                self._calendar and self._calendar[0][0] == self.now
+            )
+            self.step()
+            executed += 1
+            if self.progress != last_progress or event_this_cycle:
+                last_progress = self.progress
+                stalled = 0
+            else:
+                stalled += 1
+                if stall_limit is not None and stalled >= stall_limit:
+                    next_cycle = self.next_event_cycle()
+                    if next_cycle is not None:
+                        # Idle gap before a scheduled event: fast-forward
+                        # is unnecessary (we still step), but it is not a
+                        # deadlock because future work exists.
+                        stalled = 0
+                        continue
+                    raise SimulationError(
+                        f"no progress for {stalled} cycles at cycle "
+                        f"{self.now}; suspected deadlock"
+                    )
+        return executed
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self.now}, components={len(self._components)}, "
+            f"pending_events={self.pending_events})"
+        )

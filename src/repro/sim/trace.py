@@ -1,0 +1,92 @@
+"""Optional event tracing for debugging simulations.
+
+Tracing is off by default and costs one attribute check per call site when
+disabled.  Enable it to capture a structured log of flit movements, buffer
+operations and message lifecycles, which the tests use to assert detailed
+pipeline behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event."""
+
+    cycle: int
+    source: str
+    event: str
+    details: Tuple[Tuple[str, Any], ...]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Return a detail value by key."""
+        for name, value in self.details:
+            if name == key:
+                return value
+        return default
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries when enabled.
+
+    Parameters
+    ----------
+    enabled:
+        When false (default), :meth:`emit` is a no-op.
+    limit:
+        Maximum records to retain; older records are dropped first.
+    """
+
+    def __init__(self, enabled: bool = False, limit: int = 1_000_000) -> None:
+        self.enabled = enabled
+        self.limit = limit
+        self._records: List[TraceRecord] = []
+
+    def emit(self, cycle: int, source: str, event: str, **details: Any) -> None:
+        """Record one event if tracing is enabled."""
+        if not self.enabled:
+            return
+        self._records.append(
+            TraceRecord(cycle, source, event, tuple(sorted(details.items())))
+        )
+        if len(self._records) > self.limit:
+            del self._records[: len(self._records) - self.limit]
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """All retained records, oldest first."""
+        return self._records
+
+    def clear(self) -> None:
+        """Drop all retained records."""
+        self._records.clear()
+
+    def select(
+        self,
+        event: Optional[str] = None,
+        source: Optional[str] = None,
+        where: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> Iterator[TraceRecord]:
+        """Yield records matching the given filters."""
+        for record in self._records:
+            if event is not None and record.event != event:
+                continue
+            if source is not None and record.source != source:
+                continue
+            if where is not None and not where(record):
+                continue
+            yield record
+
+    def counts(self) -> Dict[str, int]:
+        """Histogram of event names across retained records."""
+        result: Dict[str, int] = {}
+        for record in self._records:
+            result[record.event] = result.get(record.event, 0) + 1
+        return result
+
+
+NULL_TRACER = Tracer(enabled=False)
+"""Shared disabled tracer for components created without one."""

@@ -1,0 +1,18 @@
+"""Switch architectures: links, arbitration, and the two designs of the paper."""
+
+from repro.switches.arbiter import RoundRobinArbiter
+from repro.switches.chunks import CentralBufferPool, StoredPacket
+from repro.switches.link import Link
+from repro.switches.base import SwitchBase
+from repro.switches.central_buffer import CentralBufferSwitch
+from repro.switches.input_buffer import InputBufferSwitch
+
+__all__ = [
+    "CentralBufferPool",
+    "CentralBufferSwitch",
+    "InputBufferSwitch",
+    "Link",
+    "RoundRobinArbiter",
+    "StoredPacket",
+    "SwitchBase",
+]

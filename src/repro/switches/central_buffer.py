@@ -1,0 +1,366 @@
+"""The central-buffer switch architecture (paper section 4).
+
+Modelled on the IBM SP2 High Performance Switch enhanced for
+multidestination worms:
+
+* each input port has a small synchronisation FIFO;
+* a dynamically shared, chunked central buffer implements output queuing:
+  packets destined to a busy output are written into the buffer and
+  linked onto that output's queue;
+* a unicast packet whose output is idle *bypasses* the central buffer and
+  cuts through directly (the SP2 fast path);
+* a multidestination worm is admitted only after reserving central-buffer
+  space for its entire length (the paper's deadlock-freedom rule), is
+  written into the buffer exactly once, and is read independently by one
+  branch cursor per requested output port (asynchronous replication);
+  chunks are freed as the slowest branch drains them;
+* buffer bandwidth is capped at ``cb_write_bandwidth`` flit-writes and
+  ``cb_read_bandwidth`` flit-reads per cycle, arbitrated round-robin
+  (the flit-wide-RAM alternative of ref [33]).
+
+Flits are never physically copied into Python lists: a worm's flits
+arrive in order, so an input port tracks ``received``/``consumed``
+cursors and materialises :class:`~repro.flits.flit.Flit` objects on
+transmission.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.errors import ProtocolError
+from repro.flits.flit import Flit
+from repro.flits.worm import Worm
+from repro.routing.table import SwitchRoutingTable
+from repro.sim.trace import NULL_TRACER, Tracer
+from repro.switches.arbiter import RoundRobinArbiter
+from repro.switches.base import SwitchBase, SwitchSettings
+from repro.switches.chunks import (
+    BranchCursor,
+    CentralBufferPool,
+    StoredPacket,
+)
+
+
+class _IngressState(enum.Enum):
+    """Lifecycle of a worm arriving at an input port."""
+
+    ARRIVING = "arriving"          # header not yet complete
+    ROUTE_WAIT = "route_wait"      # header complete, routing delay running
+    ADMIT_WAIT = "admit_wait"      # multidestination reservation queued
+    STREAM_CB = "stream_cb"        # flits flowing into the central buffer
+    STREAM_BYPASS = "stream_bypass"  # flits pulled directly by the output
+
+
+class _Ingress:
+    """Per-worm arrival state at one input port."""
+
+    __slots__ = (
+        "worm",
+        "received",
+        "consumed",
+        "header_done_cycle",
+        "state",
+        "stored",
+        "bypass_worm",
+        "bypass_port",
+    )
+
+    def __init__(self, worm: Worm) -> None:
+        self.worm = worm
+        self.received = 0
+        self.consumed = 0
+        self.header_done_cycle: Optional[int] = None
+        self.state = _IngressState.ARRIVING
+        self.stored: Optional[StoredPacket] = None
+        self.bypass_worm: Optional[Worm] = None
+        self.bypass_port: Optional[int] = None
+
+    @property
+    def complete(self) -> bool:
+        """True once every flit has left the input FIFO."""
+        return self.consumed == self.worm.size_flits
+
+
+class _BypassFeed:
+    """An output port streaming a unicast worm straight from an input FIFO."""
+
+    __slots__ = ("input_port", "ingress")
+
+    def __init__(self, input_port: int, ingress: _Ingress) -> None:
+        self.input_port = input_port
+        self.ingress = ingress
+
+
+class CentralBufferSwitch(SwitchBase):
+    """SP2-style shared-buffer switch with multidestination support."""
+
+    def __init__(
+        self,
+        name: str,
+        table: SwitchRoutingTable,
+        num_ports: int,
+        settings: SwitchSettings,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        super().__init__(name, table, num_ports, settings, tracer)
+        quota_pool = CentralBufferPool(
+            capacity_flits=settings.central_buffer_flits,
+            chunk_flits=settings.chunk_flits,
+            num_inputs=num_ports,
+            quota_chunks=-(-settings.max_packet_flits // settings.chunk_flits),
+        )
+        self.pool = quota_pool
+        self._inflow: List[Deque[_Ingress]] = [deque() for _ in range(num_ports)]
+        #: per-output FIFO of branch cursors queued in the central buffer
+        self._out_queue: List[Deque[BranchCursor]] = [
+            deque() for _ in range(num_ports)
+        ]
+        self._out_current: List[Optional[object]] = [None] * num_ports
+        self._write_arbiter = RoundRobinArbiter(num_ports)
+        self._read_arbiter = RoundRobinArbiter(num_ports)
+        #: stored packets indexed by branch cursor identity
+        self._stored_of_cursor: dict = {}
+        #: routing decisions parked while a reservation waits
+        self._pending_requests: dict = {}
+        # hot-path activity counters: skip whole phases when nothing is
+        # inside the switch
+        self._total_ingresses = 0
+        self._outputs_busy = 0
+        self._queued_branches = 0
+
+    # ------------------------------------------------------------------
+    # SwitchBase contract
+    # ------------------------------------------------------------------
+    def input_credit_depth(self, port: int) -> int:
+        return self.settings.input_fifo_depth
+
+    # ------------------------------------------------------------------
+    # per-cycle behaviour
+    # ------------------------------------------------------------------
+    def tick(self, now: int) -> None:
+        self._receive(now)
+        if self._total_ingresses:
+            self._route_and_admit(now)
+            self._write_central_buffer(now)
+        if self._outputs_busy or self._queued_branches:
+            self._drive_outputs(now)
+
+    # -- phase 1: absorb link arrivals into the input FIFOs -------------
+    def _receive(self, now: int) -> None:
+        for port, link in enumerate(self.in_links):
+            if link is None or not link.pending_arrival(now):
+                continue
+            for flit in link.receive(now):
+                self._accept_flit(port, flit, now)
+
+    def _accept_flit(self, port: int, flit: Flit, now: int) -> None:
+        inflow = self._inflow[port]
+        ingress = inflow[-1] if inflow else None
+        if ingress is None or ingress.received == ingress.worm.size_flits:
+            if not flit.is_head:
+                raise ProtocolError(
+                    f"{self.name}.in{port}: body flit {flit!r} without head"
+                )
+            ingress = _Ingress(flit.worm)
+            inflow.append(ingress)
+            self._total_ingresses += 1
+        if flit.worm is not ingress.worm or flit.index != ingress.received:
+            raise ProtocolError(
+                f"{self.name}.in{port}: out-of-order flit {flit!r} "
+                f"(expected index {ingress.received} of {ingress.worm!r})"
+            )
+        ingress.received += 1
+        if ingress.received == ingress.worm.header_flits:
+            ingress.header_done_cycle = now
+            if ingress.state is _IngressState.ARRIVING:
+                ingress.state = _IngressState.ROUTE_WAIT
+        if self.tracer.enabled:
+            self.tracer.emit(
+                now, self.name, "flit_in", port=port, flit=repr(flit)
+            )
+
+    # -- phase 2: route the FIFO-front worm and admit it -----------------
+    def _route_and_admit(self, now: int) -> None:
+        for port in range(self.num_ports):
+            inflow = self._inflow[port]
+            if not inflow:
+                continue
+            ingress = inflow[0]
+            if ingress.state is _IngressState.ROUTE_WAIT:
+                self._try_route(port, ingress, now)
+            if ingress.state is _IngressState.ADMIT_WAIT:
+                self._try_admit(port, ingress, now)
+
+    def _try_route(self, port: int, ingress: _Ingress, now: int) -> None:
+        assert ingress.header_done_cycle is not None
+        if now < ingress.header_done_cycle + self.settings.routing_delay:
+            return
+        requests = self.compute_requests(ingress.worm)
+        if ingress.worm.is_multidestination:
+            ingress.stored = StoredPacket(
+                self.pool, port, ingress.worm.size_flits, reserve_all=True
+            )
+            ingress.state = _IngressState.ADMIT_WAIT
+            self._pending_requests[id(ingress)] = requests
+            self._try_admit(port, ingress, now)
+            return
+        # unicast: single branch
+        request = requests[0]
+        child = ingress.worm.branch(request.destinations, request.descending)
+        out_port = request.port
+        if (
+            self._out_current[out_port] is None
+            and not self._out_queue[out_port]
+        ):
+            ingress.bypass_worm = child
+            ingress.bypass_port = out_port
+            ingress.state = _IngressState.STREAM_BYPASS
+            self._out_current[out_port] = _BypassFeed(port, ingress)
+            self._outputs_busy += 1
+            self.tracer.emit(now, self.name, "bypass", inp=port, out=out_port)
+        else:
+            stored = StoredPacket(
+                self.pool, port, ingress.worm.size_flits, reserve_all=False
+            )
+            cursor = stored.add_branch(child, out_port)
+            self._stored_of_cursor[id(cursor)] = stored
+            self._out_queue[out_port].append(cursor)
+            self._queued_branches += 1
+            ingress.stored = stored
+            ingress.state = _IngressState.STREAM_CB
+            self.tracer.emit(now, self.name, "queue_cb", inp=port, out=out_port)
+
+    def _try_admit(self, port: int, ingress: _Ingress, now: int) -> None:
+        stored = ingress.stored
+        assert stored is not None
+        if not stored.try_admit(now):
+            return
+        requests = self._pending_requests.pop(id(ingress))
+        for request in requests:
+            child = ingress.worm.branch(request.destinations, request.descending)
+            cursor = stored.add_branch(child, request.port)
+            self._stored_of_cursor[id(cursor)] = stored
+            self._out_queue[request.port].append(cursor)
+            self._queued_branches += 1
+        ingress.state = _IngressState.STREAM_CB
+        self.tracer.emit(
+            now, self.name, "admit_multidest",
+            inp=port, branches=len(requests),
+        )
+
+    # -- phase 3: move flits from input FIFOs into the central buffer ----
+    def _write_central_buffer(self, now: int) -> None:
+        candidates = []
+        for port in range(self.num_ports):
+            inflow = self._inflow[port]
+            if not inflow:
+                continue
+            ingress = inflow[0]
+            if (
+                ingress.state is _IngressState.STREAM_CB
+                and ingress.consumed < ingress.received
+            ):
+                candidates.append(port)
+        winners = self._write_arbiter.grant_up_to(
+            candidates, self.settings.cb_write_bandwidth
+        )
+        for port in winners:
+            ingress = self._inflow[port][0]
+            stored = ingress.stored
+            assert stored is not None
+            if not stored.ensure_write_space(now):
+                continue  # central buffer full: stall this input
+            stored.write_flit()
+            self._consume_fifo_slot(port, ingress, now)
+            self.sim.note_progress()
+
+    def _consume_fifo_slot(self, port: int, ingress: _Ingress, now: int) -> None:
+        ingress.consumed += 1
+        link = self.in_links[port]
+        if link is not None:
+            link.return_credit(now)
+        if ingress.complete:
+            self._inflow[port].popleft()
+            self._total_ingresses -= 1
+
+    # -- phase 4: drive the output ports ---------------------------------
+    def _drive_outputs(self, now: int) -> None:
+        # activate queued branches on idle outputs
+        for port in range(self.num_ports):
+            if self._out_current[port] is None and self._out_queue[port]:
+                self._out_current[port] = self._out_queue[port].popleft()
+                self._queued_branches -= 1
+                self._outputs_busy += 1
+        # bypass feeds move independently of central-buffer bandwidth
+        read_candidates = []
+        for port in range(self.num_ports):
+            current = self._out_current[port]
+            if current is None:
+                continue
+            if isinstance(current, _BypassFeed):
+                self._advance_bypass(port, current, now)
+            else:
+                cursor = current
+                stored = self._stored_of_cursor[id(cursor)]
+                link = self.out_links[port]
+                if (
+                    link is not None
+                    and stored.readable(cursor)
+                    and link.can_send(now)
+                ):
+                    read_candidates.append(port)
+        winners = self._read_arbiter.grant_up_to(
+            read_candidates, self.settings.cb_read_bandwidth
+        )
+        for port in winners:
+            cursor = self._out_current[port]
+            stored = self._stored_of_cursor[id(cursor)]
+            link = self.out_links[port]
+            assert link is not None
+            flit = Flit(cursor.worm, cursor.read)
+            link.send(now, flit)
+            stored.branch_read(cursor, now)
+            self.sim.note_progress()
+            if cursor.read == stored.total_flits:
+                del self._stored_of_cursor[id(cursor)]
+                self._out_current[port] = None
+                self._outputs_busy -= 1
+
+    def _advance_bypass(self, port: int, feed: _BypassFeed, now: int) -> None:
+        ingress = feed.ingress
+        link = self.out_links[port]
+        if link is None:
+            raise ProtocolError(f"{self.name}: bypass to unwired port {port}")
+        if ingress.consumed >= ingress.received or not link.can_send(now):
+            return
+        assert ingress.bypass_worm is not None
+        flit = Flit(ingress.bypass_worm, ingress.consumed)
+        link.send(now, flit)
+        self._consume_fifo_slot(feed.input_port, ingress, now)
+        self.sim.note_progress()
+        if ingress.complete:
+            self._out_current[port] = None
+            self._outputs_busy -= 1
+
+    # ------------------------------------------------------------------
+    # introspection for tests and metrics
+    # ------------------------------------------------------------------
+    def fifo_occupancy(self, port: int) -> int:
+        """Flits currently held in an input FIFO."""
+        return sum(i.received - i.consumed for i in self._inflow[port])
+
+    def output_queue_length(self, port: int) -> int:
+        """Branches queued (not yet active) on an output port."""
+        return len(self._out_queue[port])
+
+    def idle(self) -> bool:
+        """True when no worm is anywhere inside the switch."""
+        return (
+            all(not q for q in self._inflow)
+            and all(not q for q in self._out_queue)
+            and all(c is None for c in self._out_current)
+            and self.pool.used_chunks == 0
+        )

@@ -1,0 +1,134 @@
+"""Unidirectional pipelined links with credit-based flow control.
+
+A link carries at most one flit per cycle and delivers it ``latency``
+cycles later; credits flow back with ``credit_latency``.  The receiver
+declares its buffer depth once (:meth:`set_credits`); the sender may only
+send while it holds a credit, so a full receiver exerts backpressure and
+a worm blocks in place — the essential wormhole behaviour.
+
+The link is passive (not a :class:`~repro.sim.component.Component`): the
+sender asks :meth:`can_send`/:meth:`send` during its tick and the receiver
+drains :meth:`receive` during its own, with the pipeline queues keyed by
+arrival cycle.  Because latency is at least one cycle, behaviour is
+independent of which side ticks first.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.flits.flit import Flit
+
+
+class Link:
+    """One direction of a cable between two components."""
+
+    def __init__(
+        self,
+        name: str,
+        latency: int = 1,
+        credit_latency: Optional[int] = None,
+    ) -> None:
+        if latency < 1:
+            raise ConfigurationError("link latency must be at least 1 cycle")
+        self.name = name
+        self.latency = latency
+        self.credit_latency = credit_latency if credit_latency is not None else latency
+        if self.credit_latency < 1:
+            raise ConfigurationError("credit latency must be at least 1 cycle")
+        self._in_flight: Deque[Tuple[int, Flit]] = deque()
+        self._credit_returns: Deque[Tuple[int, int]] = deque()
+        self._credits: Optional[int] = None
+        self._last_send_cycle = -1
+        #: total flits ever sent (utilisation statistics)
+        self.flits_sent = 0
+
+    # ------------------------------------------------------------------
+    # receiver side
+    # ------------------------------------------------------------------
+    def set_credits(self, depth: int) -> None:
+        """Declare the receiver's buffer depth; must be called exactly once."""
+        if self._credits is not None:
+            raise ProtocolError(f"link {self.name}: credits already set")
+        if depth < 1:
+            raise ConfigurationError("credit depth must be at least 1")
+        self._credits = depth
+
+    def pending_arrival(self, now: int) -> bool:
+        """True when :meth:`receive` would deliver at least one flit.
+
+        A cheap guard for the per-cycle hot path: components poll every
+        input link every cycle, and most are silent most cycles.
+        """
+        return bool(self._in_flight) and self._in_flight[0][0] <= now
+
+    def receive(self, now: int) -> List[Flit]:
+        """Pop every flit that has arrived by cycle ``now``, in order."""
+        out: List[Flit] = []
+        while self._in_flight and self._in_flight[0][0] <= now:
+            out.append(self._in_flight.popleft()[1])
+        return out
+
+    def return_credit(self, now: int, count: int = 1) -> None:
+        """Receiver freed ``count`` buffer slots; sender sees them later."""
+        if count < 1:
+            raise ValueError("count must be positive")
+        self._credit_returns.append((now + self.credit_latency, count))
+
+    # ------------------------------------------------------------------
+    # sender side
+    # ------------------------------------------------------------------
+    def credits(self, now: int) -> int:
+        """Credits usable by the sender at cycle ``now``."""
+        if self._credits is None:
+            raise ProtocolError(f"link {self.name}: receiver never set credits")
+        while self._credit_returns and self._credit_returns[0][0] <= now:
+            self._credits += self._credit_returns.popleft()[1]
+        return self._credits
+
+    def can_send(self, now: int) -> bool:
+        """True when a credit is available and this cycle's slot is free."""
+        return self._last_send_cycle != now and self.credits(now) > 0
+
+    def send(self, now: int, flit: Flit) -> None:
+        """Transmit one flit; requires :meth:`can_send`."""
+        if self._last_send_cycle == now:
+            raise ProtocolError(
+                f"link {self.name}: second send in cycle {now}"
+            )
+        if self.credits(now) <= 0:
+            raise ProtocolError(
+                f"link {self.name}: send without credit in cycle {now}"
+            )
+        self._credits -= 1  # type: ignore[operator]
+        self._last_send_cycle = now
+        self._in_flight.append((now + self.latency, flit))
+        self.flits_sent += 1
+
+    # ------------------------------------------------------------------
+    # introspection (tests and invariant checks)
+    # ------------------------------------------------------------------
+    def in_flight(self) -> int:
+        """Flits currently traversing the pipeline."""
+        return len(self._in_flight)
+
+    def credits_in_return(self) -> int:
+        """Credits currently travelling back to the sender."""
+        return sum(count for _, count in self._credit_returns)
+
+    def accounted_credits(self) -> Optional[int]:
+        """Credits at the sender plus those in flight (either direction).
+
+        Credit conservation: this value plus the flits the *receiver*
+        currently holds without having returned their credits equals the
+        depth declared via :meth:`set_credits`.  Tests use it to assert
+        no credit is ever lost or duplicated.
+        """
+        if self._credits is None:
+            return None
+        return self._credits + self.in_flight() + self.credits_in_return()
+
+    def __repr__(self) -> str:
+        return f"Link({self.name!r}, latency={self.latency})"

@@ -1,0 +1,16 @@
+"""Network topologies: bidirectional MINs, unidirectional MINs, irregular."""
+
+from repro.topology.graph import Endpoint, LinkSpec, NodeKind, Topology
+from repro.topology.bmin import BidirectionalMin
+from repro.topology.umin import UnidirectionalMin
+from repro.topology.irregular import IrregularNetwork
+
+__all__ = [
+    "BidirectionalMin",
+    "Endpoint",
+    "IrregularNetwork",
+    "LinkSpec",
+    "NodeKind",
+    "Topology",
+    "UnidirectionalMin",
+]

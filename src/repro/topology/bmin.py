@@ -1,0 +1,189 @@
+"""Bidirectional multistage interconnection networks (k-ary n-trees).
+
+The paper evaluates its switch designs on bidirectional MINs, the fat-tree
+style networks of the IBM SP1/SP2.  We build the standard *k-ary n-tree*
+(Petrini/Vanneschi formulation): with ``arity`` = a down-ports per switch
+(half the radix of a 2a-port switch) and ``levels`` = n, the network
+connects ``a**n`` hosts through ``n * a**(n-1)`` switches.
+
+Switch identity
+---------------
+A switch is ``<level, w>`` with ``w`` an (n-1)-digit base-a word.  Ports
+``0..a-1`` are *down* ports (toward the hosts) and ``a..2a-1`` are *up*
+ports (toward the roots; unwired on the top level).  Switch ``<l, w>``
+connects its up port *j* to the level ``l+1`` switch whose word equals
+``w`` with digit *l* replaced by *j*; the parent's down-port index for
+that cable is ``w``'s original digit *l*.  Level-0 switch ``w`` serves
+hosts ``w*a .. w*a + a-1``.
+
+With 8-port switches (a=4) this yields the paper's system sizes:
+16 hosts (n=2), 64 hosts (n=3) and 256 hosts (n=4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import TopologyError
+from repro.topology.graph import Endpoint, Topology
+
+
+class BidirectionalMin:
+    """A k-ary n-tree bidirectional MIN.
+
+    Parameters
+    ----------
+    arity:
+        Down-ports per switch (a); the switch radix is ``2 * arity``.
+    levels:
+        Number of switch levels (n); the network serves ``arity**levels``
+        hosts.
+    """
+
+    def __init__(self, arity: int, levels: int) -> None:
+        if arity < 2:
+            raise TopologyError("arity must be at least 2")
+        if levels < 1:
+            raise TopologyError("levels must be at least 1")
+        self.arity = arity
+        self.levels = levels
+        self.num_hosts = arity**levels
+        self.switches_per_level = arity ** (levels - 1)
+        self.num_switches = levels * self.switches_per_level
+        self.topology = self._build()
+        self.topology.validate()
+
+    @classmethod
+    def for_hosts(cls, num_hosts: int, arity: int = 4) -> "BidirectionalMin":
+        """Build the smallest tree of the given arity serving ``num_hosts``.
+
+        ``num_hosts`` must be a power of ``arity`` (the paper's system
+        sizes 16/64/256 with arity 4).
+        """
+        levels = 1
+        size = arity
+        while size < num_hosts:
+            size *= arity
+            levels += 1
+        if size != num_hosts:
+            raise TopologyError(
+                f"num_hosts={num_hosts} is not a power of arity={arity}"
+            )
+        return cls(arity, levels)
+
+    # ------------------------------------------------------------------
+    # identity helpers
+    # ------------------------------------------------------------------
+    def switch_id(self, level: int, index: int) -> int:
+        """Flat switch id of ``<level, index>``."""
+        if not 0 <= level < self.levels:
+            raise TopologyError(f"level {level} outside 0..{self.levels - 1}")
+        if not 0 <= index < self.switches_per_level:
+            raise TopologyError(
+                f"switch index {index} outside 0..{self.switches_per_level - 1}"
+            )
+        return level * self.switches_per_level + index
+
+    def switch_level(self, switch_id: int) -> int:
+        """Level of a flat switch id."""
+        return switch_id // self.switches_per_level
+
+    def switch_index(self, switch_id: int) -> int:
+        """Within-level index (the word ``w``) of a flat switch id."""
+        return switch_id % self.switches_per_level
+
+    def down_ports(self, switch_id: int) -> range:
+        """Down-port indices of any switch."""
+        return range(self.arity)
+
+    def up_ports(self, switch_id: int) -> range:
+        """Up-port indices; empty for the top level."""
+        if self.switch_level(switch_id) == self.levels - 1:
+            return range(0)
+        return range(self.arity, 2 * self.arity)
+
+    def host_switch(self, host: int) -> int:
+        """The level-0 switch a host attaches to."""
+        if not 0 <= host < self.num_hosts:
+            raise TopologyError(f"host {host} outside 0..{self.num_hosts - 1}")
+        return self.switch_id(0, host // self.arity)
+
+    def host_digits(self, host: int) -> Tuple[int, ...]:
+        """Base-``arity`` digits of a host id, most significant first."""
+        digits = []
+        for level in reversed(range(self.levels)):
+            digits.append(host // self.arity**level % self.arity)
+        return tuple(digits)
+
+    # ------------------------------------------------------------------
+    # word-digit helpers (words have levels-1 digits)
+    # ------------------------------------------------------------------
+    def _word_digit(self, word: int, position: int) -> int:
+        return word // self.arity**position % self.arity
+
+    def _word_with_digit(self, word: int, position: int, digit: int) -> int:
+        base = self.arity**position
+        return word - self._word_digit(word, position) * base + digit * base
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build(self) -> Topology:
+        topo = Topology(
+            num_hosts=self.num_hosts,
+            switch_ports=[2 * self.arity] * self.num_switches,
+        )
+        for host in range(self.num_hosts):
+            switch = self.host_switch(host)
+            port = host % self.arity
+            topo.add_bidirectional(
+                Endpoint.host(host), Endpoint.switch(switch, port)
+            )
+        for level in range(self.levels - 1):
+            for word in range(self.switches_per_level):
+                child = self.switch_id(level, word)
+                child_digit = self._word_digit(word, level)
+                for j in range(self.arity):
+                    parent_word = self._word_with_digit(word, level, j)
+                    parent = self.switch_id(level + 1, parent_word)
+                    topo.add_bidirectional(
+                        Endpoint.switch(child, self.arity + j),
+                        Endpoint.switch(parent, child_digit),
+                    )
+        return topo
+
+    # ------------------------------------------------------------------
+    # analytic helpers used by routing and tests
+    # ------------------------------------------------------------------
+    def lca_level(self, hosts: Iterable[int]) -> int:
+        """Lowest switch level from which every given host is reachable
+        going only downward.
+
+        Level 0 means all hosts share a leaf switch; level ``levels-1``
+        means the worm must climb to the roots.
+        """
+        digit_rows: List[Sequence[int]] = [self.host_digits(h) for h in hosts]
+        if not digit_rows:
+            raise ValueError("need at least one host")
+        first = digit_rows[0]
+        # find the most significant position where any pair differs
+        for position in range(self.levels):
+            if any(row[position] != first[position] for row in digit_rows):
+                # digits are most-significant first: a mismatch at index i
+                # corresponds to digit position levels-1-i, which is first
+                # resolved at switch level levels-1-i.
+                return self.levels - 1 - position
+        return 0
+
+    def min_switch_hops(self, src: int, dst: int) -> int:
+        """Switches traversed on a shortest path between two hosts."""
+        if src == dst:
+            return 0
+        turn = self.lca_level((src, dst))
+        return 2 * turn + 1
+
+    def __repr__(self) -> str:
+        return (
+            f"BidirectionalMin(arity={self.arity}, levels={self.levels}, "
+            f"hosts={self.num_hosts}, switches={self.num_switches})"
+        )

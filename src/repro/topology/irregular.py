@@ -1,0 +1,194 @@
+"""Irregular switch networks (NOW/COW style) with a routing spanning tree.
+
+The paper notes its schemes extend to irregular networks of workstations
+by superimposing a tree on the network, as up*/down* routing does
+(Autonet, ref [30]).  :class:`IrregularNetwork` generates a random
+connected switch graph, elects switch 0 as the tree root, and records the
+BFS spanning tree.  Routing (and multidestination replication) follows
+tree links only — the standard way to guarantee deadlock freedom on an
+irregular topology — while extra non-tree links exist in the topology to
+make the generated graphs realistic (they are simply not used by the tree
+router; an adaptive router could exploit them).
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import TopologyError
+from repro.topology.graph import Endpoint, Topology
+
+
+class IrregularNetwork:
+    """A random connected irregular network with a routing tree.
+
+    Parameters
+    ----------
+    num_switches:
+        Switch count; switch 0 becomes the tree root.
+    hosts_per_switch:
+        Hosts attached to every switch (host ids are dense:
+        switch *s* serves hosts ``s*hps .. (s+1)*hps - 1``).
+    ports_per_switch:
+        Radix of every switch; must fit hosts, tree links and extras.
+    extra_links:
+        Non-tree switch-to-switch cables added at random (may end up
+        fewer if free ports run out).
+    seed:
+        Seed for the topology-generation RNG (independent of the
+        simulation seed so the same topology can run many workloads).
+    """
+
+    def __init__(
+        self,
+        num_switches: int,
+        hosts_per_switch: int = 2,
+        ports_per_switch: int = 8,
+        extra_links: int = 0,
+        seed: int = 0,
+    ) -> None:
+        if num_switches < 1:
+            raise TopologyError("need at least one switch")
+        if hosts_per_switch < 1:
+            raise TopologyError("need at least one host per switch")
+        self.num_switches = num_switches
+        self.hosts_per_switch = hosts_per_switch
+        self.ports_per_switch = ports_per_switch
+        self.num_hosts = num_switches * hosts_per_switch
+        rng = Random(seed)
+
+        self.topology = Topology(
+            num_hosts=self.num_hosts,
+            switch_ports=[ports_per_switch] * num_switches,
+        )
+        self._next_port = [0] * num_switches
+        #: parent switch of each switch in the routing tree (None at root)
+        self.tree_parent: List[Optional[int]] = [None] * num_switches
+        #: port on each switch leading to its tree parent (None at root)
+        self.parent_port: List[Optional[int]] = [None] * num_switches
+        #: (child switch, port leading to it) pairs per switch
+        self.child_ports: List[List[Tuple[int, int]]] = [
+            [] for _ in range(num_switches)
+        ]
+        #: (host, port leading to it) pairs per switch
+        self.host_ports: List[List[Tuple[int, int]]] = [
+            [] for _ in range(num_switches)
+        ]
+        self._adjacent: Set[Tuple[int, int]] = set()
+
+        self._attach_hosts()
+        self._build_tree(rng)
+        self.extra_links_added = self._add_extras(rng, extra_links)
+        self.topology.validate()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _take_port(self, switch: int) -> int:
+        port = self._next_port[switch]
+        if port >= self.ports_per_switch:
+            raise TopologyError(
+                f"switch {switch} is out of ports "
+                f"(radix {self.ports_per_switch} too small)"
+            )
+        self._next_port[switch] = port + 1
+        return port
+
+    def _free_ports(self, switch: int) -> int:
+        return self.ports_per_switch - self._next_port[switch]
+
+    def _attach_hosts(self) -> None:
+        for host in range(self.num_hosts):
+            switch = host // self.hosts_per_switch
+            port = self._take_port(switch)
+            self.topology.add_bidirectional(
+                Endpoint.host(host), Endpoint.switch(switch, port)
+            )
+            self.host_ports[switch].append((host, port))
+
+    def _build_tree(self, rng: Random) -> None:
+        """Connect switches 1..n-1 to a random already-connected switch."""
+        connected = [0]
+        for switch in range(1, self.num_switches):
+            candidates = [s for s in connected if self._free_ports(s) > 0]
+            if not candidates:
+                raise TopologyError(
+                    "cannot build spanning tree: no free ports left"
+                )
+            parent = rng.choice(candidates)
+            child_side = self._take_port(switch)
+            parent_side = self._take_port(parent)
+            self.topology.add_bidirectional(
+                Endpoint.switch(switch, child_side),
+                Endpoint.switch(parent, parent_side),
+            )
+            self.tree_parent[switch] = parent
+            self.parent_port[switch] = child_side
+            self.child_ports[parent].append((switch, parent_side))
+            self._adjacent.add((min(switch, parent), max(switch, parent)))
+            connected.append(switch)
+
+    def _add_extras(self, rng: Random, requested: int) -> int:
+        added = 0
+        attempts = 0
+        while added < requested and attempts < 50 * max(requested, 1):
+            attempts += 1
+            a = rng.randrange(self.num_switches)
+            b = rng.randrange(self.num_switches)
+            if a == b:
+                continue
+            key = (min(a, b), max(a, b))
+            if key in self._adjacent:
+                continue
+            if self._free_ports(a) == 0 or self._free_ports(b) == 0:
+                continue
+            self.topology.add_bidirectional(
+                Endpoint.switch(a, self._take_port(a)),
+                Endpoint.switch(b, self._take_port(b)),
+            )
+            self._adjacent.add(key)
+            added += 1
+        return added
+
+    # ------------------------------------------------------------------
+    # tree queries used by the routing layer
+    # ------------------------------------------------------------------
+    def host_switch(self, host: int) -> int:
+        """The switch a host attaches to."""
+        if not 0 <= host < self.num_hosts:
+            raise TopologyError(f"host {host} outside 0..{self.num_hosts - 1}")
+        return host // self.hosts_per_switch
+
+    def subtree_hosts(self, switch: int) -> List[int]:
+        """Every host below ``switch`` in the routing tree (inclusive)."""
+        hosts: List[int] = []
+        stack = [switch]
+        while stack:
+            node = stack.pop()
+            hosts.extend(h for h, _ in self.host_ports[node])
+            stack.extend(child for child, _ in self.child_ports[node])
+        return sorted(hosts)
+
+    def tree_depth(self, switch: int) -> int:
+        """Hops from ``switch`` up to the tree root."""
+        depth = 0
+        node: Optional[int] = switch
+        while self.tree_parent[node] is not None:  # type: ignore[index]
+            node = self.tree_parent[node]  # type: ignore[index]
+            depth += 1
+        return depth
+
+    def adjacency(self) -> Dict[int, List[int]]:
+        """Switch adjacency (tree and extra links) for analysis code."""
+        out: Dict[int, List[int]] = {s: [] for s in range(self.num_switches)}
+        for a, b in sorted(self._adjacent):
+            out[a].append(b)
+            out[b].append(a)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"IrregularNetwork(switches={self.num_switches}, "
+            f"hosts={self.num_hosts}, extras={self.extra_links_added})"
+        )

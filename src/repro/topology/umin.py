@@ -1,0 +1,130 @@
+"""Unidirectional multistage interconnection networks (a-ary n-fly).
+
+In a unidirectional MIN every message crosses all ``n`` stages from the
+injection side to the ejection side.  We build the classic butterfly:
+stage *s* resolves one digit of the destination address, so
+destination-tag routing works and, for multidestination worms, the
+destination set splits across a switch's output ports by digit — the same
+reachability-AND decode used on the bidirectional MIN, with no up-ports at
+all.
+
+Port convention: on every switch, ports ``0..a-1`` are the *input* side
+(incoming links only) and ports ``a..2a-1`` are the *output* side
+(outgoing links only).  Hosts inject into stage 0 and eject from stage
+``n-1``, so a host's outgoing and incoming links meet different switches;
+:meth:`Topology.validate` is therefore run with ``require_symmetric=False``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import TopologyError
+from repro.topology.graph import Endpoint, Topology
+
+
+class UnidirectionalMin:
+    """An a-ary n-fly butterfly MIN serving ``arity**stages`` hosts."""
+
+    def __init__(self, arity: int, stages: int) -> None:
+        if arity < 2:
+            raise TopologyError("arity must be at least 2")
+        if stages < 1:
+            raise TopologyError("stages must be at least 1")
+        self.arity = arity
+        self.stages = stages
+        self.num_hosts = arity**stages
+        self.switches_per_stage = arity ** (stages - 1)
+        self.num_switches = stages * self.switches_per_stage
+        self.topology = self._build()
+        self.topology.validate(require_symmetric=False)
+
+    # ------------------------------------------------------------------
+    # identity helpers
+    # ------------------------------------------------------------------
+    def switch_id(self, stage: int, index: int) -> int:
+        """Flat switch id of ``<stage, index>``."""
+        if not 0 <= stage < self.stages:
+            raise TopologyError(f"stage {stage} outside 0..{self.stages - 1}")
+        if not 0 <= index < self.switches_per_stage:
+            raise TopologyError(
+                f"switch index {index} outside 0..{self.switches_per_stage - 1}"
+            )
+        return stage * self.switches_per_stage + index
+
+    def switch_stage(self, switch_id: int) -> int:
+        """Stage of a flat switch id."""
+        return switch_id // self.switches_per_stage
+
+    def input_ports(self, switch_id: int) -> range:
+        """Input-side port indices (incoming links only)."""
+        return range(self.arity)
+
+    def output_ports(self, switch_id: int) -> range:
+        """Output-side port indices (outgoing links only)."""
+        return range(self.arity, 2 * self.arity)
+
+    # ------------------------------------------------------------------
+    # address-digit helpers
+    # ------------------------------------------------------------------
+    def _remove_digit(self, value: int, position: int) -> Tuple[int, int]:
+        """Split ``value`` into (value-without-digit, digit) at ``position``."""
+        base = self.arity**position
+        digit = value // base % self.arity
+        high = value // (base * self.arity)
+        low = value % base
+        return high * base + low, digit
+
+    def _insert_digit(self, word: int, position: int, digit: int) -> int:
+        """Inverse of :meth:`_remove_digit`."""
+        base = self.arity**position
+        high = word // base
+        low = word % base
+        return (high * self.arity + digit) * base + low
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build(self) -> Topology:
+        topo = Topology(
+            num_hosts=self.num_hosts,
+            switch_ports=[2 * self.arity] * self.num_switches,
+        )
+        # Hosts inject into stage 0.  Address h: stage 0 groups addresses
+        # that differ only in the most significant digit (position n-1).
+        for host in range(self.num_hosts):
+            word, digit = self._remove_digit(host, self.stages - 1)
+            switch = self.switch_id(0, word)
+            topo.add_link(Endpoint.host(host), Endpoint.switch(switch, digit))
+        # Stage s output p rewrites digit (n-1-s) to p; the resulting
+        # address determines the stage s+1 switch and input lane.
+        for stage in range(self.stages - 1):
+            digit_here = self.stages - 1 - stage
+            digit_next = self.stages - 2 - stage
+            for word in range(self.switches_per_stage):
+                src_switch = self.switch_id(stage, word)
+                for p in range(self.arity):
+                    address = self._insert_digit(word, digit_here, p)
+                    next_word, lane = self._remove_digit(address, digit_next)
+                    dst_switch = self.switch_id(stage + 1, next_word)
+                    topo.add_link(
+                        Endpoint.switch(src_switch, self.arity + p),
+                        Endpoint.switch(dst_switch, lane),
+                    )
+        # Final stage resolves digit 0 and ejects straight to the host.
+        last = self.stages - 1
+        for word in range(self.switches_per_stage):
+            src_switch = self.switch_id(last, word)
+            for p in range(self.arity):
+                host = self._insert_digit(word, 0, p)
+                topo.add_link(
+                    Endpoint.switch(src_switch, self.arity + p),
+                    Endpoint.host(host),
+                )
+        return topo
+
+    def __repr__(self) -> str:
+        return (
+            f"UnidirectionalMin(arity={self.arity}, stages={self.stages}, "
+            f"hosts={self.num_hosts})"
+        )

@@ -1,0 +1,39 @@
+"""The workload contract.
+
+A workload schedules message generation onto a built network and decides
+when the experiment is over.  Workloads never touch flits or switches —
+they talk to :class:`~repro.host.node.HostNode` objects only, exactly as
+application software would.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.network.builder import Network
+
+
+class Workload(ABC):
+    """Drives message generation for one experiment run."""
+
+    #: short identifier used in reports
+    name: str = "workload"
+
+    @abstractmethod
+    def start(self, network: "Network") -> None:
+        """Schedule the workload's initial events on the network's kernel.
+
+        Implementations should also call
+        ``network.collector.set_sample_window(...)`` so warm-up traffic is
+        excluded from statistics.
+        """
+
+    @abstractmethod
+    def finished(self, network: "Network") -> bool:
+        """True when the experiment is complete (checked every cycle)."""
+
+    def max_cycles_hint(self) -> int:
+        """A generous upper bound on run length, for runaway protection."""
+        return 10_000_000

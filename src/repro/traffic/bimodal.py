@@ -1,0 +1,110 @@
+"""Bimodal traffic: background unicast plus a multicast component (E4).
+
+The paper's bimodal experiments measure how a multicast implementation
+degrades the *other* traffic: hosts generate a Poisson stream in which a
+fraction of messages are multicasts and the rest are ordinary unicasts.
+Because a software multicast turns one operation into ~d unicasts with
+fresh start-ups, it loads the network far more than one multidestination
+worm — the effect this workload exposes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.schemes import MulticastScheme
+from repro.traffic.base import Workload
+from repro.traffic.multicast import _random_destinations
+from repro.traffic.schedules import PoissonArrivals, mean_gap_for_load
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.network.builder import Network
+
+
+class BimodalTraffic(Workload):
+    """Mixed unicast/multicast open-loop traffic.
+
+    Parameters
+    ----------
+    load:
+        Offered fraction of each host's injection bandwidth, computed
+        from the *generation* rate with unicast-sized messages — the same
+        nominal load therefore produces identical message streams for
+        hardware and software multicast, isolating the scheme's impact.
+    multicast_fraction:
+        Probability that a generated message is a multicast operation.
+    degree:
+        Destinations per multicast.
+    scheme:
+        How multicasts are implemented (unicasts are unaffected).
+    """
+
+    name = "bimodal"
+
+    def __init__(
+        self,
+        load: float,
+        multicast_fraction: float = 1.0 / 16.0,
+        degree: int = 8,
+        payload_flits: int = 32,
+        scheme: MulticastScheme = MulticastScheme.HARDWARE,
+        warmup_cycles: int = 2_000,
+        measure_cycles: int = 10_000,
+    ) -> None:
+        if not 0.0 <= multicast_fraction <= 1.0:
+            raise ValueError("multicast_fraction must be within [0, 1]")
+        if payload_flits < 1:
+            raise ValueError("payload_flits must be >= 1")
+        self.load = load
+        self.multicast_fraction = multicast_fraction
+        self.degree = degree
+        self.payload_flits = payload_flits
+        self.scheme = scheme
+        self.warmup_cycles = warmup_cycles
+        self.measure_cycles = measure_cycles
+        self._stop_generation = warmup_cycles + measure_cycles
+
+    def start(self, network: "Network") -> None:
+        header = network.unicast_header_flits()
+        arrivals = PoissonArrivals(
+            mean_gap_for_load(self.load, header + self.payload_flits)
+        )
+        network.collector.set_sample_window(
+            self.warmup_cycles, self._stop_generation
+        )
+        rng = network.sim.rng.stream("workload.bimodal")
+        for host in range(network.num_hosts):
+            self._schedule_next(network, host, arrivals, rng)
+
+    def _schedule_next(self, network, host, arrivals, rng) -> None:
+        when = network.sim.now + arrivals.next_gap(rng)
+        if when >= self._stop_generation:
+            return
+
+        def fire() -> None:
+            if rng.random() < self.multicast_fraction:
+                dest_set = _random_destinations(
+                    rng, network.num_hosts, host, self.degree
+                )
+                network.nodes[host].post_multicast(
+                    dest_set, self.payload_flits, self.scheme
+                )
+            else:
+                destination = rng.randrange(network.num_hosts - 1)
+                if destination >= host:
+                    destination += 1
+                network.nodes[host].post_unicast(
+                    destination, self.payload_flits
+                )
+            self._schedule_next(network, host, arrivals, rng)
+
+        network.sim.schedule_at(when, fire)
+
+    def finished(self, network: "Network") -> bool:
+        return (
+            network.sim.now >= self._stop_generation
+            and network.collector.outstanding_messages == 0
+        )
+
+    def max_cycles_hint(self) -> int:
+        return self._stop_generation * 30 + 500_000

@@ -1,0 +1,103 @@
+"""Hot-spot traffic (the paper's "we are also studying" pattern).
+
+A fraction of all unicast messages target one *hot* host (a file server,
+a lock home, a reduction root); the rest are uniform random.  Hot-spot
+traffic is the classic stress test for buffer organisations: tree
+saturation around the hot module fills buffers along whole paths, and a
+shared central buffer absorbs the transient far better than statically
+partitioned input buffers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.traffic.base import Workload
+from repro.traffic.schedules import PoissonArrivals, mean_gap_for_load
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.network.builder import Network
+
+
+class HotspotTraffic(Workload):
+    """Uniform unicast background with a hot destination.
+
+    Parameters
+    ----------
+    load:
+        Offered fraction of each host's injection bandwidth.
+    hotspot_fraction:
+        Probability a message targets the hot host instead of a uniform
+        destination.
+    hotspot_host:
+        The hot destination (never generates hot traffic to itself).
+    """
+
+    name = "hotspot"
+
+    def __init__(
+        self,
+        load: float,
+        hotspot_fraction: float = 0.05,
+        hotspot_host: int = 0,
+        payload_flits: int = 32,
+        warmup_cycles: int = 2_000,
+        measure_cycles: int = 10_000,
+    ) -> None:
+        if not 0.0 <= hotspot_fraction <= 1.0:
+            raise ValueError("hotspot_fraction must be within [0, 1]")
+        if payload_flits < 1:
+            raise ValueError("payload_flits must be >= 1")
+        self.load = load
+        self.hotspot_fraction = hotspot_fraction
+        self.hotspot_host = hotspot_host
+        self.payload_flits = payload_flits
+        self.warmup_cycles = warmup_cycles
+        self.measure_cycles = measure_cycles
+        self._stop_generation = warmup_cycles + measure_cycles
+
+    def start(self, network: "Network") -> None:
+        if not 0 <= self.hotspot_host < network.num_hosts:
+            raise ValueError(
+                f"hotspot host {self.hotspot_host} outside the system"
+            )
+        header = network.unicast_header_flits()
+        arrivals = PoissonArrivals(
+            mean_gap_for_load(self.load, header + self.payload_flits)
+        )
+        network.collector.set_sample_window(
+            self.warmup_cycles, self._stop_generation
+        )
+        rng = network.sim.rng.stream("workload.hotspot")
+        for host in range(network.num_hosts):
+            self._schedule_next(network, host, arrivals, rng)
+
+    def _schedule_next(self, network, host, arrivals, rng) -> None:
+        when = network.sim.now + arrivals.next_gap(rng)
+        if when >= self._stop_generation:
+            return
+
+        def fire() -> None:
+            hot = (
+                rng.random() < self.hotspot_fraction
+                and host != self.hotspot_host
+            )
+            if hot:
+                destination = self.hotspot_host
+            else:
+                destination = rng.randrange(network.num_hosts - 1)
+                if destination >= host:
+                    destination += 1
+            network.nodes[host].post_unicast(destination, self.payload_flits)
+            self._schedule_next(network, host, arrivals, rng)
+
+        network.sim.schedule_at(when, fire)
+
+    def finished(self, network: "Network") -> bool:
+        return (
+            network.sim.now >= self._stop_generation
+            and network.collector.outstanding_messages == 0
+        )
+
+    def max_cycles_hint(self) -> int:
+        return self._stop_generation * 40 + 500_000

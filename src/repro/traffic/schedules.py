@@ -1,0 +1,38 @@
+"""Arrival processes for open-loop traffic generation."""
+
+from __future__ import annotations
+
+from random import Random
+
+
+class PoissonArrivals:
+    """Integer-cycle Poisson arrivals with a given mean inter-arrival time.
+
+    Gaps are exponentially distributed, rounded to whole cycles with a
+    floor of one cycle, which preserves the mean well for the gap sizes
+    (tens to thousands of cycles) these experiments use.
+    """
+
+    def __init__(self, mean_gap: float) -> None:
+        if mean_gap <= 0:
+            raise ValueError("mean_gap must be positive")
+        self.mean_gap = mean_gap
+
+    def next_gap(self, rng: Random) -> int:
+        """Draw the next inter-arrival gap in cycles (>= 1)."""
+        return max(1, round(rng.expovariate(1.0 / self.mean_gap)))
+
+
+def mean_gap_for_load(
+    load: float, packet_size_flits: int
+) -> float:
+    """Inter-arrival mean that offers ``load`` of a link's bandwidth.
+
+    ``load`` is the fraction of a host's injection-link capacity (one
+    flit per cycle) consumed by packets of ``packet_size_flits`` flits.
+    """
+    if not 0.0 < load <= 1.0:
+        raise ValueError("load must be in (0, 1]")
+    if packet_size_flits < 1:
+        raise ValueError("packet_size_flits must be >= 1")
+    return packet_size_flits / load

@@ -1,0 +1,148 @@
+"""Trace-driven workloads: replay an explicit message schedule.
+
+For calibration, regression pinning, and apples-to-apples comparisons,
+an experiment sometimes needs the *exact same* message sequence across
+configurations rather than a statistically identical one.  A
+:class:`TraceWorkload` replays a list of :class:`TraceRecord` entries —
+or a CSV export of one — injecting each message at its recorded cycle.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import IO, List, Optional, Sequence, Tuple, Union
+
+from repro.core.schemes import MulticastScheme
+from repro.flits.destset import DestinationSet
+from repro.traffic.base import Workload
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One scheduled message: unicast or multicast."""
+
+    cycle: int
+    source: int
+    destinations: Tuple[int, ...]
+    payload_flits: int
+    #: None for unicast; a scheme for multicast operations
+    scheme: Optional[MulticastScheme] = None
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise ValueError("cycle must be non-negative")
+        if not self.destinations:
+            raise ValueError("a record needs at least one destination")
+        if self.payload_flits < 1:
+            raise ValueError("payload_flits must be >= 1")
+        if len(self.destinations) > 1 and self.scheme is None:
+            raise ValueError("multi-destination records need a scheme")
+
+    # ------------------------------------------------------------------
+    # CSV round-trip
+    # ------------------------------------------------------------------
+    def to_csv_row(self) -> str:
+        """``cycle,source,payload,scheme,dest1;dest2;...``"""
+        scheme = self.scheme.value if self.scheme else "unicast"
+        dests = ";".join(str(d) for d in self.destinations)
+        return f"{self.cycle},{self.source},{self.payload_flits},{scheme},{dests}"
+
+    @classmethod
+    def from_csv_row(cls, row: str) -> "TraceRecord":
+        """Inverse of :meth:`to_csv_row`."""
+        parts = row.strip().split(",")
+        if len(parts) != 5:
+            raise ValueError(f"malformed trace row: {row!r}")
+        cycle, source, payload, scheme_text, dests = parts
+        scheme = (
+            None if scheme_text == "unicast"
+            else MulticastScheme(scheme_text)
+        )
+        return cls(
+            cycle=int(cycle),
+            source=int(source),
+            destinations=tuple(int(d) for d in dests.split(";")),
+            payload_flits=int(payload),
+            scheme=scheme,
+        )
+
+
+class TraceWorkload(Workload):
+    """Replays an explicit message schedule, then drains."""
+
+    name = "trace"
+
+    def __init__(self, records: Sequence[TraceRecord]) -> None:
+        if not records:
+            raise ValueError("a trace needs at least one record")
+        self.records = sorted(records, key=lambda r: r.cycle)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_csv(cls, text_or_stream: Union[str, IO[str]]) -> "TraceWorkload":
+        """Parse a trace from CSV text or a readable stream.
+
+        Blank lines and lines starting with ``#`` are ignored.
+        """
+        if isinstance(text_or_stream, str):
+            stream: IO[str] = io.StringIO(text_or_stream)
+        else:
+            stream = text_or_stream
+        records: List[TraceRecord] = []
+        for line in stream:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            records.append(TraceRecord.from_csv_row(stripped))
+        return cls(records)
+
+    def to_csv(self) -> str:
+        """The trace as CSV text (header comment included)."""
+        lines = ["# cycle,source,payload_flits,scheme,destinations"]
+        lines.extend(record.to_csv_row() for record in self.records)
+        return "\n".join(lines) + "\n"
+
+    # ------------------------------------------------------------------
+    # Workload contract
+    # ------------------------------------------------------------------
+    def start(self, network) -> None:
+        network.collector.set_sample_window(0)
+        for record in self.records:
+            if record.source >= network.num_hosts:
+                raise ValueError(
+                    f"trace source {record.source} outside the system"
+                )
+            network.sim.schedule_at(
+                record.cycle, self._firer(network, record)
+            )
+
+    @staticmethod
+    def _firer(network, record: TraceRecord):
+        def fire() -> None:
+            node = network.nodes[record.source]
+            if record.scheme is None:
+                node.post_unicast(
+                    record.destinations[0], record.payload_flits
+                )
+            else:
+                node.post_multicast(
+                    DestinationSet.from_ids(
+                        network.num_hosts, record.destinations
+                    ),
+                    record.payload_flits,
+                    record.scheme,
+                )
+        return fire
+
+    def finished(self, network) -> bool:
+        return (
+            network.sim.now > self.records[-1].cycle
+            and network.collector.outstanding_messages == 0
+            and network.sim.pending_events == 0
+        )
+
+    def max_cycles_hint(self) -> int:
+        return self.records[-1].cycle + 2_000_000

@@ -1,0 +1,128 @@
+"""Point-to-point background workloads."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.traffic.base import Workload
+from repro.traffic.schedules import PoissonArrivals, mean_gap_for_load
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.network.builder import Network
+
+
+class UniformRandomUnicast(Workload):
+    """Open-loop uniform random unicast traffic at a given offered load.
+
+    Every host generates messages with Poisson arrivals; each message
+    targets a uniformly random other host.  Generation runs for
+    ``warmup_cycles + measure_cycles``; statistics sample only messages
+    created in the measurement window; the run then drains.
+    """
+
+    name = "uniform_unicast"
+
+    def __init__(
+        self,
+        load: float,
+        payload_flits: int = 32,
+        warmup_cycles: int = 2_000,
+        measure_cycles: int = 10_000,
+    ) -> None:
+        if payload_flits < 1:
+            raise ValueError("payload_flits must be >= 1")
+        if warmup_cycles < 0 or measure_cycles < 1:
+            raise ValueError("invalid warmup/measure window")
+        self.load = load
+        self.payload_flits = payload_flits
+        self.warmup_cycles = warmup_cycles
+        self.measure_cycles = measure_cycles
+        self._stop_generation = warmup_cycles + measure_cycles
+
+    def start(self, network: "Network") -> None:
+        header = network.unicast_header_flits()
+        arrivals = PoissonArrivals(
+            mean_gap_for_load(self.load, header + self.payload_flits)
+        )
+        network.collector.set_sample_window(
+            self.warmup_cycles, self._stop_generation
+        )
+        rng = network.sim.rng.stream("workload.unicast")
+        for host in range(network.num_hosts):
+            self._schedule_next(network, host, arrivals, rng)
+
+    def _schedule_next(self, network, host, arrivals, rng) -> None:
+        gap = arrivals.next_gap(rng)
+        when = network.sim.now + gap
+        if when >= self._stop_generation:
+            return
+
+        def fire() -> None:
+            destination = rng.randrange(network.num_hosts - 1)
+            if destination >= host:
+                destination += 1
+            network.nodes[host].post_unicast(destination, self.payload_flits)
+            self._schedule_next(network, host, arrivals, rng)
+
+        network.sim.schedule_at(when, fire)
+
+    def finished(self, network: "Network") -> bool:
+        return (
+            network.sim.now >= self._stop_generation
+            and network.collector.outstanding_messages == 0
+        )
+
+    def max_cycles_hint(self) -> int:
+        return self._stop_generation * 20 + 200_000
+
+
+class PermutationTraffic(Workload):
+    """Each host sends one message to a fixed permutation partner.
+
+    A closed, finite workload useful for validation: with the bit-reversal
+    or shift permutations on a MIN the zero-load latency of every message
+    is analytically known.
+    """
+
+    name = "permutation"
+
+    def __init__(
+        self,
+        payload_flits: int = 32,
+        shift: int = 1,
+        start_cycle: int = 0,
+        permutation: Optional[list] = None,
+    ) -> None:
+        if payload_flits < 1:
+            raise ValueError("payload_flits must be >= 1")
+        self.payload_flits = payload_flits
+        self.shift = shift
+        self.start_cycle = start_cycle
+        self.permutation = permutation
+
+    def start(self, network: "Network") -> None:
+        network.collector.set_sample_window(0)
+        n = network.num_hosts
+        mapping = self.permutation or [
+            (host + self.shift) % n for host in range(n)
+        ]
+        if sorted(mapping) != list(range(n)):
+            raise ValueError("mapping is not a permutation")
+
+        def fire() -> None:
+            for host, destination in enumerate(mapping):
+                if destination != host:
+                    network.nodes[host].post_unicast(
+                        destination, self.payload_flits
+                    )
+
+        network.sim.schedule_at(self.start_cycle, fire)
+
+    def finished(self, network: "Network") -> bool:
+        return (
+            network.sim.now > self.start_cycle
+            and network.collector.outstanding_messages == 0
+        )
+
+    def max_cycles_hint(self) -> int:
+        return 1_000_000

@@ -1,0 +1,154 @@
+"""Gather, all-gather and scatter protocols."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectives.gather import (
+    GatherEngine,
+    ScatterEngine,
+    ScatterStrategy,
+)
+from repro.core.schemes import MulticastScheme
+from repro.errors import ConfigurationError, ProtocolError
+from repro.network.builder import build_network
+from repro.network.config import SimulationConfig
+
+
+def rig(num_hosts=16, seed=1):
+    network = build_network(SimulationConfig(num_hosts=num_hosts, seed=seed))
+    return network
+
+
+def run_gather(network, engine, operation, hosts):
+    network.sim.schedule_at(
+        0, lambda: [engine.contribute(operation, h) for h in hosts]
+    )
+    network.sim.run_until(
+        lambda: operation.complete, max_cycles=300_000, stall_limit=30_000
+    )
+    return operation
+
+
+class TestGather:
+    def test_pure_gather_ends_at_root(self):
+        network = rig()
+        engine = GatherEngine(network.nodes)
+        operation = engine.create(list(range(16)), block_flits=8)
+        run_gather(network, engine, operation, range(16))
+        assert operation.gathered_cycle == operation.completed_cycle
+        # the root holds every block
+        assert operation.blocks_held[operation.root] == 16
+
+    def test_block_conservation_along_tree(self):
+        network = rig()
+        engine = GatherEngine(network.nodes)
+        operation = engine.create(list(range(16)), block_flits=4)
+        run_gather(network, engine, operation, range(16))
+        # each internal node held exactly its subtree's blocks
+        for host in operation.participants:
+            assert operation.blocks_held[host] == operation.subtree_size(host)
+
+    def test_subset_participants(self):
+        network = rig()
+        engine = GatherEngine(network.nodes)
+        participants = [3, 6, 9, 12]
+        operation = engine.create(participants, block_flits=8)
+        run_gather(network, engine, operation, participants)
+        assert operation.blocks_held[3] == 4
+
+    def test_allgather_hardware_beats_software(self):
+        def latency(scheme):
+            network = rig(seed=5)
+            engine = GatherEngine(network.nodes)
+            operation = engine.create(
+                list(range(16)), block_flits=8, broadcast_result=scheme
+            )
+            run_gather(network, engine, operation, range(16))
+            return operation.last_latency
+
+        assert latency(MulticastScheme.HARDWARE) < latency(
+            MulticastScheme.SOFTWARE
+        )
+
+    def test_allgather_reaches_everyone(self):
+        network = rig()
+        engine = GatherEngine(network.nodes)
+        operation = engine.create(
+            list(range(16)), block_flits=8,
+            broadcast_result=MulticastScheme.HARDWARE,
+        )
+        run_gather(network, engine, operation, range(16))
+        assert set(operation.result_cycles) == set(range(16))
+
+    def test_bigger_blocks_cost_more(self):
+        def latency(block):
+            network = rig(seed=6)
+            engine = GatherEngine(network.nodes)
+            operation = engine.create(list(range(16)), block_flits=block)
+            run_gather(network, engine, operation, range(16))
+            return operation.last_latency
+
+        assert latency(32) > latency(4)
+
+    def test_errors(self):
+        network = rig()
+        engine = GatherEngine(network.nodes)
+        with pytest.raises(ConfigurationError):
+            engine.create([5])
+        operation = engine.create([1, 2, 3])
+        with pytest.raises(ProtocolError):
+            engine.contribute(operation, 9)
+        engine.contribute(operation, 1)
+        with pytest.raises(ProtocolError):
+            engine.contribute(operation, 1)
+
+
+class TestScatter:
+    def run_scatter(self, network, engine, operation):
+        network.sim.schedule_at(0, lambda: engine.start(operation))
+        network.sim.run_until(
+            lambda: operation.complete, max_cycles=300_000,
+            stall_limit=30_000,
+        )
+        return operation
+
+    @pytest.mark.parametrize("strategy", list(ScatterStrategy))
+    def test_every_host_gets_its_block(self, strategy):
+        network = rig()
+        engine = ScatterEngine(network.nodes)
+        operation = engine.create(
+            0, list(range(16)), block_flits=8, strategy=strategy
+        )
+        self.run_scatter(network, engine, operation)
+        assert set(operation.block_cycles) == set(range(16))
+
+    def test_tree_beats_direct_for_many_blocks(self):
+        """Delegation halves the root's serialized start-ups; with enough
+        participants the tree wins despite moving more total bytes."""
+        def latency(strategy):
+            network = rig(seed=7, num_hosts=64)
+            engine = ScatterEngine(network.nodes)
+            operation = engine.create(
+                0, list(range(64)), block_flits=4, strategy=strategy
+            )
+            return self.run_scatter(network, engine, operation).last_latency
+
+        assert latency(ScatterStrategy.TREE) < latency(
+            ScatterStrategy.DIRECT
+        )
+
+    def test_non_root_root_rejected(self):
+        network = rig()
+        engine = ScatterEngine(network.nodes)
+        with pytest.raises(ConfigurationError):
+            engine.create(9, [1, 2, 3])
+
+    def test_subtree_partition(self):
+        network = rig()
+        engine = ScatterEngine(network.nodes)
+        operation = engine.create(0, list(range(16)))
+        collected = []
+        for child in operation.children.get(0, []):
+            collected.extend(operation.subtree(child))
+        assert sorted(collected + [0]) == list(range(16))

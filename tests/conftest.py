@@ -1,0 +1,56 @@
+"""Shared fixtures and helpers for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schemes import MulticastScheme, SwitchArchitecture
+from repro.flits.destset import DestinationSet
+from repro.network.builder import Network, build_network
+from repro.network.config import SimulationConfig
+from repro.network.simulation import SimulationResult, run_workload
+from repro.traffic.base import Workload
+
+
+def tiny_config(**overrides) -> SimulationConfig:
+    """A 16-host central-buffer BMIN with internal checks on."""
+    defaults = dict(num_hosts=16, self_check=True)
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+def small_config(**overrides) -> SimulationConfig:
+    """The paper's default 64-host system (checks on, fast parameters)."""
+    defaults = dict(num_hosts=64, self_check=True)
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+def run(config: SimulationConfig, workload: Workload, **kwargs) -> SimulationResult:
+    """Build and run, asserting the workload completed."""
+    network = build_network(config)
+    result = run_workload(network, workload, **kwargs)
+    assert result.completed, "workload exceeded its cycle budget"
+    return result
+
+
+def run_network(config: SimulationConfig, workload: Workload, **kwargs):
+    """Like :func:`run` but also returns the network for inspection."""
+    network = build_network(config)
+    result = run_workload(network, workload, **kwargs)
+    return result, network
+
+
+def dests(universe: int, *ids: int) -> DestinationSet:
+    """Shorthand destination-set constructor."""
+    return DestinationSet.from_ids(universe, ids)
+
+
+@pytest.fixture
+def tiny_network() -> Network:
+    """A built (unrun) 16-host central-buffer network."""
+    return build_network(tiny_config())
+
+
+ALL_ARCHITECTURES = list(SwitchArchitecture)
+ALL_SCHEMES = list(MulticastScheme)

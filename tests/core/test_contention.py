@@ -1,0 +1,130 @@
+"""Static contention analysis, including the U-MIN phase property."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.contention import (
+    binomial_phases,
+    flow_link_load,
+    multicast_link_load,
+    phase_conflicts,
+    unicast_links,
+)
+from repro.routing.reachability import tables_for_bmin
+from repro.topology.bmin import BidirectionalMin
+
+BMIN = BidirectionalMin(4, 3)
+TABLES = tables_for_bmin(BMIN)
+
+
+class TestBinomialPhases:
+    def test_doc_example(self):
+        phases = binomial_phases(0, [1, 2, 3])
+        assert [sorted(p) for p in phases] == [[(0, 2)], [(0, 1), (2, 3)]]
+
+    def test_phase_count_is_logarithmic(self):
+        phases = binomial_phases(0, list(range(1, 64)))
+        assert len(phases) == 6  # ceil(log2(64))
+
+    def test_every_destination_receives_once(self):
+        phases = binomial_phases(3, [0, 1, 2, 4, 5, 9])
+        receivers = [r for phase in phases for _, r in phase]
+        assert sorted(receivers) == [0, 1, 2, 4, 5, 9]
+
+    def test_senders_informed_before_sending(self):
+        phases = binomial_phases(0, list(range(1, 16)))
+        informed = {0}
+        for phase in phases:
+            for sender, _receiver in phase:
+                assert sender in informed
+            for _sender, receiver in phase:
+                informed.add(receiver)
+
+    def test_phase_sizes_double(self):
+        phases = binomial_phases(0, list(range(1, 16)))
+        assert [len(p) for p in phases] == [1, 2, 4, 8]
+
+
+class TestUnicastLinks:
+    def test_same_leaf_single_link(self):
+        # only switch output links are counted: one leaf switch, one
+        # host-facing port
+        links = unicast_links(BMIN.topology, TABLES, 0, 1)
+        assert len(links) == 1
+
+    def test_path_length_matches_hops(self):
+        for source, dest in ((0, 1), (0, 5), (0, 63)):
+            links = unicast_links(BMIN.topology, TABLES, source, dest)
+            hops = BMIN.min_switch_hops(source, dest)
+            # a path over h switches crosses h outgoing switch links
+            assert len(links) == hops
+
+    def test_deterministic(self):
+        a = unicast_links(BMIN.topology, TABLES, 3, 42)
+        b = unicast_links(BMIN.topology, TABLES, 3, 42)
+        assert a == b
+
+
+class TestUminPhaseProperty:
+    def test_broadcast_from_zero_is_contention_free(self):
+        """The U-MIN claim (ref [38]): with id-sorted halving, the
+        unicasts of each phase use disjoint links."""
+        conflicts = phase_conflicts(
+            BMIN.topology, TABLES, 0, list(range(1, 64))
+        )
+        assert conflicts == [1] * len(conflicts)
+
+    @pytest.mark.parametrize("source", [0, 16, 63])
+    def test_broadcast_from_any_corner(self, source):
+        destinations = [h for h in range(64) if h != source]
+        conflicts = phase_conflicts(
+            BMIN.topology, TABLES, source, destinations
+        )
+        # halving is nearly aligned for any source: no phase ever stacks
+        # more than 2 flows on a link
+        assert max(conflicts) <= 2
+
+    @given(
+        st.sets(st.integers(0, 63), min_size=2, max_size=24),
+        st.integers(0, 63),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_total_load_equals_sum_of_path_lengths(self, dests, source):
+        dests.discard(source)
+        if not dests:
+            return
+        phases = binomial_phases(source, sorted(dests))
+        flows = [flow for phase in phases for flow in phase]
+        load = flow_link_load(BMIN.topology, TABLES, flows)
+        total = sum(load.values())
+        expected = sum(
+            BMIN.min_switch_hops(s, d) for s, d in flows
+        )
+        assert total == expected
+
+
+class TestMulticastFootprint:
+    def test_single_worm_loads_each_link_once(self):
+        load = multicast_link_load(
+            BMIN.topology, TABLES, [(0, [5, 21, 42])]
+        )
+        assert set(load.values()) == {1}
+
+    def test_hardware_footprint_smaller_than_software(self):
+        """One worm tree crosses far fewer links than the binomial
+        unicasts covering the same destination set."""
+        dests = [1, 9, 17, 25, 33, 41, 49, 57]
+        worm = multicast_link_load(BMIN.topology, TABLES, [(0, dests)])
+        flows = [
+            flow for phase in binomial_phases(0, dests) for flow in phase
+        ]
+        software = flow_link_load(BMIN.topology, TABLES, flows)
+        assert sum(worm.values()) < sum(software.values())
+
+    def test_overlapping_worms_stack(self):
+        operations = [(0, [40, 41]), (1, [40, 41])]
+        load = multicast_link_load(BMIN.topology, TABLES, operations)
+        assert max(load.values()) <= 2
+        assert sum(load.values()) > 0

@@ -1,0 +1,136 @@
+"""Closed-form latency models, cross-checked against the simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.latency_model import (
+    hardware_multicast_zero_load,
+    software_multicast_phase_count,
+    software_multicast_zero_load,
+    unicast_zero_load,
+)
+from repro.core.schemes import MulticastScheme
+from repro.network.builder import build_network
+from repro.network.config import SimulationConfig
+from repro.network.simulation import run_workload
+from repro.topology.bmin import BidirectionalMin
+from repro.traffic.multicast import SingleMulticast
+from repro.traffic.unicast import PermutationTraffic
+
+
+class TestFormulas:
+    def test_unicast_zero_hops(self):
+        # source and destination on the same switch: one link in, one out
+        assert unicast_zero_load(
+            hops=1, size_flits=10, link_latency=1, routing_delay=0,
+            header_flits=1,
+        ) == 2 + 9
+
+    def test_hardware_equals_unicast_of_deepest_branch(self):
+        assert hardware_multicast_zero_load(5, 33) == unicast_zero_load(5, 33)
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(ValueError):
+            unicast_zero_load(-1, 4)
+
+    def test_phase_count(self):
+        assert software_multicast_phase_count(0) == 0
+        assert software_multicast_phase_count(1) == 1
+        assert software_multicast_phase_count(3) == 2
+        assert software_multicast_phase_count(7) == 3
+        assert software_multicast_phase_count(8) == 4
+        with pytest.raises(ValueError):
+            software_multicast_phase_count(-1)
+
+    def test_software_slower_than_hardware(self):
+        bmin = BidirectionalMin(4, 3)
+        dests = [8, 16, 24, 32, 40, 48, 56]
+        hops = {
+            (a, b): bmin.min_switch_hops(a, b)
+            for a in [0] + dests
+            for b in [0] + dests
+        }
+        sw = software_multicast_zero_load(
+            0, dests, hops, size_flits=33, send_overhead=40, recv_overhead=40
+        )
+        hw = hardware_multicast_zero_load(5, 33, send_overhead=40)
+        assert sw > 2 * hw
+
+
+class TestAgreementWithSimulator:
+    """The flit simulator must land on the analytic numbers at zero load."""
+
+    def test_hardware_multicast_matches_exactly(self):
+        cfg = SimulationConfig(num_hosts=16, self_check=True)
+        network = build_network(cfg)
+        dests = [5, 7, 8, 11]
+        workload = SingleMulticast(
+            source=0, destinations=dests, payload_flits=32,
+            scheme=MulticastScheme.HARDWARE,
+        )
+        result = run_workload(network, workload)
+        (op,) = result.collector.completed_operations()
+        bmin = network.topology_object
+        lca = bmin.lca_level([0] + dests)
+        header = network.encoding.header_flits(op.destinations)
+        expected = hardware_multicast_zero_load(
+            max_hops=2 * lca + 1,
+            size_flits=header + 32,
+            link_latency=cfg.link_latency,
+            routing_delay=cfg.routing_delay,
+            header_flits=header,
+            send_overhead=cfg.sw_send_overhead,
+        )
+        assert op.last_latency == expected
+
+    def test_unicast_permutation_matches(self):
+        """Neighbour swap (h <-> h^1) keeps every flow on its own leaf
+        switch with no shared links, so all 16 latencies equal the model."""
+        cfg = SimulationConfig(num_hosts=16, self_check=True)
+        network = build_network(cfg)
+        mapping = [h ^ 1 for h in range(16)]
+        result = run_workload(
+            network, PermutationTraffic(payload_flits=16, permutation=mapping)
+        )
+        stats = result.unicast_latency
+        assert stats.count == 16
+        header = network.unicast_header_flits()
+        expected = unicast_zero_load(
+            hops=1,  # partners share their leaf switch
+            size_flits=header + 16,
+            link_latency=cfg.link_latency,
+            routing_delay=cfg.routing_delay,
+            header_flits=header,
+            send_overhead=cfg.sw_send_overhead,
+        )
+        assert stats.min == stats.max == expected
+
+    def test_software_multicast_close_to_model(self):
+        cfg = SimulationConfig(num_hosts=64, self_check=True)
+        network = build_network(cfg)
+        dests = [8, 16, 24, 32]
+        workload = SingleMulticast(
+            source=0, destinations=dests, payload_flits=32,
+            scheme=MulticastScheme.SOFTWARE,
+        )
+        result = run_workload(network, workload)
+        (op,) = result.collector.completed_operations()
+        bmin = network.topology_object
+        hops = {
+            (a, b): bmin.min_switch_hops(a, b)
+            for a in [0] + dests
+            for b in [0] + dests
+        }
+        header = network.unicast_header_flits()
+        expected = software_multicast_zero_load(
+            0, dests, hops,
+            size_flits=header + 32,
+            link_latency=cfg.link_latency,
+            routing_delay=cfg.routing_delay,
+            header_flits=header,
+            send_overhead=cfg.sw_send_overhead,
+            recv_overhead=cfg.sw_recv_overhead,
+        )
+        # the model ignores NI hand-off cycles; allow one per tree level
+        assert op.last_latency == pytest.approx(expected, abs=6)

@@ -1,0 +1,130 @@
+"""Pure-functional worm tracing: coverage and shape properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.path_model import trace_worm
+from repro.flits.destset import DestinationSet
+from repro.routing.base import MulticastRoutingMode
+from repro.routing.reachability import tables_for_bmin, tables_for_umin
+from repro.routing.updown import tables_for_irregular
+from repro.topology.bmin import BidirectionalMin
+from repro.topology.irregular import IrregularNetwork
+from repro.topology.umin import UnidirectionalMin
+
+BMIN = BidirectionalMin(4, 3)
+BMIN_TABLES = tables_for_bmin(BMIN)
+MODES = list(MulticastRoutingMode)
+
+
+def bmin_case(source, ids, mode=MulticastRoutingMode.TURNAROUND):
+    destinations = DestinationSet.from_ids(64, ids)
+    return trace_worm(
+        BMIN.topology, BMIN_TABLES, source, destinations, mode=mode
+    )
+
+
+class TestBminCoverage:
+    @given(
+        source=st.integers(0, 63),
+        ids=st.sets(st.integers(0, 63), min_size=1, max_size=20),
+        mode=st.sampled_from(MODES),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_delivers_exactly_the_destination_set(self, source, ids, mode):
+        ids.discard(source)
+        if not ids:
+            return
+        result = bmin_case(source, ids, mode)
+        assert result.delivered == DestinationSet.from_ids(64, ids)
+
+    @given(
+        source=st.integers(0, 63),
+        ids=st.sets(st.integers(0, 63), min_size=1, max_size=20),
+        mode=st.sampled_from(MODES),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_no_link_crossed_twice(self, source, ids, mode):
+        """A worm's replication tree never reuses a directed link."""
+        ids.discard(source)
+        if not ids:
+            return
+        result = bmin_case(source, ids, mode)
+        assert max(result.link_load().values()) == 1
+
+    def test_unicast_path_length_matches_min_hops(self):
+        for source, dest in ((0, 1), (0, 5), (0, 21), (0, 63)):
+            result = bmin_case(source, [dest])
+            assert result.max_depth == BMIN.min_switch_hops(source, dest)
+
+    def test_broadcast_reaches_all(self):
+        everyone = set(range(64)) - {7}
+        result = bmin_case(7, everyone)
+        assert len(result.delivered) == 63
+
+    def test_turnaround_depth_is_lca_bound(self):
+        """The deepest branch visits 2*lca+1 switches."""
+        ids = {1, 17, 63}
+        result = bmin_case(0, ids)
+        lca = BMIN.lca_level([0, 1, 17, 63])
+        assert result.max_depth == 2 * lca + 1
+
+
+class TestRoutingModesDiffer:
+    def test_branch_on_up_delivers_near_destinations_shallow(self):
+        """In BRANCH_ON_UP the near destination branches off before the
+        LCA, so total switch visits shrink."""
+        ids = {1, 63}  # one local, one far
+        turnaround = bmin_case(0, ids, MulticastRoutingMode.TURNAROUND)
+        branchy = bmin_case(0, ids, MulticastRoutingMode.BRANCH_ON_UP)
+        assert len(branchy.switches) <= len(turnaround.switches)
+        assert branchy.delivered == turnaround.delivered
+
+
+class TestUmin:
+    UMIN = UnidirectionalMin(4, 2)
+    TABLES = tables_for_umin(UMIN)
+
+    @given(
+        source=st.integers(0, 15),
+        ids=st.sets(st.integers(0, 15), min_size=1, max_size=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_coverage(self, source, ids):
+        ids.discard(source)
+        if not ids:
+            return
+        destinations = DestinationSet.from_ids(16, ids)
+        result = trace_worm(
+            self.UMIN.topology, self.TABLES, source, destinations
+        )
+        assert result.delivered == destinations
+
+    def test_depth_is_stage_count(self):
+        destinations = DestinationSet.from_ids(16, [3, 9])
+        result = trace_worm(
+            self.UMIN.topology, self.TABLES, 0, destinations
+        )
+        assert result.max_depth == self.UMIN.stages
+
+
+class TestIrregular:
+    NET = IrregularNetwork(8, 2, 8, extra_links=3, seed=11)
+    TABLES = tables_for_irregular(NET)
+
+    @given(
+        source=st.integers(0, 15),
+        ids=st.sets(st.integers(0, 15), min_size=1, max_size=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_coverage(self, source, ids):
+        ids.discard(source)
+        if not ids:
+            return
+        destinations = DestinationSet.from_ids(16, ids)
+        result = trace_worm(
+            self.NET.topology, self.TABLES, source, destinations
+        )
+        assert result.delivered == destinations

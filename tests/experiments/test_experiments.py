@@ -1,0 +1,169 @@
+"""Experiment harness: structure and shape at micro scale.
+
+These smoke-test the experiment functions themselves (row structure,
+table rendering, scheme coverage) with tiny sweeps; the full shape
+assertions live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import (
+    PAPER,
+    QUICK,
+    ExperimentResult,
+    Scale,
+    Scheme,
+    base_config,
+    mean,
+)
+from repro.experiments.ablations import (
+    run_cb_bandwidth_ablation,
+    run_encoding_ablation,
+    run_routing_mode_ablation,
+)
+from repro.experiments.bimodal import run_bimodal
+from repro.experiments.degree_sweep import run_degree_sweep
+from repro.experiments.length_sweep import run_length_sweep
+from repro.experiments.multiple_multicast import run_multiple_multicast
+from repro.experiments.parameters import run_parameters
+from repro.experiments.runner import EXPERIMENTS, main
+from repro.experiments.system_size import run_system_size
+from repro.experiments.unicast_baseline import run_unicast_baseline
+
+MICRO = Scale(
+    name="micro",
+    repeats=1,
+    warmup_cycles=50,
+    measure_cycles=400,
+    max_cycles=60_000,
+)
+
+
+class TestCommon:
+    def test_scales_are_ordered(self):
+        assert QUICK.repeats < PAPER.repeats
+        assert QUICK.measure_cycles < PAPER.measure_cycles
+
+    def test_seed_lists_deterministic(self):
+        assert QUICK.seeds() == QUICK.seeds()
+        assert len(PAPER.seeds()) == PAPER.repeats
+
+    def test_scheme_apply(self):
+        config = base_config(16)
+        cb = Scheme.CB_HW.apply(config)
+        ib = Scheme.IB_HW.apply(config)
+        assert cb.switch_architecture != ib.switch_architecture
+        assert Scheme.SW.multicast_scheme.value == "software"
+
+    def test_mean(self):
+        assert mean([]) == 0.0
+        assert mean([2.0, 4.0]) == 3.0
+
+    def test_result_series_and_value(self):
+        from repro.metrics.report import Table
+
+        result = ExperimentResult("x", Table("t", ["a"]))
+        result.rows = [
+            {"k": 1, "v": 10, "s": "a"},
+            {"k": 2, "v": 20, "s": "a"},
+            {"k": 1, "v": 30, "s": "b"},
+        ]
+        assert result.series("k", "v", s="a") == [(1, 10), (2, 20)]
+        assert result.value("v", k=1, s="b") == 30
+        assert result.value("v", s="a") is None  # ambiguous
+
+
+class TestExperimentStructure:
+    def test_e1_rows(self):
+        result = run_multiple_multicast(
+            scale=MICRO, num_hosts=16, concurrency=(1, 2), degree=3,
+            payload_flits=16,
+        )
+        assert len(result.rows) == 2 * len(list(Scheme))
+        assert "E1" in result.render()
+
+    def test_e2_skips_oversized_degrees(self):
+        result = run_degree_sweep(
+            scale=MICRO, num_hosts=16, degrees=(2, 63), payload_flits=16,
+        )
+        assert {row["degree"] for row in result.rows} == {2}
+
+    def test_e3_rows(self):
+        result = run_length_sweep(
+            scale=MICRO, num_hosts=16, lengths=(8, 16), degree=3,
+        )
+        assert {row["length"] for row in result.rows} == {8, 16}
+
+    def test_e4_rows(self):
+        result = run_bimodal(
+            scale=MICRO, num_hosts=16, loads=(0.1,), degree=3,
+        )
+        schemes = {row["scheme"] for row in result.rows}
+        assert schemes == {"cb-hw", "sw"}
+
+    def test_e5_rows(self):
+        result = run_system_size(
+            scale=MICRO, sizes=(16,), payload_flits=16,
+        )
+        workloads = {row["workload"] for row in result.rows}
+        assert workloads == {"broadcast", "quarter"}
+
+    def test_e6_rows(self):
+        result = run_unicast_baseline(
+            scale=MICRO, num_hosts=16, loads=(0.1,),
+        )
+        assert {row["scheme"] for row in result.rows} == {"cb-hw", "ib-hw"}
+        for row in result.rows:
+            assert row["throughput"] > 0
+
+    def test_e7_calibration_exact(self):
+        result = run_parameters(scale=MICRO, num_hosts=16)
+        simulated = result.value("value", parameter="zero_load_simulated")
+        model = result.value("value", parameter="zero_load_model")
+        assert simulated == model
+
+    def test_a1_rows(self):
+        result = run_cb_bandwidth_ablation(
+            scale=MICRO, num_hosts=16, bandwidths=(2, 8),
+            num_multicasts=2, degree=3, payload_flits=16,
+        )
+        assert len(result.rows) == 2
+
+    def test_a2_rows(self):
+        result = run_routing_mode_ablation(
+            scale=MICRO, num_hosts=16, degrees=(3,), payload_flits=16,
+        )
+        assert {row["mode"] for row in result.rows} == {
+            "turnaround", "branch_on_up"
+        }
+
+    def test_a3_rows(self):
+        result = run_encoding_ablation(scale=MICRO, sizes=(16,), degree=3)
+        (row,) = result.rows
+        assert row["header_bitstring"] >= 1
+        assert row["latency_multiport"] > 0
+
+
+class TestRunner:
+    def test_registry_covers_design_index(self):
+        assert set(EXPERIMENTS) == {
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7",
+            "a1", "a2", "a3", "a4", "a5", "x1", "x2", "x3", "x4",
+        }
+
+    def test_cli_single_experiment(self, capsys):
+        assert main(["--experiment", "e7", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "E7" in out
+        assert "zero-load" in out
+
+    def test_cli_csv_flag(self, capsys):
+        assert main(["--experiment", "e7", "--scale", "quick", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert "parameter,value" in out
+
+    def test_cli_requires_selection(self):
+        with pytest.raises(SystemExit):
+            main(["--scale", "quick"])

@@ -1,0 +1,70 @@
+"""Saturation search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schemes import SwitchArchitecture
+from repro.experiments.saturation import find_saturation_load, probe_load
+from repro.network.config import SimulationConfig
+
+
+def cfg(**overrides):
+    defaults = dict(num_hosts=16)
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestProbe:
+    def test_low_load_unsaturated(self):
+        probe = probe_load(cfg(), load=0.1, measure_cycles=3_000)
+        assert not probe.throughput_saturated
+        assert not probe.saturated()
+        assert probe.accepted == pytest.approx(probe.offered, rel=0.3)
+
+    def test_throttled_network_saturates(self):
+        """Starving central-buffer bandwidth caps what the switches can
+        move, so a high offered load cannot be accepted."""
+        throttled = cfg(cb_write_bandwidth=1, cb_read_bandwidth=1)
+        probe = probe_load(throttled, load=0.9, measure_cycles=1_500)
+        assert probe.saturated()
+
+    def test_latency_knee_criterion(self):
+        """A probe that carries the load but at blown-up latency is
+        saturated once a low-load reference is supplied."""
+        low = probe_load(cfg(seed=2), load=0.1, measure_cycles=2_000)
+        high = probe_load(cfg(seed=2), load=0.95, measure_cycles=2_000)
+        assert not high.saturated()  # throughput alone is fine
+        if high.latency > 4 * low.latency:
+            assert high.saturated(low.latency)
+
+    def test_small_fat_tree_carries_full_load(self):
+        """The 16-host BMIN has full bisection: with balanced routing it
+        accepts nearly everything even at 90% offered load."""
+        probe = probe_load(cfg(seed=2), load=0.9, measure_cycles=3_000)
+        assert not probe.throughput_saturated
+
+
+class TestSearch:
+    def test_bracket_and_probes(self):
+        estimate, probes = find_saturation_load(
+            cfg(cb_write_bandwidth=2, cb_read_bandwidth=2),
+            tolerance=0.2, measure_cycles=1_200, warmup_cycles=200,
+        )
+        assert 0.05 <= estimate <= 1.0
+        assert len(probes) >= 1
+        loads = [p.load for p in probes]
+        assert len(set(loads)) == len(loads)
+
+    def test_input_buffer_saturates_no_later_than_central(self):
+        kwargs = dict(tolerance=0.15, measure_cycles=1_200, warmup_cycles=200)
+        cb, _ = find_saturation_load(cfg(seed=3), **kwargs)
+        ib, _ = find_saturation_load(
+            cfg(seed=3, switch_architecture=SwitchArchitecture.INPUT_BUFFER),
+            **kwargs,
+        )
+        assert ib <= cb + 0.15
+
+    def test_invalid_bracket(self):
+        with pytest.raises(ValueError):
+            find_saturation_load(cfg(), low=0.5, high=0.4)

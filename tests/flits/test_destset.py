@@ -1,0 +1,107 @@
+"""Destination sets: algebra, invariants, immutability."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.flits.destset import DestinationSet
+
+universes = st.integers(min_value=1, max_value=256)
+
+
+@st.composite
+def sets_with_universe(draw, universe=None):
+    n = universe if universe is not None else draw(universes)
+    ids = draw(st.lists(st.integers(0, n - 1), max_size=32, unique=True))
+    return DestinationSet.from_ids(n, ids)
+
+
+class TestConstruction:
+    def test_from_ids_roundtrip(self):
+        d = DestinationSet.from_ids(16, [3, 1, 7])
+        assert list(d) == [1, 3, 7]
+        assert len(d) == 3
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            DestinationSet.from_ids(4, [4])
+        with pytest.raises(ValueError):
+            DestinationSet(4, 1 << 4)
+
+    def test_bad_universe_rejected(self):
+        with pytest.raises(ValueError):
+            DestinationSet(0)
+
+    def test_full_and_empty(self):
+        assert len(DestinationSet.full(8)) == 8
+        assert not DestinationSet.empty(8)
+
+    def test_single(self):
+        d = DestinationSet.single(8, 3)
+        assert d.is_singleton()
+        assert d.lowest() == 3
+
+    def test_immutable(self):
+        d = DestinationSet.single(8, 1)
+        with pytest.raises(AttributeError):
+            d.mask = 7
+
+
+class TestQueries:
+    def test_contains(self):
+        d = DestinationSet.from_ids(8, [2, 5])
+        assert 2 in d and 5 in d
+        assert 3 not in d
+        assert 100 not in d
+
+    def test_lowest_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            DestinationSet.empty(4).lowest()
+
+    def test_singleton_detection(self):
+        assert not DestinationSet.empty(4).is_singleton()
+        assert DestinationSet.single(4, 0).is_singleton()
+        assert not DestinationSet.from_ids(4, [0, 1]).is_singleton()
+
+
+class TestAlgebra:
+    def test_universe_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DestinationSet.empty(4) | DestinationSet.empty(8)
+
+    @given(sets_with_universe(universe=64), sets_with_universe(universe=64))
+    def test_operations_match_python_sets(self, a, b):
+        sa, sb = set(a), set(b)
+        assert set(a | b) == sa | sb
+        assert set(a & b) == sa & sb
+        assert set(a - b) == sa - sb
+        assert a.issubset(b) == sa.issubset(sb)
+        assert a.isdisjoint(b) == sa.isdisjoint(sb)
+
+    @given(sets_with_universe())
+    def test_iteration_sorted_and_consistent(self, d):
+        members = list(d)
+        assert members == sorted(members)
+        assert len(members) == len(d)
+        assert all(m in d for m in members)
+
+    @given(sets_with_universe(universe=32))
+    def test_without_removes_member(self, d):
+        for member in d:
+            assert member not in d.without(member)
+            break
+
+    def test_intersect_mask_is_and(self):
+        d = DestinationSet.from_ids(8, [1, 2, 3])
+        assert d.intersect_mask(0b0110).mask == 0b0110
+
+    @given(sets_with_universe(universe=32))
+    def test_hash_eq_consistency(self, d):
+        copy = DestinationSet(d.universe, d.mask)
+        assert d == copy
+        assert hash(d) == hash(copy)
+
+    def test_repr_compact_for_large_sets(self):
+        text = repr(DestinationSet.full(64))
+        assert "64 total" in text

@@ -1,0 +1,123 @@
+"""Header encodings: sizes and phase decompositions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flits.destset import DestinationSet
+from repro.flits.encoding import BitStringEncoding, MultiportEncoding
+
+
+def random_destsets(universe: int):
+    return st.lists(
+        st.integers(0, universe - 1), min_size=1, max_size=universe, unique=True
+    ).map(lambda ids: DestinationSet.from_ids(universe, ids))
+
+
+class TestBitString:
+    def test_unicast_header_is_control_only(self):
+        enc = BitStringEncoding(64, flit_payload_bits=16)
+        assert enc.header_flits(DestinationSet.single(64, 5)) == 1
+
+    def test_multidest_header_scales_with_system_size(self):
+        d16 = DestinationSet.from_ids(16, [0, 1])
+        d64 = DestinationSet.from_ids(64, [0, 1])
+        d256 = DestinationSet.from_ids(256, [0, 1])
+        assert BitStringEncoding(16).header_flits(d16) == 1 + 1
+        assert BitStringEncoding(64).header_flits(d64) == 1 + 4
+        assert BitStringEncoding(256).header_flits(d256) == 1 + 16
+
+    def test_single_phase_for_arbitrary_sets(self):
+        enc = BitStringEncoding(64)
+        d = DestinationSet.from_ids(64, [0, 17, 33, 63])
+        assert enc.phases(d) == [d]
+        assert enc.covers_in_one_phase(d)
+
+    def test_empty_set_has_no_phases(self):
+        assert BitStringEncoding(16).phases(DestinationSet.empty(16)) == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BitStringEncoding(0)
+        with pytest.raises(ValueError):
+            BitStringEncoding(16, flit_payload_bits=0)
+        with pytest.raises(ValueError):
+            BitStringEncoding(16, control_flits=0)
+
+
+class TestMultiportDigits:
+    def test_digit_roundtrip(self):
+        enc = MultiportEncoding(arity=4, levels=3)
+        for host in (0, 1, 17, 42, 63):
+            assert enc.host_from_digits(enc.digits(host)) == host
+
+    def test_digits_most_significant_first(self):
+        enc = MultiportEncoding(arity=4, levels=3)
+        assert enc.digits(1) == (0, 0, 1)
+        assert enc.digits(16) == (1, 0, 0)
+
+    def test_out_of_range_rejected(self):
+        enc = MultiportEncoding(arity=4, levels=2)
+        with pytest.raises(ValueError):
+            enc.digits(16)
+        with pytest.raises(ValueError):
+            enc.host_from_digits((4, 0))
+        with pytest.raises(ValueError):
+            enc.host_from_digits((0,))
+
+
+class TestMultiportPhases:
+    def test_product_set_is_single_phase(self):
+        enc = MultiportEncoding(arity=4, levels=2)
+        # {0,1} x {2,3} digit products -> hosts {2,3,6,7}
+        d = DestinationSet.from_ids(16, [2, 3, 6, 7])
+        assert enc.is_product_set(d)
+        assert len(enc.phases(d)) == 1
+
+    def test_non_product_needs_multiple_phases(self):
+        enc = MultiportEncoding(arity=4, levels=2)
+        d = DestinationSet.from_ids(16, [0, 5])
+        assert not enc.is_product_set(d)
+        assert len(enc.phases(d)) == 2
+
+    def test_broadcast_is_single_phase(self):
+        enc = MultiportEncoding(arity=4, levels=3)
+        assert len(enc.phases(DestinationSet.full(64))) == 1
+
+    def test_universe_mismatch_rejected(self):
+        enc = MultiportEncoding(arity=4, levels=2)
+        with pytest.raises(ValueError):
+            enc.phases(DestinationSet.full(64))
+
+    @given(random_destsets(64))
+    @settings(max_examples=60, deadline=None)
+    def test_phases_partition_the_destination_set(self, d):
+        enc = MultiportEncoding(arity=4, levels=3)
+        phases = enc.phases(d)
+        seen = DestinationSet.empty(64)
+        for phase in phases:
+            assert phase, "empty phase"
+            assert phase.isdisjoint(seen), "phases overlap"
+            assert enc.is_product_set(phase), "phase is not a product set"
+            seen = seen | phase
+        assert seen == d
+
+    @given(random_destsets(64))
+    @settings(max_examples=60, deadline=None)
+    def test_bitstring_and_multiport_cover_same_hosts(self, d):
+        bits = BitStringEncoding(64)
+        multi = MultiportEncoding(arity=4, levels=3)
+        union_bits = DestinationSet.empty(64)
+        for phase in bits.phases(d):
+            union_bits = union_bits | phase
+        union_multi = DestinationSet.empty(64)
+        for phase in multi.phases(d):
+            union_multi = union_multi | phase
+        assert union_bits == union_multi == d
+
+    def test_header_smaller_than_bitstring_on_big_systems(self):
+        d = DestinationSet.from_ids(256, [0, 1, 2])
+        bits = BitStringEncoding(256).header_flits(d)
+        multi = MultiportEncoding(arity=4, levels=4).header_flits(d)
+        assert multi < bits

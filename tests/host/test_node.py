@@ -1,0 +1,166 @@
+"""Host node: CPU model, segmentation, scheme dispatch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schemes import MulticastScheme
+from repro.errors import ConfigurationError
+from repro.flits.destset import DestinationSet
+from repro.flits.packet import TrafficClass
+from repro.host.node import HostParams
+from repro.network.builder import build_network
+from repro.network.config import EncodingKind, SimulationConfig
+
+
+def mini(**overrides):
+    defaults = dict(num_hosts=16, self_check=True)
+    defaults.update(overrides)
+    return build_network(SimulationConfig(**defaults))
+
+
+def at(network, cycle, fn):
+    network.sim.schedule_at(cycle, fn)
+
+
+class TestHostParams:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HostParams(sw_send_overhead=-1).validate()
+        with pytest.raises(ConfigurationError):
+            HostParams(max_packet_payload_flits=0).validate()
+
+
+class TestCpuModel:
+    def test_send_overhead_delays_injection(self):
+        network = mini(sw_send_overhead=25)
+        node = network.nodes[0]
+        at(network, 0, lambda: node.post_unicast(5, 8))
+        network.sim.run(1)
+        assert node.cpu_busy_until == 25
+        # nothing on the wire before the overhead elapses
+        network.sim.run(20)
+        assert network.interfaces[0].flits_injected == 0
+        network.sim.run(10)
+        assert network.interfaces[0].flits_injected > 0
+
+    def test_sends_serialize_on_cpu(self):
+        network = mini(sw_send_overhead=30)
+        node = network.nodes[0]
+
+        def burst():
+            node.post_unicast(5, 8)
+            node.post_unicast(6, 8)
+
+        at(network, 0, burst)
+        network.sim.run(1)
+        assert node.cpu_busy_until == 60
+
+    def test_multi_packet_message_pays_per_packet(self):
+        network = mini(sw_send_overhead=10, max_packet_payload_flits=16)
+        node = network.nodes[0]
+        at(network, 0, lambda: node.post_unicast(5, 40))  # 3 packets
+        network.sim.run(1)
+        assert node.cpu_busy_until == 30
+
+    def test_zero_overhead_injects_next_cycle(self):
+        network = mini(sw_send_overhead=0)
+        node = network.nodes[0]
+        at(network, 0, lambda: node.post_unicast(5, 8))
+        network.sim.run(2)
+        assert network.interfaces[0].flits_injected > 0
+
+
+class TestSendApi:
+    def test_unicast_traffic_class(self):
+        network = mini(sw_send_overhead=0)
+        at(network, 0, lambda: network.nodes[0].post_unicast(3, 8))
+        network.sim.run_until(
+            lambda: network.collector.outstanding_messages == 0
+            and network.collector.messages_created == 1,
+            max_cycles=5_000,
+        )
+        assert network.collector.classes[TrafficClass.UNICAST].deliveries == 1
+
+    def test_multicast_excludes_source_automatically(self):
+        network = mini(sw_send_overhead=0)
+        dests = DestinationSet.from_ids(16, [0, 1, 2])
+
+        def fire():
+            op = network.nodes[0].post_multicast(
+                dests, 8, MulticastScheme.HARDWARE
+            )
+            assert 0 not in op.destinations
+
+        at(network, 0, fire)
+        network.sim.run(1)
+
+    def test_multicast_to_only_self_rejected(self):
+        network = mini()
+        dests = DestinationSet.single(16, 0)
+        with pytest.raises(ConfigurationError):
+            network.nodes[0].post_multicast(dests, 8, MulticastScheme.HARDWARE)
+
+    def test_multiport_encoding_splits_phases(self):
+        network = mini(encoding=EncodingKind.MULTIPORT, sw_send_overhead=0)
+        dests = DestinationSet.from_ids(16, [1, 6])  # not a product set
+
+        def fire():
+            network.nodes[0].post_multicast(
+                dests, 8, MulticastScheme.HARDWARE
+            )
+
+        at(network, 0, fire)
+        network.sim.run(2)
+        assert network.collector.messages_created == 2
+
+    def test_software_multicast_spawns_forwards(self):
+        network = mini(sw_send_overhead=0, sw_recv_overhead=0)
+        dests = DestinationSet.from_ids(16, [1, 2, 3])
+
+        def fire():
+            network.nodes[0].post_multicast(
+                dests, 8, MulticastScheme.SOFTWARE
+            )
+
+        at(network, 0, fire)
+        network.sim.run_until(
+            lambda: network.collector.outstanding_operations == 0
+            and network.collector.operations_created == 1,
+            max_cycles=20_000,
+        )
+        # binomial over 3 destinations: 3 unicast hops in total
+        stats = network.collector.classes[TrafficClass.SW_MULTICAST]
+        assert stats.deliveries == 3
+
+
+class TestSegmentedMessages:
+    def test_long_message_reassembled(self):
+        network = mini(sw_send_overhead=0, max_packet_payload_flits=16)
+        at(network, 0, lambda: network.nodes[0].post_unicast(9, 50))
+        network.sim.run_until(
+            lambda: network.collector.outstanding_messages == 0
+            and network.collector.messages_created == 1,
+            max_cycles=20_000,
+        )
+        stats = network.collector.classes[TrafficClass.UNICAST]
+        assert stats.deliveries == 1
+        assert stats.payload_flits == 50
+
+    def test_long_multicast_reassembled_everywhere(self):
+        network = mini(sw_send_overhead=0, max_packet_payload_flits=16)
+        dests = DestinationSet.from_ids(16, [3, 7, 12])
+
+        def fire():
+            network.nodes[0].post_multicast(
+                dests, 40, MulticastScheme.HARDWARE
+            )
+
+        at(network, 0, fire)
+        network.sim.run_until(
+            lambda: network.collector.outstanding_operations == 0
+            and network.collector.operations_created == 1,
+            max_cycles=20_000,
+        )
+        (op,) = network.collector.completed_operations()
+        assert sorted(op.arrival_cycles) == [3, 7, 12]

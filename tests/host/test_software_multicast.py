@@ -1,0 +1,91 @@
+"""Binomial schedule properties."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.host.software_multicast import binomial_schedule
+
+
+def phases_of(schedule, source):
+    """Longest chain of forwards, counting serialized sends at each host."""
+    def finish_depth(host, start_phase):
+        children = schedule.get(host, [])
+        deepest = start_phase
+        for index, child in enumerate(children):
+            child_start = start_phase + index + 1
+            deepest = max(deepest, finish_depth(child, child_start))
+        return deepest
+
+    return finish_depth(source, 0)
+
+
+class TestSchedule:
+    def test_doc_example(self):
+        assert binomial_schedule(0, [1, 2, 3, 4, 5, 6, 7]) == {
+            0: [4, 2, 1],
+            4: [6, 5],
+            2: [3],
+            6: [7],
+        }
+
+    def test_single_destination(self):
+        assert binomial_schedule(0, [5]) == {0: [5]}
+
+    def test_empty_destinations(self):
+        assert binomial_schedule(0, []) == {}
+
+    @given(
+        st.sets(st.integers(0, 63), min_size=1, max_size=40),
+        st.integers(0, 63),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_every_destination_received_exactly_once(self, dests, source):
+        dests.discard(source)
+        if not dests:
+            return
+        schedule = binomial_schedule(source, sorted(dests))
+        received = [
+            child for children in schedule.values() for child in children
+        ]
+        assert sorted(received) == sorted(dests)
+
+    @given(
+        st.sets(st.integers(0, 255), min_size=1, max_size=128),
+        st.integers(0, 255),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_senders_already_hold_the_message(self, dests, source):
+        dests.discard(source)
+        if not dests:
+            return
+        schedule = binomial_schedule(source, sorted(dests))
+        informed = {source}
+        # replay in phase order: a sender must be informed before sending
+        remaining = {
+            host: list(children) for host, children in schedule.items()
+        }
+        progress = True
+        while any(remaining.values()):
+            assert progress, "schedule contains an uninformed sender"
+            progress = False
+            for host in list(remaining):
+                if host in informed and remaining[host]:
+                    informed.add(remaining[host].pop(0))
+                    progress = True
+
+    @given(st.integers(1, 200))
+    @settings(max_examples=50, deadline=None)
+    def test_phase_count_is_logarithmic(self, degree):
+        dests = list(range(1, degree + 1))
+        schedule = binomial_schedule(0, dests)
+        assert phases_of(schedule, 0) == math.ceil(math.log2(degree + 1))
+
+    def test_sorted_halving_respects_subtree_locality(self):
+        """The first split of a sorted list separates the two halves of the
+        id space, so simultaneous sends traverse disjoint subtrees."""
+        schedule = binomial_schedule(0, list(range(1, 16)))
+        first_forward = schedule[0][0]
+        assert first_forward == 8

@@ -1,0 +1,191 @@
+"""Deadlock-freedom stress tests.
+
+The paper's central safety claim: with full-packet bufferability enforced
+at admission, asynchronous replication is deadlock free.  We hammer small
+networks with adversarial traffic — many overlapping multicasts, tiny
+central buffers (but still >= one packet), mixed directions — and require
+complete drainage.  The kernel's stall detector turns any genuine
+deadlock into a test failure rather than a hang.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schemes import MulticastScheme, SwitchArchitecture
+from repro.flits.destset import DestinationSet
+from repro.network.builder import build_network
+from repro.network.config import SimulationConfig, TopologyKind
+
+
+def drain(network, max_cycles=300_000):
+    network.sim.run_until(
+        lambda: network.collector.outstanding_messages == 0
+        and network.collector.messages_created > 0,
+        max_cycles=max_cycles,
+        stall_limit=20_000,
+    )
+    assert network.collector.outstanding_messages == 0
+
+
+def all_to_all_multicast(network, degree, payload):
+    """Every host simultaneously multicasts to its following neighbours."""
+    n = network.num_hosts
+
+    def fire():
+        for host in range(n):
+            ids = [(host + k + 1) % n for k in range(degree)]
+            network.nodes[host].post_multicast(
+                DestinationSet.from_ids(n, ids),
+                payload,
+                MulticastScheme.HARDWARE,
+            )
+
+    network.sim.schedule_at(0, fire)
+
+
+@pytest.mark.parametrize("architecture", list(SwitchArchitecture))
+class TestSaturatedMulticast:
+    def test_every_host_multicasts_at_once(self, architecture):
+        config = SimulationConfig(
+            num_hosts=16,
+            switch_architecture=architecture,
+            sw_send_overhead=0,
+            self_check=True,
+        )
+        network = build_network(config)
+        all_to_all_multicast(network, degree=6, payload=48)
+        drain(network)
+        assert network.collector.outstanding_operations == 0
+
+    def test_simultaneous_broadcasts(self, architecture):
+        config = SimulationConfig(
+            num_hosts=16,
+            switch_architecture=architecture,
+            sw_send_overhead=0,
+        )
+        network = build_network(config)
+
+        def fire():
+            for host in range(0, 16, 2):
+                network.nodes[host].post_multicast(
+                    DestinationSet.full(16).without(host),
+                    32,
+                    MulticastScheme.HARDWARE,
+                )
+
+        network.sim.schedule_at(0, fire)
+        drain(network)
+        assert network.collector.outstanding_operations == 0
+
+
+class TestTightCentralBuffer:
+    # 16 hosts: max packet = 2 header + 32 payload = 34 flits = 5 chunks;
+    # 8 ports * 5 chunks * 8 flits = 320 flits is the minimal legal buffer
+    # (quotas only, empty shared region).
+    def test_buffer_of_exactly_the_quotas(self):
+        """With a quota-only buffer every admission waits on its own
+        input's guarantee; the network must still drain."""
+        config = SimulationConfig(
+            num_hosts=16,
+            central_buffer_flits=320,
+            chunk_flits=8,
+            max_packet_payload_flits=32,
+            sw_send_overhead=0,
+            self_check=True,
+        )
+        config.validate()
+        network = build_network(config)
+        all_to_all_multicast(network, degree=5, payload=32)
+        drain(network)
+
+    def test_buffer_below_quotas_rejected(self):
+        config = SimulationConfig(
+            num_hosts=16,
+            central_buffer_flits=312,
+            chunk_flits=8,
+            max_packet_payload_flits=32,
+        )
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="deadlock"):
+            config.validate()
+
+    def test_mixed_unicast_and_multicast_through_tight_buffer(self):
+        config = SimulationConfig(
+            num_hosts=16,
+            central_buffer_flits=320,
+            chunk_flits=8,
+            max_packet_payload_flits=32,
+            sw_send_overhead=0,
+        )
+        network = build_network(config)
+
+        def fire():
+            for host in range(16):
+                if host % 4 == 0:
+                    ids = [(host + k + 3) % 16 for k in range(4)]
+                    network.nodes[host].post_multicast(
+                        DestinationSet.from_ids(16, ids),
+                        32,
+                        MulticastScheme.HARDWARE,
+                    )
+                else:
+                    network.nodes[host].post_unicast((host + 5) % 16, 32)
+
+        network.sim.schedule_at(0, fire)
+        drain(network)
+
+
+class TestOtherTopologies:
+    def test_umin_saturated_multicast(self):
+        config = SimulationConfig(
+            num_hosts=16,
+            topology=TopologyKind.UMIN,
+            sw_send_overhead=0,
+            self_check=True,
+        )
+        network = build_network(config)
+        all_to_all_multicast(network, degree=5, payload=32)
+        drain(network)
+
+    def test_irregular_saturated_multicast(self):
+        config = SimulationConfig(
+            num_hosts=16,
+            topology=TopologyKind.IRREGULAR,
+            irregular_switches=8,
+            irregular_extra_links=3,
+            sw_send_overhead=0,
+            self_check=True,
+        )
+        network = build_network(config)
+        all_to_all_multicast(network, degree=5, payload=32)
+        drain(network)
+
+    @pytest.mark.parametrize("architecture", list(SwitchArchitecture))
+    def test_repeated_waves(self, architecture):
+        """Three consecutive waves of overlapping multicasts."""
+        config = SimulationConfig(
+            num_hosts=16,
+            switch_architecture=architecture,
+            sw_send_overhead=0,
+        )
+        network = build_network(config)
+        n = network.num_hosts
+
+        def wave(offset):
+            def fire():
+                for host in range(n):
+                    ids = [(host + k + offset) % n for k in range(4)]
+                    ids = [i for i in ids if i != host] or [(host + 9) % n]
+                    network.nodes[host].post_multicast(
+                        DestinationSet.from_ids(n, ids),
+                        24,
+                        MulticastScheme.HARDWARE,
+                    )
+            return fire
+
+        for wave_index in range(3):
+            network.sim.schedule_at(wave_index * 120, wave(wave_index + 1))
+        drain(network)
+        assert network.collector.outstanding_operations == 0

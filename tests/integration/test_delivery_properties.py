@@ -1,0 +1,105 @@
+"""End-to-end delivery invariants, cross-checked against the path model.
+
+These are the strongest correctness tests in the suite: for random
+multicasts, the flit-level simulator must deliver exactly one complete
+copy of the payload to exactly the set of hosts the pure-functional
+replication model predicts — on both switch architectures and both
+routing modes.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.path_model import trace_worm
+from repro.core.schemes import MulticastScheme, SwitchArchitecture
+from repro.flits.destset import DestinationSet
+from repro.network.builder import build_network
+from repro.network.config import SimulationConfig
+from repro.routing.base import MulticastRoutingMode
+
+N = 16
+
+
+def run_multicast(architecture, mode, source, ids, payload=24):
+    config = SimulationConfig(
+        num_hosts=N,
+        switch_architecture=architecture,
+        multicast_mode=mode,
+        self_check=True,
+        sw_send_overhead=0,
+    )
+    network = build_network(config)
+    destinations = DestinationSet.from_ids(N, ids)
+    network.sim.schedule_at(
+        0,
+        lambda: network.nodes[source].post_multicast(
+            destinations, payload, MulticastScheme.HARDWARE
+        ),
+    )
+    network.sim.run_until(
+        lambda: network.collector.outstanding_operations == 0
+        and network.collector.operations_created == 1,
+        max_cycles=50_000,
+        stall_limit=10_000,
+    )
+    return network
+
+
+@given(
+    source=st.integers(0, N - 1),
+    ids=st.sets(st.integers(0, N - 1), min_size=1, max_size=10),
+    architecture=st.sampled_from(list(SwitchArchitecture)),
+    mode=st.sampled_from(list(MulticastRoutingMode)),
+)
+@settings(max_examples=40, deadline=None)
+def test_multicast_delivers_exactly_once_everywhere(
+    source, ids, architecture, mode
+):
+    ids.discard(source)
+    if not ids:
+        return
+    network = run_multicast(architecture, mode, source, ids)
+    (op,) = network.collector.completed_operations()
+    assert sorted(op.arrival_cycles) == sorted(ids)
+    header = network.encoding.header_flits(op.destinations)
+    for dest in ids:
+        assert network.interfaces[dest].flits_ejected == 24 + header
+    for host in range(N):
+        if host not in ids and host != source:
+            assert network.interfaces[host].flits_ejected == 0
+
+
+@given(
+    source=st.integers(0, N - 1),
+    ids=st.sets(st.integers(0, N - 1), min_size=1, max_size=10),
+    mode=st.sampled_from(list(MulticastRoutingMode)),
+)
+@settings(max_examples=25, deadline=None)
+def test_simulator_agrees_with_path_model(source, ids, mode):
+    ids.discard(source)
+    if not ids:
+        return
+    network = run_multicast(SwitchArchitecture.CENTRAL_BUFFER, mode, source, ids)
+    traced = trace_worm(
+        network.topology,
+        network.tables,
+        source,
+        DestinationSet.from_ids(N, ids),
+        mode=mode,
+    )
+    (op,) = network.collector.completed_operations()
+    assert set(op.arrival_cycles) == set(traced.delivered)
+
+
+@pytest.mark.parametrize("architecture", list(SwitchArchitecture))
+def test_broadcast_from_every_corner(architecture):
+    """Broadcast from hosts in different subtrees reaches everyone."""
+    for source in (0, 7, 15):
+        everyone = set(range(N)) - {source}
+        network = run_multicast(
+            architecture, MulticastRoutingMode.TURNAROUND, source, everyone
+        )
+        (op,) = network.collector.completed_operations()
+        assert len(op.arrival_cycles) == N - 1

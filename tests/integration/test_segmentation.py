@@ -1,0 +1,145 @@
+"""Long messages: segmentation, multipath reordering, reassembly.
+
+With RANDOM up-port selection, the packets of one segmented message can
+take different paths through the fat tree and arrive out of order; the
+reassembly layer counts packets per (message, host) so delivery must be
+correct regardless.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.schemes import MulticastScheme, SwitchArchitecture
+from repro.flits.destset import DestinationSet
+from repro.flits.packet import TrafficClass
+from repro.network.builder import build_network
+from repro.network.config import SimulationConfig
+from repro.routing.base import UpPortPolicy
+
+
+def run_long_messages(num_hosts=64, payload=500, max_packet=32,
+                      architecture=SwitchArchitecture.CENTRAL_BUFFER,
+                      seed=1, senders=8):
+    config = SimulationConfig(
+        num_hosts=num_hosts,
+        switch_architecture=architecture,
+        max_packet_payload_flits=max_packet,
+        up_port_policy=UpPortPolicy.RANDOM,
+        sw_send_overhead=2,
+        seed=seed,
+        self_check=True,
+    )
+    network = build_network(config)
+
+    def fire():
+        for sender in range(senders):
+            dest = (sender + num_hosts // 2) % num_hosts
+            network.nodes[sender].post_unicast(dest, payload)
+
+    network.sim.schedule_at(0, fire)
+    network.sim.run_until(
+        lambda: network.collector.outstanding_messages == 0
+        and network.collector.messages_created == senders,
+        max_cycles=400_000,
+        stall_limit=30_000,
+    )
+    return network
+
+
+class TestSegmentedUnicast:
+    def test_all_fragments_reassembled(self):
+        network = run_long_messages()
+        stats = network.collector.classes[TrafficClass.UNICAST]
+        assert stats.deliveries == 8
+        assert stats.payload_flits == 8 * 500
+
+    def test_exact_flit_counts_at_receivers(self):
+        network = run_long_messages(senders=4)
+        # 500 payload in 32-flit packets: 16 packets, each with 1-flit header
+        expected = 500 + 16 * 1
+        for dest in (32, 33, 34, 35):
+            assert network.interfaces[dest].flits_ejected == expected
+
+    def test_input_buffer_switch_too(self):
+        network = run_long_messages(
+            architecture=SwitchArchitecture.INPUT_BUFFER, senders=4
+        )
+        assert network.collector.classes[TrafficClass.UNICAST].deliveries == 4
+
+    @given(
+        payload=st.integers(33, 400),
+        max_packet=st.sampled_from([16, 32, 64]),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_random_sizes_reassemble(self, payload, max_packet, seed):
+        network = run_long_messages(
+            num_hosts=16, payload=payload, max_packet=max_packet,
+            seed=seed, senders=4,
+        )
+        stats = network.collector.classes[TrafficClass.UNICAST]
+        assert stats.deliveries == 4
+        assert stats.payload_flits == 4 * payload
+
+
+class TestSegmentedMulticast:
+    def test_long_multicast_reassembles_everywhere(self):
+        config = SimulationConfig(
+            num_hosts=64,
+            max_packet_payload_flits=32,
+            sw_send_overhead=2,
+            self_check=True,
+            seed=4,
+        )
+        network = build_network(config)
+        dests = [9, 22, 41, 63]
+
+        def fire():
+            network.nodes[0].post_multicast(
+                DestinationSet.from_ids(64, dests),
+                200,
+                MulticastScheme.HARDWARE,
+            )
+
+        network.sim.schedule_at(0, fire)
+        network.sim.run_until(
+            lambda: network.collector.outstanding_operations == 0
+            and network.collector.operations_created == 1,
+            max_cycles=400_000,
+            stall_limit=30_000,
+        )
+        (op,) = network.collector.completed_operations()
+        assert sorted(op.arrival_cycles) == dests
+        # 200 payload in 32-flit packets = 7 worms, each with a 5-flit header
+        expected = 200 + 7 * 5
+        for dest in dests:
+            assert network.interfaces[dest].flits_ejected == expected
+
+    def test_latency_counts_until_last_fragment(self):
+        """A segmented multicast's op latency covers the whole message,
+        so it must exceed a single-packet multicast of the same degree."""
+        def op_latency(payload):
+            config = SimulationConfig(
+                num_hosts=16, max_packet_payload_flits=32, seed=5
+            )
+            network = build_network(config)
+
+            def fire():
+                network.nodes[0].post_multicast(
+                    DestinationSet.from_ids(16, [5, 9]),
+                    payload,
+                    MulticastScheme.HARDWARE,
+                )
+
+            network.sim.schedule_at(0, fire)
+            network.sim.run_until(
+                lambda: network.collector.outstanding_operations == 0
+                and network.collector.operations_created == 1,
+                max_cycles=200_000,
+            )
+            (op,) = network.collector.completed_operations()
+            return op.last_latency
+
+        assert op_latency(150) > op_latency(20) + 100

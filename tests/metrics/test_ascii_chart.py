@@ -1,0 +1,59 @@
+"""ASCII chart rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.ascii_chart import render_chart
+
+
+def sample_series():
+    return {
+        "cb": [(0.1, 90.0), (0.3, 120.0), (0.5, 170.0)],
+        "ib": [(0.1, 95.0), (0.3, 130.0), (0.5, 240.0)],
+    }
+
+
+class TestRenderChart:
+    def test_contains_marks_and_legend(self):
+        text = render_chart(sample_series(), title="latency vs load")
+        assert "latency vs load" in text
+        assert "*=cb" in text
+        assert "o=ib" in text
+        assert "*" in text and "o" in text
+
+    def test_axis_annotations(self):
+        text = render_chart(sample_series(), x_label="load",
+                            y_label="cycles")
+        assert "0.1" in text
+        assert "0.5" in text
+        assert "240" in text
+        assert "load" in text
+        assert "cycles" in text
+
+    def test_single_point_series(self):
+        text = render_chart({"only": [(1.0, 5.0)]})
+        assert "*" in text
+
+    def test_dimensions(self):
+        text = render_chart(sample_series(), width=30, height=6)
+        lines = text.split("\n")
+        chart_rows = [line for line in lines if "|" in line]
+        assert len(chart_rows) == 6
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_chart({})
+        with pytest.raises(ValueError):
+            render_chart({"a": []})
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            render_chart(sample_series(), width=5)
+
+    def test_extremes_land_on_edges(self):
+        text = render_chart({"s": [(0, 0), (1, 1)]}, width=20, height=5)
+        rows = [line.split("|", 1)[1] for line in text.split("\n")
+                if "|" in line]
+        assert rows[0].rstrip().endswith("*")     # max at top right
+        assert rows[-1].startswith("*")           # min at bottom left

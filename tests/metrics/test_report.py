@@ -1,0 +1,51 @@
+"""Report table formatting."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.metrics.report import Table, format_table
+
+
+class TestTable:
+    def make(self):
+        table = Table("Latency vs load", ["load", "latency", "scheme"])
+        table.add_row(0.1, 91.25, "cb-hw")
+        table.add_row(0.2, 135, "cb-hw")
+        table.add_row(None, 1.0, "sw")
+        return table
+
+    def test_render_contains_everything(self):
+        text = self.make().render()
+        assert "Latency vs load" in text
+        assert "91.25" in text
+        assert "cb-hw" in text
+
+    def test_float_formatting(self):
+        table = self.make()
+        assert table.rows[0][0] == "0.10"
+        assert table.rows[1][1] == "135"
+        assert table.rows[2][0] == "-"
+
+    def test_wrong_cell_count_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().add_row(1, 2)
+
+    def test_csv(self):
+        csv = self.make().to_csv()
+        lines = csv.strip().split("\n")
+        assert lines[0] == "load,latency,scheme"
+        assert len(lines) == 4
+
+    def test_write_to_stream(self):
+        stream = io.StringIO()
+        self.make().write(stream)
+        assert "Latency vs load" in stream.getvalue()
+
+    def test_alignment(self):
+        text = format_table("t", ["a", "bbbb"], [["1", "2"], ["333", "4"]])
+        lines = text.split("\n")
+        # all data lines equal length
+        assert len({len(line) for line in lines[2:]}) == 1

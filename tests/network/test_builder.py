@@ -1,0 +1,74 @@
+"""Network assembly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schemes import SwitchArchitecture
+from repro.network.builder import build_network
+from repro.network.config import SimulationConfig, TopologyKind
+from repro.switches.central_buffer import CentralBufferSwitch
+from repro.switches.input_buffer import InputBufferSwitch
+
+
+class TestBuild:
+    def test_component_counts(self):
+        network = build_network(SimulationConfig(num_hosts=64))
+        assert len(network.switches) == 48
+        assert len(network.interfaces) == 64
+        assert len(network.nodes) == 64
+        # 64 host cables + 2 levels * 16 switches * 4 ups, two links each
+        assert len(network.links) == 2 * (64 + 128)
+
+    def test_architecture_selects_switch_class(self):
+        cb = build_network(SimulationConfig(num_hosts=16))
+        assert all(isinstance(s, CentralBufferSwitch) for s in cb.switches)
+        ib = build_network(
+            SimulationConfig(
+                num_hosts=16,
+                switch_architecture=SwitchArchitecture.INPUT_BUFFER,
+            )
+        )
+        assert all(isinstance(s, InputBufferSwitch) for s in ib.switches)
+
+    def test_every_bmin_port_wired(self):
+        network = build_network(SimulationConfig(num_hosts=16))
+        for switch in network.switches:
+            table = switch.table
+            for port in list(table.down_reach) + list(table.up_ports):
+                assert switch.in_links[port] is not None, (switch.name, port)
+                assert switch.out_links[port] is not None
+
+    def test_interfaces_fully_wired(self):
+        network = build_network(SimulationConfig(num_hosts=16))
+        for ni in network.interfaces:
+            assert ni.out_link is not None
+            assert ni.in_link is not None
+
+    def test_validation_runs(self):
+        with pytest.raises(Exception):
+            build_network(SimulationConfig(num_hosts=48))
+
+    def test_umin_builds(self):
+        network = build_network(
+            SimulationConfig(num_hosts=16, topology=TopologyKind.UMIN)
+        )
+        assert len(network.switches) == 8
+
+    def test_irregular_builds(self):
+        network = build_network(
+            SimulationConfig(
+                num_hosts=16,
+                topology=TopologyKind.IRREGULAR,
+                irregular_switches=8,
+            )
+        )
+        assert len(network.switches) == 8
+
+    def test_quiescent_when_fresh(self):
+        network = build_network(SimulationConfig(num_hosts=16))
+        assert network.quiescent()
+
+    def test_unicast_header_flits(self):
+        network = build_network(SimulationConfig(num_hosts=64))
+        assert network.unicast_header_flits() == 1

@@ -1,0 +1,122 @@
+"""Simulation configuration: derivations and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schemes import SwitchArchitecture
+from repro.errors import ConfigurationError
+from repro.flits.encoding import BitStringEncoding, MultiportEncoding
+from repro.network.config import EncodingKind, SimulationConfig, TopologyKind
+
+
+class TestDefaults:
+    def test_paper_baseline(self):
+        cfg = SimulationConfig()
+        cfg.validate()
+        assert cfg.num_hosts == 64
+        assert cfg.arity == 4
+        assert cfg.switch_architecture is SwitchArchitecture.CENTRAL_BUFFER
+        assert cfg.central_buffer_flits == 2048  # 4 KB of 2-byte flits
+
+    def test_derived_copy(self):
+        cfg = SimulationConfig()
+        other = cfg.derived(num_hosts=16)
+        assert other.num_hosts == 16
+        assert cfg.num_hosts == 64
+
+
+class TestEncodings:
+    def test_bitstring_encoding_built(self):
+        cfg = SimulationConfig(num_hosts=64)
+        assert isinstance(cfg.build_encoding(), BitStringEncoding)
+
+    def test_multiport_encoding_built(self):
+        cfg = SimulationConfig(num_hosts=64, encoding=EncodingKind.MULTIPORT)
+        encoding = cfg.build_encoding()
+        assert isinstance(encoding, MultiportEncoding)
+        assert encoding.num_hosts == 64
+
+    def test_max_header_grows_with_system(self):
+        small = SimulationConfig(num_hosts=16)
+        large = SimulationConfig(num_hosts=256)
+        assert large.max_header_flits() > small.max_header_flits()
+
+    def test_max_packet_includes_header(self):
+        cfg = SimulationConfig(num_hosts=64, max_packet_payload_flits=100)
+        assert cfg.max_packet_flits() == cfg.max_header_flits() + 100
+
+
+class TestInputBufferSizing:
+    def test_auto_sized_to_max_packet(self):
+        cfg = SimulationConfig(num_hosts=64)
+        assert cfg.effective_input_buffer_flits() >= cfg.max_packet_flits()
+
+    def test_explicit_size_respected(self):
+        cfg = SimulationConfig(num_hosts=64, input_buffer_flits=512)
+        assert cfg.effective_input_buffer_flits() == 512
+
+    def test_too_small_explicit_size_rejected(self):
+        cfg = SimulationConfig(num_hosts=64, input_buffer_flits=16)
+        with pytest.raises(ConfigurationError, match="deadlock"):
+            cfg.validate()
+
+
+class TestValidation:
+    def test_non_power_of_arity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(num_hosts=48).validate()
+
+    def test_central_buffer_must_hold_max_packet(self):
+        cfg = SimulationConfig(
+            num_hosts=64,
+            central_buffer_flits=64,
+            max_packet_payload_flits=128,
+        )
+        with pytest.raises(ConfigurationError, match="deadlock"):
+            cfg.validate()
+
+    def test_multiport_on_irregular_rejected(self):
+        cfg = SimulationConfig(
+            num_hosts=16,
+            topology=TopologyKind.IRREGULAR,
+            encoding=EncodingKind.MULTIPORT,
+            irregular_switches=8,
+        )
+        with pytest.raises(ConfigurationError):
+            cfg.validate()
+
+    def test_irregular_host_division(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(
+                num_hosts=15,
+                topology=TopologyKind.IRREGULAR,
+                irregular_switches=4,
+            ).validate()
+
+    def test_tiny_system_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(num_hosts=1).validate()
+
+    def test_bad_link_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(link_latency=0).validate()
+
+    @pytest.mark.parametrize("hosts", [16, 64, 256])
+    def test_paper_system_sizes_valid(self, hosts):
+        SimulationConfig(num_hosts=hosts).validate()
+
+
+class TestSettingsDerivation:
+    def test_switch_settings_mirror_config(self):
+        cfg = SimulationConfig(
+            cb_write_bandwidth=4, routing_delay=5, chunk_flits=16
+        )
+        settings = cfg.switch_settings()
+        assert settings.cb_write_bandwidth == 4
+        assert settings.routing_delay == 5
+        assert settings.chunk_flits == 16
+
+    def test_host_params_mirror_config(self):
+        cfg = SimulationConfig(sw_send_overhead=99)
+        assert cfg.host_params().sw_send_overhead == 99

@@ -1,0 +1,87 @@
+"""End-to-end simulation facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schemes import MulticastScheme
+from repro.flits.packet import TrafficClass
+from repro.network.config import SimulationConfig
+from repro.network.simulation import run_simulation
+from repro.traffic.multicast import MultipleMulticastBurst, SingleMulticast
+from repro.traffic.unicast import UniformRandomUnicast
+
+
+class TestRunSimulation:
+    def test_single_multicast_completes(self):
+        result = run_simulation(
+            SimulationConfig(num_hosts=16, self_check=True),
+            SingleMulticast(
+                source=0, degree=4, payload_flits=16,
+                scheme=MulticastScheme.HARDWARE,
+            ),
+        )
+        assert result.completed
+        assert result.op_last_latency.count == 1
+        assert result.collector.operations_created == 1
+
+    def test_burst_completes_all_operations(self):
+        result = run_simulation(
+            SimulationConfig(num_hosts=16, self_check=True),
+            MultipleMulticastBurst(
+                num_multicasts=4, degree=4, payload_flits=16,
+                scheme=MulticastScheme.HARDWARE,
+            ),
+        )
+        assert result.op_last_latency.count == 4
+
+    def test_budget_exhaustion_reports_incomplete(self):
+        result = run_simulation(
+            SimulationConfig(num_hosts=16),
+            UniformRandomUnicast(
+                load=0.9, payload_flits=32,
+                warmup_cycles=100, measure_cycles=2_000,
+            ),
+            max_cycles=2_500,
+        )
+        assert not result.completed
+        assert result.cycles >= 2_500
+
+    def test_summary_keys(self):
+        result = run_simulation(
+            SimulationConfig(num_hosts=16),
+            SingleMulticast(
+                source=1, degree=3, payload_flits=8,
+                scheme=MulticastScheme.SOFTWARE,
+            ),
+        )
+        summary = result.summary()
+        assert summary["completed"] == 1.0
+        assert summary["operations"] == 1.0
+        assert "op_last_latency_mean" in summary
+        assert "unicast_latency_mean" in summary
+
+    def test_throughput_accessor(self):
+        result = run_simulation(
+            SimulationConfig(num_hosts=16),
+            UniformRandomUnicast(
+                load=0.1, payload_flits=16,
+                warmup_cycles=200, measure_cycles=1_000,
+            ),
+        )
+        throughput = result.throughput(TrafficClass.UNICAST, 1_000)
+        assert 0.0 < throughput < 1.0
+
+    def test_latency_accessors_match_collector(self):
+        result = run_simulation(
+            SimulationConfig(num_hosts=16),
+            SingleMulticast(
+                source=0, degree=4, payload_flits=16,
+                scheme=MulticastScheme.HARDWARE,
+            ),
+        )
+        assert (
+            result.multicast_message_latency.count
+            == result.collector.classes[TrafficClass.MULTICAST].latency.count
+        )
+        assert result.op_average_latency.count == 1

@@ -1,0 +1,111 @@
+"""Reachability tables built from real topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.routing.reachability import tables_for_bmin, tables_for_umin
+from repro.routing.updown import tables_for_irregular
+from repro.topology.bmin import BidirectionalMin
+from repro.topology.irregular import IrregularNetwork
+from repro.topology.umin import UnidirectionalMin
+
+
+class TestBminTables:
+    @pytest.fixture(scope="class")
+    def bmin(self):
+        return BidirectionalMin(4, 3)
+
+    @pytest.fixture(scope="class")
+    def tables(self, bmin):
+        return tables_for_bmin(bmin)
+
+    def test_leaf_reaches_its_hosts(self, bmin, tables):
+        for index in range(bmin.switches_per_level):
+            table = tables[bmin.switch_id(0, index)]
+            expected = 0
+            for host in range(index * 4, index * 4 + 4):
+                expected |= 1 << host
+            assert table.subtree_mask == expected
+            assert sorted(table.host_ports.values()) == list(
+                range(index * 4, index * 4 + 4)
+            )
+
+    def test_top_level_reaches_everything(self, bmin, tables):
+        for index in range(bmin.switches_per_level):
+            table = tables[bmin.switch_id(2, index)]
+            assert table.subtree_mask == (1 << 64) - 1
+            assert table.up_ports == []
+
+    def test_subtree_sizes_by_level(self, bmin, tables):
+        for level, size in ((0, 4), (1, 16), (2, 64)):
+            table = tables[bmin.switch_id(level, 0)]
+            assert bin(table.subtree_mask).count("1") == size
+
+    def test_down_reach_partitions_subtree(self, bmin, tables):
+        for table in tables:
+            union = 0
+            for mask in table.down_reach.values():
+                assert union & mask == 0
+                union |= mask
+            assert union == table.subtree_mask
+
+    def test_every_host_in_exactly_one_leaf(self, bmin, tables):
+        coverage = [0] * bmin.num_hosts
+        for index in range(bmin.switches_per_level):
+            table = tables[bmin.switch_id(0, index)]
+            for host in table.host_ports.values():
+                coverage[host] += 1
+        assert coverage == [1] * bmin.num_hosts
+
+
+class TestUminTables:
+    def test_forward_cone_shrinks_by_stage(self):
+        """Stage s reaches arity**(stages-s) hosts; stage 0 reaches all."""
+        umin = UnidirectionalMin(4, 2)
+        tables = tables_for_umin(umin)
+        for switch, table in enumerate(tables):
+            stage = umin.switch_stage(switch)
+            expected = 4 ** (umin.stages - stage)
+            assert bin(table.subtree_mask).count("1") == expected
+            assert table.up_ports == []
+
+    def test_last_stage_delivers(self):
+        umin = UnidirectionalMin(4, 2)
+        tables = tables_for_umin(umin)
+        for index in range(umin.switches_per_stage):
+            table = tables[umin.switch_id(1, index)]
+            assert len(table.host_ports) == 4
+
+    def test_output_reach_partitions(self):
+        umin = UnidirectionalMin(4, 3)
+        for table in tables_for_umin(umin):
+            union = 0
+            for mask in table.down_reach.values():
+                assert union & mask == 0
+                union |= mask
+            assert union == table.subtree_mask
+
+
+class TestIrregularTables:
+    def test_root_reaches_everything(self):
+        net = IrregularNetwork(8, 2, 8, extra_links=2, seed=3)
+        tables = tables_for_irregular(net)
+        assert tables[0].subtree_mask == (1 << 16) - 1
+        assert tables[0].up_ports == []
+
+    def test_non_roots_have_one_up_port(self):
+        net = IrregularNetwork(8, 2, 8, seed=3)
+        tables = tables_for_irregular(net)
+        for switch in range(1, 8):
+            assert len(tables[switch].up_ports) == 1
+            assert tables[switch].up_ports[0] == net.parent_port[switch]
+
+    def test_subtree_matches_network(self):
+        net = IrregularNetwork(8, 2, 8, seed=3)
+        tables = tables_for_irregular(net)
+        for switch in range(8):
+            expected = 0
+            for host in net.subtree_hosts(switch):
+                expected |= 1 << host
+            assert tables[switch].subtree_mask == expected

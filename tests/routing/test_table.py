@@ -1,0 +1,182 @@
+"""SwitchRoutingTable: decode semantics for both routing modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.flits.destset import DestinationSet
+from repro.flits.packet import Message, Packet, TrafficClass
+from repro.flits.worm import Worm
+from repro.routing.base import (
+    MulticastRoutingMode,
+    UpPortPolicy,
+    make_up_selector,
+    validate_partition,
+)
+from repro.routing.table import SwitchRoutingTable
+
+N = 16
+FIRST_UP = make_up_selector(UpPortPolicy.DETERMINISTIC)
+
+
+def worm_for(source: int, ids, descending=False) -> Worm:
+    destinations = DestinationSet.from_ids(N, ids)
+    message = Message(0, source, destinations, 4, TrafficClass.MULTICAST, 0)
+    packet = Packet(0, message, destinations, 1, 4)
+    root = Worm.root(packet)
+    if descending:
+        return root.branch(destinations, descending=True)
+    return root
+
+
+def leaf_table() -> SwitchRoutingTable:
+    """Leaf switch serving hosts 0-3, with up ports 4 and 5."""
+    return SwitchRoutingTable(
+        switch_id=0,
+        num_hosts=N,
+        down_reach={port: 1 << port for port in range(4)},
+        up_ports=[4, 5],
+        host_ports={port: port for port in range(4)},
+    )
+
+
+def mid_table() -> SwitchRoutingTable:
+    """Middle switch: subtrees {0-3} and {4-7} below, ups 4 and 5."""
+    return SwitchRoutingTable(
+        switch_id=1,
+        num_hosts=N,
+        down_reach={0: 0x0F, 1: 0xF0},
+        up_ports=[4, 5],
+    )
+
+
+class TestConstruction:
+    def test_overlapping_reach_rejected(self):
+        with pytest.raises(RoutingError):
+            SwitchRoutingTable(0, N, {0: 0b11, 1: 0b10}, [])
+
+    def test_empty_reach_rejected(self):
+        with pytest.raises(RoutingError):
+            SwitchRoutingTable(0, N, {0: 0}, [])
+
+    def test_host_port_reach_must_match(self):
+        with pytest.raises(RoutingError):
+            SwitchRoutingTable(0, N, {0: 0b11}, [], host_ports={0: 0})
+
+    def test_subtree_mask_is_union(self):
+        assert mid_table().subtree_mask == 0xFF
+
+
+class TestDescendingWorms:
+    def test_splits_across_down_ports(self):
+        requests = mid_table().compute_requests(
+            worm_for(8, [1, 2, 5], descending=True),
+            MulticastRoutingMode.TURNAROUND,
+            FIRST_UP,
+            self_check=True,
+        )
+        by_port = {r.port: r for r in requests}
+        assert set(by_port) == {0, 1}
+        assert set(by_port[0].destinations) == {1, 2}
+        assert set(by_port[1].destinations) == {5}
+        assert all(r.descending for r in requests)
+
+    def test_outside_subtree_raises(self):
+        with pytest.raises(RoutingError):
+            mid_table().compute_requests(
+                worm_for(8, [1, 9], descending=True),
+                MulticastRoutingMode.TURNAROUND,
+                FIRST_UP,
+            )
+
+    def test_delivery_at_leaf(self):
+        requests = leaf_table().compute_requests(
+            worm_for(8, [0, 3], descending=True),
+            MulticastRoutingMode.TURNAROUND,
+            FIRST_UP,
+        )
+        assert {r.port for r in requests} == {0, 3}
+        for r in requests:
+            assert r.destinations.is_singleton()
+
+
+class TestAscendingTurnaround:
+    def test_all_inside_turns_down(self):
+        requests = mid_table().compute_requests(
+            worm_for(0, [1, 6]),
+            MulticastRoutingMode.TURNAROUND,
+            FIRST_UP,
+            self_check=True,
+        )
+        assert {r.port for r in requests} == {0, 1}
+        assert all(r.descending for r in requests)
+
+    def test_any_outside_goes_up_whole(self):
+        worm = worm_for(0, [1, 6, 12])
+        requests = mid_table().compute_requests(
+            worm, MulticastRoutingMode.TURNAROUND, FIRST_UP, self_check=True
+        )
+        (request,) = requests
+        assert request.port in (4, 5)
+        assert request.destinations == worm.destinations
+        assert not request.descending
+
+    def test_no_up_port_raises(self):
+        table = SwitchRoutingTable(0, N, {0: 0x0F, 1: 0xF0}, [])
+        with pytest.raises(RoutingError):
+            table.compute_requests(
+                worm_for(0, [12]), MulticastRoutingMode.TURNAROUND, FIRST_UP
+            )
+
+
+class TestAscendingBranchOnUp:
+    def test_splits_between_up_and_down(self):
+        worm = worm_for(0, [1, 6, 12])
+        requests = mid_table().compute_requests(
+            worm, MulticastRoutingMode.BRANCH_ON_UP, FIRST_UP, self_check=True
+        )
+        ups = [r for r in requests if not r.descending]
+        downs = [r for r in requests if r.descending]
+        assert len(ups) == 1
+        assert set(ups[0].destinations) == {12}
+        assert {d.port for d in downs} == {0, 1}
+
+    def test_pure_outside_only_up(self):
+        worm = worm_for(0, [12, 13])
+        requests = mid_table().compute_requests(
+            worm, MulticastRoutingMode.BRANCH_ON_UP, FIRST_UP
+        )
+        (request,) = requests
+        assert set(request.destinations) == {12, 13}
+
+
+class TestValidatePartition:
+    def test_accepts_partition(self):
+        worm = worm_for(8, [1, 5], descending=True)
+        requests = mid_table().compute_requests(
+            worm, MulticastRoutingMode.TURNAROUND, FIRST_UP
+        )
+        validate_partition(worm.destinations, requests)
+
+    def test_rejects_uncovered(self):
+        worm = worm_for(8, [1, 5], descending=True)
+        requests = mid_table().compute_requests(
+            worm, MulticastRoutingMode.TURNAROUND, FIRST_UP
+        )
+        with pytest.raises(ValueError):
+            validate_partition(
+                worm.destinations | DestinationSet.single(N, 9), requests
+            )
+
+
+class TestHelpers:
+    def test_host_port_queries(self):
+        table = leaf_table()
+        assert table.is_host_port(2)
+        assert table.delivers_to(2) == 2
+        assert not table.is_host_port(4)
+        assert table.delivers_to(4) is None
+
+    def test_down_ports_sorted(self):
+        assert mid_table().down_ports() == [0, 1]

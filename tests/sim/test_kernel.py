@@ -1,0 +1,165 @@
+"""Kernel: clock, calendar, components, stall detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.component import Component
+from repro.sim.kernel import Simulator
+
+
+class Recorder(Component):
+    """Records the cycle of every tick."""
+
+    def __init__(self, name: str = "rec") -> None:
+        super().__init__(name)
+        self.ticks = []
+
+    def tick(self, now: int) -> None:
+        self.ticks.append(now)
+
+
+class Mover(Component):
+    """Reports progress for a fixed number of cycles, then goes idle."""
+
+    def __init__(self, active_cycles: int) -> None:
+        super().__init__("mover")
+        self.active_cycles = active_cycles
+
+    def tick(self, now: int) -> None:
+        if now < self.active_cycles:
+            self.sim.note_progress()
+
+
+class TestClockAndComponents:
+    def test_step_advances_clock(self):
+        sim = Simulator()
+        assert sim.now == 0
+        sim.step()
+        assert sim.now == 1
+
+    def test_run_executes_exact_cycle_count(self):
+        sim = Simulator()
+        rec = sim.add_component(Recorder())
+        sim.run(5)
+        assert rec.ticks == [0, 1, 2, 3, 4]
+
+    def test_components_tick_in_registration_order(self):
+        sim = Simulator()
+        order = []
+
+        class Ordered(Component):
+            def tick(self, now):
+                order.append(self.name)
+
+        sim.add_component(Ordered("a"))
+        sim.add_component(Ordered("b"))
+        sim.step()
+        assert order == ["a", "b"]
+
+    def test_negative_run_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().run(-1)
+
+    def test_unattached_component_has_no_sim(self):
+        with pytest.raises(RuntimeError):
+            Recorder().sim
+
+
+class TestCalendar:
+    def test_event_fires_at_scheduled_cycle(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3, lambda: fired.append(sim.now))
+        sim.run(5)
+        assert fired == [3]
+
+    def test_events_fire_before_component_ticks(self):
+        sim = Simulator()
+        log = []
+        rec = Recorder()
+
+        class Logger(Component):
+            def tick(self, now):
+                log.append(("tick", now))
+
+        sim.add_component(Logger("l"))
+        sim.schedule(2, lambda: log.append(("event", sim.now)))
+        sim.run(3)
+        assert ("event", 2) in log
+        assert log.index(("event", 2)) < log.index(("tick", 2))
+
+    def test_same_cycle_events_fire_in_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1, lambda: fired.append("first"))
+        sim.schedule(1, lambda: fired.append("second"))
+        sim.run(2)
+        assert fired == ["first", "second"]
+
+    def test_event_scheduled_during_event_same_cycle_runs(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            sim.schedule_at(sim.now, lambda: fired.append("inner"))
+
+        sim.schedule(1, outer)
+        sim.run(2)
+        assert fired == ["outer", "inner"]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.run(3)
+        with pytest.raises(ValueError):
+            sim.schedule_at(1, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_pending_events_and_next_cycle(self):
+        sim = Simulator()
+        assert sim.next_event_cycle() is None
+        sim.schedule(7, lambda: None)
+        sim.schedule(3, lambda: None)
+        assert sim.pending_events == 2
+        assert sim.next_event_cycle() == 3
+
+
+class TestRunUntil:
+    def test_stops_when_predicate_true(self):
+        sim = Simulator()
+        sim.add_component(Mover(active_cycles=1_000))
+        executed = sim.run_until(lambda: sim.now >= 10, max_cycles=100)
+        assert sim.now == 10
+        assert executed == 10
+
+    def test_exceeding_max_cycles_raises(self):
+        sim = Simulator()
+        sim.add_component(Mover(active_cycles=1_000))
+        with pytest.raises(SimulationError):
+            sim.run_until(lambda: False, max_cycles=5)
+
+    def test_stall_detection_raises_deadlock(self):
+        sim = Simulator()
+        sim.add_component(Mover(active_cycles=3))
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run_until(lambda: False, max_cycles=1_000, stall_limit=20)
+
+    def test_progress_resets_stall_counter(self):
+        sim = Simulator()
+        sim.add_component(Mover(active_cycles=50))
+        executed = sim.run_until(
+            lambda: sim.now >= 40, max_cycles=1_000, stall_limit=20
+        )
+        assert executed == 40
+
+    def test_pending_event_defers_stall(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(90, lambda: fired.append(True))
+        sim.run_until(lambda: bool(fired), max_cycles=1_000, stall_limit=10)
+        assert fired == [True]

@@ -1,0 +1,54 @@
+"""RNG streams: determinism and independence."""
+
+from __future__ import annotations
+
+from repro.sim.rng import RngStreams
+
+
+class TestRngStreams:
+    def test_same_seed_same_sequences(self):
+        a = RngStreams(42).stream("traffic")
+        b = RngStreams(42).stream("traffic")
+        assert [a.random() for _ in range(10)] == [
+            b.random() for _ in range(10)
+        ]
+
+    def test_different_names_are_independent(self):
+        streams = RngStreams(42)
+        a = [streams.stream("a").random() for _ in range(10)]
+        b = [streams.stream("b").random() for _ in range(10)]
+        assert a != b
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).stream("x").random()
+        b = RngStreams(2).stream("x").random()
+        assert a != b
+
+    def test_stream_is_cached(self):
+        streams = RngStreams(0)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_draws_do_not_couple_streams(self):
+        """Consuming one stream must not perturb another."""
+        control = RngStreams(7)
+        expected = [control.stream("b").random() for _ in range(5)]
+        perturbed = RngStreams(7)
+        for _ in range(100):
+            perturbed.stream("a").random()
+        observed = [perturbed.stream("b").random() for _ in range(5)]
+        assert observed == expected
+
+    def test_spawn_children_are_disjoint(self):
+        parent = RngStreams(3)
+        child = parent.spawn("sub")
+        a = parent.stream("x").random()
+        b = child.stream("x").random()
+        assert a != b
+
+    def test_spawn_is_deterministic(self):
+        a = RngStreams(3).spawn("sub").stream("x").random()
+        b = RngStreams(3).spawn("sub").stream("x").random()
+        assert a == b
+
+    def test_seed_property(self):
+        assert RngStreams(11).seed == 11

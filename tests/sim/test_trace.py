@@ -1,0 +1,53 @@
+"""Tracer behaviour."""
+
+from __future__ import annotations
+
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+class TestTracer:
+    def test_disabled_records_nothing(self):
+        t = Tracer(enabled=False)
+        t.emit(0, "src", "event", value=1)
+        assert t.records == []
+
+    def test_enabled_records(self):
+        t = Tracer(enabled=True)
+        t.emit(3, "sw0", "flit_in", port=2)
+        (record,) = t.records
+        assert record.cycle == 3
+        assert record.source == "sw0"
+        assert record.get("port") == 2
+        assert record.get("missing", "x") == "x"
+
+    def test_select_filters(self):
+        t = Tracer(enabled=True)
+        t.emit(0, "a", "x", k=1)
+        t.emit(1, "b", "x", k=2)
+        t.emit(2, "a", "y", k=3)
+        assert len(list(t.select(event="x"))) == 2
+        assert len(list(t.select(source="a"))) == 2
+        assert len(list(t.select(event="x", source="a"))) == 1
+        assert len(list(t.select(where=lambda r: r.get("k") > 1))) == 2
+
+    def test_counts(self):
+        t = Tracer(enabled=True)
+        t.emit(0, "a", "x")
+        t.emit(0, "a", "x")
+        t.emit(0, "a", "y")
+        assert t.counts() == {"x": 2, "y": 1}
+
+    def test_limit_drops_oldest(self):
+        t = Tracer(enabled=True, limit=3)
+        for i in range(5):
+            t.emit(i, "a", "e", i=i)
+        assert [r.get("i") for r in t.records] == [2, 3, 4]
+
+    def test_clear(self):
+        t = Tracer(enabled=True)
+        t.emit(0, "a", "x")
+        t.clear()
+        assert t.records == []
+
+    def test_null_tracer_is_disabled(self):
+        assert NULL_TRACER.enabled is False

@@ -1,0 +1,93 @@
+"""Round-robin arbitration fairness."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.switches.arbiter import RoundRobinArbiter, rotate_from
+
+
+class TestGrant:
+    def test_no_requesters_no_grant(self):
+        assert RoundRobinArbiter(4).grant([]) is None
+
+    def test_single_requester_wins(self):
+        assert RoundRobinArbiter(4).grant([2]) == 2
+
+    def test_pointer_rotates_past_winner(self):
+        arb = RoundRobinArbiter(4)
+        grants = [arb.grant([0, 1, 2, 3]) for _ in range(8)]
+        assert grants == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_persistent_requester_cannot_starve_another(self):
+        arb = RoundRobinArbiter(2)
+        grants = [arb.grant([0, 1]) for _ in range(10)]
+        assert grants.count(0) == grants.count(1) == 5
+
+    def test_wraps_around(self):
+        arb = RoundRobinArbiter(4)
+        arb.grant([3])
+        assert arb.grant([0, 3]) == 0
+
+    @given(
+        st.lists(
+            st.sets(st.integers(0, 7)),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_long_run_fairness(self, request_pattern):
+        """Whoever requests every cycle is granted at least its fair share."""
+        arb = RoundRobinArbiter(8)
+        always = set(range(8))
+        wins = {i: 0 for i in range(8)}
+        cycles = 0
+        for partial in request_pattern:
+            winner = arb.grant(always | partial)
+            wins[winner] += 1
+            cycles += 1
+        assert max(wins.values()) - min(wins.values()) <= 1
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(0)
+
+
+class TestGrantUpTo:
+    def test_respects_limit(self):
+        arb = RoundRobinArbiter(8)
+        granted = arb.grant_up_to([0, 1, 2, 3], limit=2)
+        assert len(granted) == 2
+
+    def test_grants_all_when_limit_allows(self):
+        arb = RoundRobinArbiter(8)
+        assert sorted(arb.grant_up_to([1, 5, 6], limit=8)) == [1, 5, 6]
+
+    def test_distinct_winners(self):
+        arb = RoundRobinArbiter(4)
+        granted = arb.grant_up_to([0, 1, 2, 3], limit=4)
+        assert len(set(granted)) == 4
+
+    def test_rotation_spreads_over_cycles(self):
+        arb = RoundRobinArbiter(4)
+        first = arb.grant_up_to([0, 1, 2, 3], limit=2)
+        second = arb.grant_up_to([0, 1, 2, 3], limit=2)
+        assert sorted(first + second) == [0, 1, 2, 3]
+
+    def test_zero_limit(self):
+        assert RoundRobinArbiter(4).grant_up_to([0, 1], 0) == []
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(4).grant_up_to([0], -1)
+
+
+class TestRotateFrom:
+    def test_rotation(self):
+        assert rotate_from([0, 1, 2, 3], 2) == [2, 3, 0, 1]
+
+    def test_start_past_everything_wraps(self):
+        assert rotate_from([0, 1, 2], 5) == [0, 1, 2]
+
+    def test_empty(self):
+        assert rotate_from([], 3) == []

@@ -1,0 +1,144 @@
+"""Input-buffer switch behaviour, including its architectural weaknesses."""
+
+from __future__ import annotations
+
+from repro.core.schemes import MulticastScheme, SwitchArchitecture
+from repro.flits.destset import DestinationSet
+from repro.flits.packet import TrafficClass
+from repro.network.builder import build_network
+from repro.network.config import SimulationConfig
+
+
+def one_switch_config(**overrides):
+    defaults = dict(
+        num_hosts=8,
+        arity=8,
+        switch_architecture=SwitchArchitecture.INPUT_BUFFER,
+        max_packet_payload_flits=64,
+        sw_send_overhead=0,
+        sw_recv_overhead=0,
+        self_check=True,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+def schedule_unicast(network, cycle, source, dest, payload):
+    network.sim.schedule_at(
+        cycle, lambda: network.nodes[source].post_unicast(dest, payload)
+    )
+
+
+def schedule_multicast(network, cycle, source, dest_ids, payload):
+    dset = DestinationSet.from_ids(network.num_hosts, dest_ids)
+    network.sim.schedule_at(
+        cycle,
+        lambda: network.nodes[source].post_multicast(
+            dset, payload, MulticastScheme.HARDWARE
+        ),
+    )
+
+
+def run_to_quiescence(network, max_cycles=30_000):
+    network.sim.run_until(
+        lambda: network.collector.outstanding_messages == 0
+        and network.collector.messages_created > 0,
+        max_cycles=max_cycles,
+        stall_limit=5_000,
+    )
+
+
+class TestBasicForwarding:
+    def test_unicast_delivery(self):
+        network = build_network(one_switch_config())
+        schedule_unicast(network, 0, 0, 5, payload=16)
+        run_to_quiescence(network)
+        assert network.collector.classes[TrafficClass.UNICAST].deliveries == 1
+
+    def test_multicast_replication(self):
+        network = build_network(one_switch_config())
+        schedule_multicast(network, 0, 0, [1, 3, 5, 7], payload=24)
+        run_to_quiescence(network)
+        (op,) = network.collector.completed_operations()
+        assert sorted(op.arrival_cycles) == [1, 3, 5, 7]
+
+    def test_each_destination_gets_whole_packet(self):
+        network = build_network(one_switch_config())
+        dests = [2, 6]
+        schedule_multicast(network, 0, 1, dests, payload=24)
+        run_to_quiescence(network)
+        header = network.encoding.header_flits(
+            DestinationSet.from_ids(8, dests)
+        )
+        for dest in dests:
+            assert network.interfaces[dest].flits_ejected == 24 + header
+
+    def test_switch_returns_to_idle(self):
+        network = build_network(one_switch_config())
+        schedule_multicast(network, 0, 0, [1, 2, 3], payload=16)
+        run_to_quiescence(network)
+        network.sim.run(10)
+        (switch,) = network.switches
+        assert switch.idle()
+        assert switch.buffer_occupancy(0) == 0
+
+
+class TestAsynchronousReplication:
+    def test_blocked_branch_does_not_block_others(self):
+        network = build_network(one_switch_config())
+        schedule_unicast(network, 0, 6, 7, payload=200)  # congests output 7
+        schedule_multicast(network, 5, 0, [1, 2, 7], payload=16)
+        run_to_quiescence(network)
+        (op,) = network.collector.completed_operations()
+        assert max(op.arrival_cycles[d] for d in (1, 2)) < op.arrival_cycles[7]
+
+    def test_buffer_slots_recycle_with_slowest_branch(self):
+        """A second packet can enter the input buffer only as the slowest
+        branch of the head packet frees space."""
+        network = build_network(
+            one_switch_config(
+                input_buffer_flits=None,  # sized to max packet
+                max_packet_payload_flits=64,
+            )
+        )
+        schedule_unicast(network, 0, 6, 7, payload=300)  # blocks output 7
+        schedule_multicast(network, 5, 0, [1, 7], payload=64)
+        schedule_unicast(network, 6, 0, 2, payload=64)  # queued behind worm
+        run_to_quiescence(network)
+        assert network.collector.outstanding_messages == 0
+
+
+class TestHeadOfLineBlocking:
+    def victim_arrival(self, architecture):
+        """Long packet to a busy output, then a short 'victim' packet to an
+        idle output from the same source; return the victim's arrival.
+
+        The victim is posted as a degree-1 multicast operation purely so
+        the collector records its exact completion cycle; with a singleton
+        destination it travels the network as an ordinary unicast worm.
+        """
+        config = one_switch_config(switch_architecture=architecture)
+        network = build_network(config)
+        schedule_unicast(network, 0, 0, 5, payload=200)   # occupies output 5
+        schedule_unicast(network, 8, 1, 5, payload=200)   # blocked behind it
+        schedule_multicast(network, 9, 1, [6], payload=8)  # HOL victim
+        run_to_quiescence(network)
+        (op,) = network.collector.completed_operations()
+        return op.completed_cycle
+
+    def test_input_buffer_suffers_hol_blocking(self):
+        """The IB switch delivers the victim only after the packet ahead of
+        it wins output 5; the CB switch drains that packet into the central
+        buffer and lets the victim through immediately."""
+        ib_victim = self.victim_arrival(SwitchArchitecture.INPUT_BUFFER)
+        cb_victim = self.victim_arrival(SwitchArchitecture.CENTRAL_BUFFER)
+        assert cb_victim + 100 < ib_victim
+
+
+class TestStaticPartitioning:
+    def test_concurrent_streams_through_distinct_inputs(self):
+        network = build_network(one_switch_config())
+        for source, dest in ((0, 4), (1, 5), (2, 6), (3, 7)):
+            schedule_unicast(network, 0, source, dest, payload=64)
+        run_to_quiescence(network)
+        assert network.collector.classes[TrafficClass.UNICAST].deliveries == 4

@@ -1,0 +1,130 @@
+"""Link: latency, credits, protocol enforcement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.flits.destset import DestinationSet
+from repro.flits.flit import Flit
+from repro.flits.packet import Message, Packet, TrafficClass
+from repro.flits.worm import Worm
+from repro.switches.link import Link
+
+
+def flits(count=8, universe=4):
+    size = max(count, 2)
+    destinations = DestinationSet.single(universe, 1)
+    message = Message(0, 0, destinations, size - 1, TrafficClass.UNICAST, 0)
+    packet = Packet(0, message, destinations, 1, size - 1)
+    worm = Worm.root(packet)
+    return [Flit(worm, i) for i in range(count)]
+
+
+def make_link(depth=4, latency=1, credit_latency=None):
+    link = Link("test", latency=latency, credit_latency=credit_latency)
+    link.set_credits(depth)
+    return link
+
+
+class TestDelivery:
+    def test_arrives_after_latency(self):
+        link = make_link(latency=3)
+        f = flits(1)[0]
+        link.send(0, f)
+        assert link.receive(1) == []
+        assert link.receive(2) == []
+        assert link.receive(3) == [f]
+
+    def test_order_preserved(self):
+        link = make_link(depth=4)
+        fs = flits(3)
+        for cycle, f in enumerate(fs):
+            link.send(cycle, f)
+        assert link.receive(10) == fs
+
+    def test_one_flit_per_cycle(self):
+        link = make_link(depth=4)
+        fs = flits(2)
+        link.send(0, fs[0])
+        with pytest.raises(ProtocolError):
+            link.send(0, fs[1])
+
+    def test_receive_does_not_deliver_early(self):
+        link = make_link(latency=2)
+        f = flits(1)[0]
+        link.send(5, f)
+        assert link.receive(6) == []
+        assert link.receive(7) == [f]
+
+
+class TestCredits:
+    def test_send_consumes_credit(self):
+        link = make_link(depth=2)
+        fs = flits(3)
+        link.send(0, fs[0])
+        link.send(1, fs[1])
+        assert not link.can_send(2)
+        with pytest.raises(ProtocolError):
+            link.send(2, fs[2])
+
+    def test_credit_returns_after_latency(self):
+        link = make_link(depth=1, latency=1, credit_latency=2)
+        fs = flits(2)
+        link.send(0, fs[0])
+        link.receive(1)
+        link.return_credit(1)
+        assert not link.can_send(2)
+        assert link.can_send(3)
+        link.send(3, fs[1])
+
+    def test_credits_must_be_declared_once(self):
+        link = Link("x")
+        with pytest.raises(ProtocolError):
+            link.credits(0)
+        link.set_credits(2)
+        with pytest.raises(ProtocolError):
+            link.set_credits(2)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            Link("x", latency=0)
+        with pytest.raises(ConfigurationError):
+            Link("x", credit_latency=0)
+        with pytest.raises(ConfigurationError):
+            make_link(depth=0)
+        with pytest.raises(ValueError):
+            make_link().return_credit(0, count=0)
+
+    def test_can_send_false_same_cycle_after_send(self):
+        link = make_link(depth=4)
+        link.send(0, flits(1)[0])
+        assert not link.can_send(0)
+        assert link.can_send(1)
+
+
+class TestConservation:
+    def test_credits_conserved_through_traffic(self):
+        depth = 3
+        link = make_link(depth=depth, latency=2, credit_latency=2)
+        fs = flits(12)
+        held_by_receiver = 0
+        sent = 0
+        for cycle in range(60):
+            arrived = link.receive(cycle)
+            held_by_receiver += len(arrived)
+            # receiver frees one slot every other cycle
+            if held_by_receiver and cycle % 2 == 0:
+                link.return_credit(cycle)
+                held_by_receiver -= 1
+            if sent < len(fs) and link.can_send(cycle):
+                link.send(cycle, fs[sent])
+                sent += 1
+            assert link.accounted_credits() + held_by_receiver == depth
+        assert sent == len(fs)
+
+    def test_flits_sent_counter(self):
+        link = make_link(depth=8)
+        for cycle, f in enumerate(flits(5)):
+            link.send(cycle, f)
+        assert link.flits_sent == 5

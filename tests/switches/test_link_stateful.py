@@ -1,0 +1,99 @@
+"""Stateful property test: the link protocol under arbitrary schedules.
+
+Hypothesis drives a random interleaving of sends, receives, credit
+returns and clock advances against a model of what the link must do:
+deliver every flit exactly once, in order, after its latency, and never
+let the sender overrun the receiver's declared buffer.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+import hypothesis.strategies as st
+
+from repro.flits.destset import DestinationSet
+from repro.flits.flit import Flit
+from repro.flits.packet import Message, Packet, TrafficClass
+from repro.flits.worm import Worm
+from repro.switches.link import Link
+
+DEPTH = 4
+LATENCY = 2
+
+
+def flit_stream(count=512):
+    destinations = DestinationSet.single(4, 1)
+    message = Message(0, 0, destinations, count - 1, TrafficClass.UNICAST, 0)
+    packet = Packet(0, message, destinations, 1, count - 1)
+    worm = Worm.root(packet)
+    return [Flit(worm, i) for i in range(count)]
+
+
+class LinkProtocol(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.link = Link("dut", latency=LATENCY, credit_latency=LATENCY)
+        self.link.set_credits(DEPTH)
+        self.now = 0
+        self.flits = flit_stream()
+        self.sent = 0
+        self.received = 0
+        self.held_by_receiver = 0
+
+    # ------------------------------------------------------------------
+    # actions
+    # ------------------------------------------------------------------
+    @precondition(lambda self: self.link.can_send(self.now)
+                  and self.sent < len(self.flits))
+    @rule()
+    def send(self):
+        self.link.send(self.now, self.flits[self.sent])
+        self.sent += 1
+
+    @rule()
+    def receive(self):
+        arrived = self.link.receive(self.now)
+        for flit in arrived:
+            assert flit.index == self.received, "delivery out of order"
+            self.received += 1
+            self.held_by_receiver += 1
+
+    @precondition(lambda self: self.held_by_receiver > 0)
+    @rule()
+    def free_slot(self):
+        self.link.return_credit(self.now)
+        self.held_by_receiver -= 1
+
+    @rule(ticks=st.integers(1, 5))
+    def advance(self, ticks):
+        self.now += ticks
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    @invariant()
+    def credits_conserved(self):
+        accounted = self.link.accounted_credits()
+        assert accounted + self.held_by_receiver == DEPTH
+
+    @invariant()
+    def no_overrun(self):
+        # flits the receiver has not freed can never exceed the buffer
+        unfreed = self.sent - self.received + self.held_by_receiver
+        assert unfreed <= DEPTH
+
+    @invariant()
+    def nothing_lost(self):
+        assert self.received + self.link.in_flight() <= self.sent
+
+
+LinkProtocolTest = LinkProtocol.TestCase
+LinkProtocolTest.settings = settings(
+    max_examples=60, stateful_step_count=60, deadline=None
+)

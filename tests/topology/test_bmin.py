@@ -1,0 +1,125 @@
+"""Bidirectional MIN (k-ary n-tree) structure."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TopologyError
+from repro.topology.bmin import BidirectionalMin
+from repro.topology.graph import Endpoint, NodeKind
+
+
+class TestShape:
+    @pytest.mark.parametrize(
+        "arity,levels,hosts,switches",
+        [(4, 1, 4, 1), (4, 2, 16, 8), (4, 3, 64, 48), (2, 3, 8, 12)],
+    )
+    def test_counts(self, arity, levels, hosts, switches):
+        b = BidirectionalMin(arity, levels)
+        assert b.num_hosts == hosts
+        assert b.num_switches == switches
+        assert b.topology.num_hosts == hosts
+
+    def test_for_hosts(self):
+        assert BidirectionalMin.for_hosts(64).levels == 3
+        assert BidirectionalMin.for_hosts(16).levels == 2
+        with pytest.raises(TopologyError):
+            BidirectionalMin.for_hosts(48)
+
+    def test_invalid_shapes(self):
+        with pytest.raises(TopologyError):
+            BidirectionalMin(1, 2)
+        with pytest.raises(TopologyError):
+            BidirectionalMin(4, 0)
+
+    def test_validated_on_construction(self):
+        # construction runs Topology.validate; absence of exception is the test
+        BidirectionalMin(2, 4)
+
+
+class TestIdentity:
+    def test_switch_id_roundtrip(self):
+        b = BidirectionalMin(4, 3)
+        for level in range(3):
+            for index in range(b.switches_per_level):
+                sid = b.switch_id(level, index)
+                assert b.switch_level(sid) == level
+                assert b.switch_index(sid) == index
+
+    def test_bounds_checked(self):
+        b = BidirectionalMin(4, 2)
+        with pytest.raises(TopologyError):
+            b.switch_id(2, 0)
+        with pytest.raises(TopologyError):
+            b.switch_id(0, 4)
+        with pytest.raises(TopologyError):
+            b.host_switch(16)
+
+    def test_top_level_has_no_up_ports(self):
+        b = BidirectionalMin(4, 2)
+        top = b.switch_id(1, 0)
+        assert list(b.up_ports(top)) == []
+        leaf = b.switch_id(0, 0)
+        assert list(b.up_ports(leaf)) == [4, 5, 6, 7]
+        assert list(b.down_ports(leaf)) == [0, 1, 2, 3]
+
+
+class TestWiring:
+    def test_hosts_attach_in_blocks(self):
+        b = BidirectionalMin(4, 2)
+        for host in range(16):
+            attach = b.topology.host_attachment(host)
+            assert attach.node == b.host_switch(host)
+            assert attach.port == host % 4
+
+    def test_up_links_land_on_next_level(self):
+        b = BidirectionalMin(4, 3)
+        for level in range(2):
+            for index in range(b.switches_per_level):
+                switch = b.switch_id(level, index)
+                for up in b.up_ports(switch):
+                    peer = b.topology.neighbor_of(Endpoint.switch(switch, up))
+                    assert peer is not None
+                    assert peer.kind == NodeKind.SWITCH
+                    assert b.switch_level(peer.node) == level + 1
+                    # the peer's port must be a down port
+                    assert peer.port < b.arity
+
+    def test_host_digits(self):
+        b = BidirectionalMin(4, 3)
+        assert b.host_digits(0) == (0, 0, 0)
+        assert b.host_digits(63) == (3, 3, 3)
+        assert b.host_digits(17) == (1, 0, 1)
+
+
+class TestLcaAndHops:
+    def test_same_leaf(self):
+        b = BidirectionalMin(4, 3)
+        assert b.lca_level([0, 1]) == 0
+        assert b.min_switch_hops(0, 1) == 1
+
+    def test_adjacent_subtrees(self):
+        b = BidirectionalMin(4, 3)
+        assert b.lca_level([0, 5]) == 1
+        assert b.min_switch_hops(0, 5) == 3
+
+    def test_opposite_halves(self):
+        b = BidirectionalMin(4, 3)
+        assert b.lca_level([0, 63]) == 2
+        assert b.min_switch_hops(0, 63) == 5
+
+    def test_same_host_zero_hops(self):
+        b = BidirectionalMin(4, 2)
+        assert b.min_switch_hops(3, 3) == 0
+
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_lca_level_dominates_pairwise(self, hosts):
+        """The group LCA is the max over pairwise LCAs."""
+        b = BidirectionalMin(4, 3)
+        group = b.lca_level(hosts)
+        pairwise = max(
+            (b.lca_level([a, c]) for a in hosts for c in hosts), default=0
+        )
+        assert group == pairwise

@@ -1,0 +1,120 @@
+"""Generic topology container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.graph import Endpoint, NodeKind, Topology
+
+
+def star(hosts=2, ports=4):
+    """hosts hosts attached bidirectionally to one switch."""
+    topo = Topology(num_hosts=hosts, switch_ports=[ports])
+    for h in range(hosts):
+        topo.add_bidirectional(Endpoint.host(h), Endpoint.switch(0, h))
+    return topo
+
+
+class TestEndpoints:
+    def test_host_constructor(self):
+        e = Endpoint.host(3)
+        assert e.kind == NodeKind.HOST and e.node == 3 and e.port == 0
+
+    def test_switch_constructor(self):
+        e = Endpoint.switch(1, 5)
+        assert e.kind == NodeKind.SWITCH and e.port == 5
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(TopologyError):
+            Endpoint("router", 0, 0)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(TopologyError):
+            Endpoint(NodeKind.HOST, -1, 0)
+
+
+class TestConstruction:
+    def test_duplicate_outgoing_rejected(self):
+        topo = Topology(2, [4])
+        topo.add_link(Endpoint.host(0), Endpoint.switch(0, 0))
+        with pytest.raises(TopologyError):
+            topo.add_link(Endpoint.host(0), Endpoint.switch(0, 1))
+
+    def test_duplicate_incoming_rejected(self):
+        topo = Topology(2, [4])
+        topo.add_link(Endpoint.host(0), Endpoint.switch(0, 0))
+        with pytest.raises(TopologyError):
+            topo.add_link(Endpoint.host(1), Endpoint.switch(0, 0))
+
+    def test_unknown_nodes_rejected(self):
+        topo = Topology(2, [4])
+        with pytest.raises(TopologyError):
+            topo.add_link(Endpoint.host(5), Endpoint.switch(0, 0))
+        with pytest.raises(TopologyError):
+            topo.add_link(Endpoint.host(0), Endpoint.switch(1, 0))
+        with pytest.raises(TopologyError):
+            topo.add_link(Endpoint.host(0), Endpoint.switch(0, 9))
+
+    def test_host_port_must_be_zero(self):
+        topo = Topology(2, [4])
+        with pytest.raises(TopologyError):
+            topo.add_link(Endpoint(NodeKind.HOST, 0, 1), Endpoint.switch(0, 0))
+
+    def test_empty_shapes_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology(0, [4])
+        with pytest.raises(TopologyError):
+            Topology(1, [0])
+
+
+class TestQueries:
+    def test_neighbor_and_attachment(self):
+        topo = star()
+        assert topo.host_attachment(1) == Endpoint.switch(0, 1)
+        assert topo.neighbor_of(Endpoint.switch(0, 0)) == Endpoint.host(0)
+        assert topo.neighbor_of(Endpoint.switch(0, 3)) is None
+
+    def test_switch_port_peers(self):
+        topo = star(hosts=2, ports=4)
+        peers = topo.switch_port_peers(0)
+        assert peers[0] == Endpoint.host(0)
+        assert peers[2] is None
+
+    def test_iter_switch_links(self):
+        topo = Topology(2, [4, 4])
+        topo.add_bidirectional(Endpoint.host(0), Endpoint.switch(0, 0))
+        topo.add_bidirectional(Endpoint.host(1), Endpoint.switch(1, 0))
+        topo.add_bidirectional(Endpoint.switch(0, 1), Endpoint.switch(1, 1))
+        assert len(list(topo.iter_switch_links())) == 2
+
+    def test_unattached_host_attachment_raises(self):
+        topo = Topology(2, [4])
+        with pytest.raises(TopologyError):
+            topo.host_attachment(0)
+
+
+class TestValidation:
+    def test_valid_star_passes(self):
+        star().validate()
+
+    def test_unattached_host_fails(self):
+        topo = Topology(2, [4])
+        topo.add_bidirectional(Endpoint.host(0), Endpoint.switch(0, 0))
+        with pytest.raises(TopologyError):
+            topo.validate()
+
+    def test_one_way_switch_port_fails_symmetric(self):
+        topo = star()
+        topo.add_link(Endpoint.switch(0, 2), Endpoint.switch(0, 3))
+        with pytest.raises(TopologyError):
+            topo.validate()
+        topo.validate(require_symmetric=False)
+
+    def test_asymmetric_host_attachment_fails(self):
+        topo = Topology(1, [4])
+        topo.add_link(Endpoint.host(0), Endpoint.switch(0, 0))
+        topo.add_link(Endpoint.switch(0, 1), Endpoint.host(0))
+        with pytest.raises(TopologyError):
+            topo.validate()
+        topo.validate(require_symmetric=False)

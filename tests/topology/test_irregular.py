@@ -1,0 +1,96 @@
+"""Irregular networks and their routing trees."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.irregular import IrregularNetwork
+
+
+class TestGeneration:
+    def test_basic_shape(self):
+        net = IrregularNetwork(8, hosts_per_switch=2, ports_per_switch=8, seed=3)
+        assert net.num_hosts == 16
+        assert net.num_switches == 8
+
+    def test_deterministic_for_seed(self):
+        a = IrregularNetwork(8, 2, 8, extra_links=3, seed=5)
+        b = IrregularNetwork(8, 2, 8, extra_links=3, seed=5)
+        assert a.tree_parent == b.tree_parent
+        assert a.adjacency() == b.adjacency()
+
+    def test_different_seeds_differ(self):
+        trees = {
+            tuple(IrregularNetwork(8, 2, 8, seed=s).tree_parent)
+            for s in range(6)
+        }
+        assert len(trees) > 1
+
+    def test_out_of_ports_rejected(self):
+        with pytest.raises(TopologyError):
+            IrregularNetwork(4, hosts_per_switch=4, ports_per_switch=4, seed=0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(TopologyError):
+            IrregularNetwork(0)
+        with pytest.raises(TopologyError):
+            IrregularNetwork(2, hosts_per_switch=0)
+
+
+class TestTree:
+    def test_root_is_switch_zero(self):
+        net = IrregularNetwork(8, 2, 8, seed=1)
+        assert net.tree_parent[0] is None
+        assert net.parent_port[0] is None
+
+    def test_every_other_switch_has_a_parent(self):
+        net = IrregularNetwork(8, 2, 8, seed=1)
+        for switch in range(1, 8):
+            assert net.tree_parent[switch] is not None
+            assert net.parent_port[switch] is not None
+
+    def test_tree_is_connected_and_acyclic(self):
+        net = IrregularNetwork(10, 1, 8, seed=2)
+        for switch in range(10):
+            seen = set()
+            node = switch
+            while node is not None:
+                assert node not in seen, "cycle in routing tree"
+                seen.add(node)
+                node = net.tree_parent[node]
+            assert 0 in seen
+
+    def test_subtree_hosts_of_root_is_everything(self):
+        net = IrregularNetwork(6, 3, 10, seed=4)
+        assert net.subtree_hosts(0) == list(range(18))
+
+    def test_subtree_partition_at_children(self):
+        net = IrregularNetwork(6, 2, 8, seed=4)
+        own = {h for h, _ in net.host_ports[0]}
+        child_sets = [set(net.subtree_hosts(c)) for c, _ in net.child_ports[0]]
+        union = set(own)
+        for child_set in child_sets:
+            assert union.isdisjoint(child_set)
+            union |= child_set
+        assert union == set(range(net.num_hosts))
+
+    def test_tree_depth(self):
+        net = IrregularNetwork(8, 2, 8, seed=1)
+        assert net.tree_depth(0) == 0
+        for switch in range(1, 8):
+            parent = net.tree_parent[switch]
+            assert net.tree_depth(switch) == net.tree_depth(parent) + 1
+
+    def test_host_switch(self):
+        net = IrregularNetwork(4, 3, 8, seed=0)
+        assert net.host_switch(0) == 0
+        assert net.host_switch(11) == 3
+        with pytest.raises(TopologyError):
+            net.host_switch(12)
+
+    def test_extra_links_added(self):
+        plain = IrregularNetwork(8, 1, 8, extra_links=0, seed=9)
+        extra = IrregularNetwork(8, 1, 8, extra_links=4, seed=9)
+        assert extra.extra_links_added > 0
+        assert len(extra.topology.links) > len(plain.topology.links)

@@ -1,0 +1,76 @@
+"""Unidirectional MIN (butterfly) structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.graph import Endpoint, NodeKind
+from repro.topology.umin import UnidirectionalMin
+
+
+class TestShape:
+    @pytest.mark.parametrize(
+        "arity,stages,hosts,switches",
+        [(2, 2, 4, 4), (4, 2, 16, 8), (4, 3, 64, 48)],
+    )
+    def test_counts(self, arity, stages, hosts, switches):
+        u = UnidirectionalMin(arity, stages)
+        assert u.num_hosts == hosts
+        assert u.num_switches == switches
+
+    def test_invalid_shapes(self):
+        with pytest.raises(TopologyError):
+            UnidirectionalMin(1, 2)
+        with pytest.raises(TopologyError):
+            UnidirectionalMin(4, 0)
+
+
+class TestWiring:
+    def test_hosts_inject_stage0_and_eject_last(self):
+        u = UnidirectionalMin(4, 2)
+        for host in range(16):
+            out = u.topology.link_from(Endpoint.host(host))
+            assert out is not None
+            assert u.switch_stage(out.dst.node) == 0
+            into = u.topology.link_into(Endpoint.host(host))
+            assert into is not None
+            assert u.switch_stage(into.src.node) == u.stages - 1
+
+    def test_stage_links_go_forward_only(self):
+        u = UnidirectionalMin(4, 3)
+        for link in u.topology.iter_switch_links():
+            assert (
+                u.switch_stage(link.dst.node)
+                == u.switch_stage(link.src.node) + 1
+            )
+
+    def test_input_ports_have_no_outgoing_links(self):
+        u = UnidirectionalMin(4, 2)
+        for switch in range(u.num_switches):
+            for port in u.input_ports(switch):
+                assert u.topology.link_from(Endpoint.switch(switch, port)) is None
+            for port in u.output_ports(switch):
+                assert u.topology.link_into(Endpoint.switch(switch, port)) is None
+
+
+class TestDestinationTagRouting:
+    def follow(self, u: UnidirectionalMin, source: int, dest: int) -> int:
+        """Walk the butterfly with destination-tag port choices."""
+        endpoint = u.topology.link_from(Endpoint.host(source)).dst
+        for stage in range(u.stages):
+            switch = endpoint.node
+            assert u.switch_stage(switch) == stage
+            digit_position = u.stages - 1 - stage
+            digit = dest // (u.arity**digit_position) % u.arity
+            out = Endpoint.switch(switch, u.arity + digit)
+            endpoint = u.topology.link_from(out).dst
+        assert endpoint.kind == NodeKind.HOST
+        return endpoint.node
+
+    @pytest.mark.parametrize("arity,stages", [(2, 2), (4, 2), (4, 3)])
+    def test_every_pair_routable(self, arity, stages):
+        u = UnidirectionalMin(arity, stages)
+        for source in range(0, u.num_hosts, max(1, u.num_hosts // 8)):
+            for dest in range(u.num_hosts):
+                assert self.follow(u, source, dest) == dest

@@ -1,0 +1,75 @@
+"""Hot-spot workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schemes import SwitchArchitecture
+from repro.flits.packet import TrafficClass
+from repro.network.builder import build_network
+from repro.network.config import SimulationConfig
+from repro.network.simulation import run_simulation, run_workload
+from repro.traffic.hotspot import HotspotTraffic
+
+
+def cfg(**overrides):
+    defaults = dict(num_hosts=16)
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestHotspotTraffic:
+    def test_completes_and_drains(self):
+        workload = HotspotTraffic(
+            load=0.2, hotspot_fraction=0.05, payload_flits=16,
+            warmup_cycles=100, measure_cycles=800,
+        )
+        result = run_simulation(cfg(), workload, max_cycles=120_000)
+        assert result.completed
+        assert result.unicast_latency.count > 0
+
+    def test_hot_host_receives_disproportionately(self):
+        network = build_network(cfg(seed=3))
+        workload = HotspotTraffic(
+            load=0.25, hotspot_fraction=0.4, hotspot_host=5,
+            payload_flits=16, warmup_cycles=0, measure_cycles=2_000,
+        )
+        run_workload(network, workload, max_cycles=200_000)
+        ejected = [ni.flits_ejected for ni in network.interfaces]
+        others = [e for host, e in enumerate(ejected) if host != 5]
+        assert ejected[5] > 3 * max(others)
+
+    def test_fraction_zero_is_uniform(self):
+        network = build_network(cfg(seed=4))
+        workload = HotspotTraffic(
+            load=0.25, hotspot_fraction=0.0, hotspot_host=5,
+            payload_flits=16, warmup_cycles=0, measure_cycles=2_000,
+        )
+        run_workload(network, workload, max_cycles=200_000)
+        ejected = [ni.flits_ejected for ni in network.interfaces]
+        assert max(ejected) < 3 * (sum(ejected) / len(ejected))
+
+    def test_latency_grows_with_hot_fraction(self):
+        def latency(fraction):
+            workload = HotspotTraffic(
+                load=0.3, hotspot_fraction=fraction, payload_flits=16,
+                warmup_cycles=200, measure_cycles=2_000,
+            )
+            result = run_simulation(
+                cfg(seed=6), workload, max_cycles=300_000
+            )
+            return result.unicast_latency.mean
+
+        assert latency(0.3) > latency(0.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            HotspotTraffic(load=0.2, hotspot_fraction=1.5)
+        with pytest.raises(ValueError):
+            HotspotTraffic(load=0.2, payload_flits=0)
+
+    def test_out_of_range_hot_host(self):
+        network = build_network(cfg())
+        workload = HotspotTraffic(load=0.2, hotspot_host=99)
+        with pytest.raises(ValueError):
+            workload.start(network)

@@ -1,0 +1,104 @@
+"""Trace-driven workload replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schemes import MulticastScheme
+from repro.network.config import SimulationConfig
+from repro.network.simulation import run_simulation
+from repro.traffic.trace import TraceRecord, TraceWorkload
+
+
+def sample_records():
+    return [
+        TraceRecord(0, 0, (5,), 16),
+        TraceRecord(10, 1, (2, 3, 9), 24, MulticastScheme.HARDWARE),
+        TraceRecord(40, 7, (0,), 8),
+        TraceRecord(40, 8, (1, 4), 8, MulticastScheme.SOFTWARE),
+    ]
+
+
+class TestTraceRecord:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecord(-1, 0, (1,), 8)
+        with pytest.raises(ValueError):
+            TraceRecord(0, 0, (), 8)
+        with pytest.raises(ValueError):
+            TraceRecord(0, 0, (1,), 0)
+        with pytest.raises(ValueError):
+            TraceRecord(0, 0, (1, 2), 8)  # multidest without scheme
+
+    def test_csv_roundtrip(self):
+        for record in sample_records():
+            parsed = TraceRecord.from_csv_row(record.to_csv_row())
+            assert parsed == record
+
+    def test_malformed_row_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecord.from_csv_row("1,2,3")
+
+
+class TestTraceWorkload:
+    def test_replay_delivers_everything(self):
+        result = run_simulation(
+            SimulationConfig(num_hosts=16),
+            TraceWorkload(sample_records()),
+        )
+        assert result.completed
+        collector = result.collector
+        assert collector.operations_created == 2
+        assert collector.outstanding_messages == 0
+
+    def test_records_sorted_by_cycle(self):
+        workload = TraceWorkload(list(reversed(sample_records())))
+        assert [r.cycle for r in workload.records] == [0, 10, 40, 40]
+
+    def test_csv_roundtrip_through_workload(self):
+        original = TraceWorkload(sample_records())
+        parsed = TraceWorkload.from_csv(original.to_csv())
+        assert parsed.records == original.records
+
+    def test_csv_ignores_comments_and_blanks(self):
+        text = "# header\n\n0,0,8,unicast,5\n"
+        workload = TraceWorkload.from_csv(text)
+        assert len(workload.records) == 1
+
+    def test_identical_trace_identical_results_across_runs(self):
+        def run():
+            return run_simulation(
+                SimulationConfig(num_hosts=16, seed=5),
+                TraceWorkload(sample_records()),
+            ).summary()
+
+        assert run() == run()
+
+    def test_same_trace_isolates_scheme_differences(self):
+        """The trace pins the message sequence, so only the multicast
+        implementation differs between these runs."""
+        records = [
+            TraceRecord(0, 0, (3, 6, 9, 12), 32, MulticastScheme.HARDWARE)
+        ]
+        hw = run_simulation(
+            SimulationConfig(num_hosts=16), TraceWorkload(records)
+        )
+        sw_records = [
+            TraceRecord(0, 0, (3, 6, 9, 12), 32, MulticastScheme.SOFTWARE)
+        ]
+        sw = run_simulation(
+            SimulationConfig(num_hosts=16), TraceWorkload(sw_records)
+        )
+        assert hw.op_last_latency.mean < sw.op_last_latency.mean
+
+    def test_out_of_range_source_rejected(self):
+        from repro.network.builder import build_network
+
+        workload = TraceWorkload([TraceRecord(0, 99, (5,), 8)])
+        network = build_network(SimulationConfig(num_hosts=16))
+        with pytest.raises(ValueError):
+            workload.start(network)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            TraceWorkload([])

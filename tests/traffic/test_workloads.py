@@ -1,0 +1,234 @@
+"""Traffic generators: windows, loads, determinism, completion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schemes import MulticastScheme
+from repro.flits.packet import TrafficClass
+from repro.network.builder import build_network
+from repro.network.config import SimulationConfig
+from repro.network.simulation import run_simulation, run_workload
+from repro.traffic.bimodal import BimodalTraffic
+from repro.traffic.multicast import (
+    MultipleMulticastBurst,
+    RandomMulticastStream,
+    SingleMulticast,
+)
+from repro.traffic.schedules import PoissonArrivals, mean_gap_for_load
+from repro.traffic.unicast import PermutationTraffic, UniformRandomUnicast
+
+
+def cfg(**overrides):
+    defaults = dict(num_hosts=16)
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestSchedules:
+    def test_mean_gap_for_load(self):
+        assert mean_gap_for_load(0.5, 10) == 20.0
+        assert mean_gap_for_load(1.0, 33) == 33.0
+        with pytest.raises(ValueError):
+            mean_gap_for_load(0.0, 10)
+        with pytest.raises(ValueError):
+            mean_gap_for_load(1.5, 10)
+        with pytest.raises(ValueError):
+            mean_gap_for_load(0.5, 0)
+
+    def test_poisson_mean_is_close(self):
+        import random
+
+        arrivals = PoissonArrivals(mean_gap=50.0)
+        rng = random.Random(1)
+        gaps = [arrivals.next_gap(rng) for _ in range(4_000)]
+        assert all(g >= 1 for g in gaps)
+        mean = sum(gaps) / len(gaps)
+        assert mean == pytest.approx(50.0, rel=0.1)
+
+    def test_invalid_mean_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0)
+
+
+class TestUniformRandomUnicast:
+    def test_generation_stops_and_drains(self):
+        workload = UniformRandomUnicast(
+            load=0.2, payload_flits=16, warmup_cycles=100, measure_cycles=500
+        )
+        result = run_simulation(cfg(), workload, max_cycles=60_000)
+        assert result.completed
+        assert result.collector.outstanding_messages == 0
+
+    def test_load_is_delivered_below_saturation(self):
+        workload = UniformRandomUnicast(
+            load=0.25, payload_flits=16, warmup_cycles=200,
+            measure_cycles=2_000,
+        )
+        result = run_simulation(cfg(), workload, max_cycles=120_000)
+        throughput = result.throughput(TrafficClass.UNICAST, 2_000)
+        # accepted ~= offered * payload share of the packet
+        offered_payload = 0.25 * 16 / 17
+        assert throughput == pytest.approx(offered_payload, rel=0.2)
+
+    def test_no_self_messages(self):
+        workload = UniformRandomUnicast(
+            load=0.3, payload_flits=8, warmup_cycles=0, measure_cycles=500
+        )
+        result = run_simulation(cfg(), workload, max_cycles=60_000)
+        # Message construction rejects self-targets, so reaching here with
+        # deliveries proves the generator never picked one.
+        assert result.unicast_latency.count > 0
+
+    def test_sample_window_excludes_warmup(self):
+        network = build_network(cfg())
+        workload = UniformRandomUnicast(
+            load=0.2, payload_flits=16, warmup_cycles=300,
+            measure_cycles=700,
+        )
+        run_workload(network, workload, max_cycles=60_000)
+        assert network.collector.sample_start == 300
+        assert network.collector.sample_end == 1_000
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            UniformRandomUnicast(load=0.5, payload_flits=0)
+        with pytest.raises(ValueError):
+            UniformRandomUnicast(load=0.5, measure_cycles=0)
+
+
+class TestPermutation:
+    def test_explicit_permutation(self):
+        mapping = [(h + 2) % 16 for h in range(16)]
+        result = run_simulation(
+            cfg(), PermutationTraffic(payload_flits=8, permutation=mapping)
+        )
+        assert result.unicast_latency.count == 16
+
+    def test_identity_entries_skipped(self):
+        mapping = list(range(16))
+        mapping[0], mapping[1] = 1, 0
+        result = run_simulation(
+            cfg(), PermutationTraffic(payload_flits=8, permutation=mapping)
+        )
+        assert result.unicast_latency.count == 2
+
+    def test_non_permutation_rejected(self):
+        network = build_network(cfg())
+        workload = PermutationTraffic(payload_flits=8, permutation=[0] * 16)
+        with pytest.raises(ValueError):
+            workload.start(network)
+
+
+class TestMulticastWorkloads:
+    def test_single_multicast_requires_exactly_one_spec(self):
+        with pytest.raises(ValueError):
+            SingleMulticast(
+                source=0, payload_flits=8,
+                scheme=MulticastScheme.HARDWARE,
+            )
+        with pytest.raises(ValueError):
+            SingleMulticast(
+                source=0, payload_flits=8, scheme=MulticastScheme.HARDWARE,
+                destinations=[1], degree=2,
+            )
+
+    def test_burst_source_count_bounded(self):
+        network = build_network(cfg())
+        workload = MultipleMulticastBurst(
+            num_multicasts=17, degree=2, payload_flits=8,
+            scheme=MulticastScheme.HARDWARE,
+        )
+        with pytest.raises(ValueError):
+            workload.start(network)
+
+    def test_burst_sources_are_distinct(self):
+        network = build_network(cfg())
+        workload = MultipleMulticastBurst(
+            num_multicasts=16, degree=2, payload_flits=8,
+            scheme=MulticastScheme.HARDWARE,
+        )
+        result = run_workload(network, workload, max_cycles=60_000)
+        ops = network.collector.completed_operations()
+        assert len({op.source for op in ops}) == 16
+
+    def test_degree_must_fit_universe(self):
+        network = build_network(cfg())
+        workload = MultipleMulticastBurst(
+            num_multicasts=1, degree=16, payload_flits=8,
+            scheme=MulticastScheme.HARDWARE,
+        )
+        with pytest.raises(ValueError):
+            workload.start(network)
+
+    def test_stream_generates_until_window_closes(self):
+        workload = RandomMulticastStream(
+            ops_per_host_per_kilocycle=3.0,
+            degree=3,
+            payload_flits=8,
+            scheme=MulticastScheme.HARDWARE,
+            warmup_cycles=100,
+            measure_cycles=900,
+        )
+        result = run_simulation(cfg(), workload, max_cycles=120_000)
+        assert result.completed
+        assert result.collector.operations_created > 5
+
+    def test_stream_rate_validated(self):
+        with pytest.raises(ValueError):
+            RandomMulticastStream(
+                ops_per_host_per_kilocycle=0, degree=2, payload_flits=8,
+                scheme=MulticastScheme.HARDWARE,
+            )
+
+
+class TestBimodal:
+    def test_mix_produces_both_classes(self):
+        workload = BimodalTraffic(
+            load=0.25, multicast_fraction=0.3, degree=4, payload_flits=16,
+            scheme=MulticastScheme.HARDWARE,
+            warmup_cycles=100, measure_cycles=1_500,
+        )
+        result = run_simulation(cfg(), workload, max_cycles=120_000)
+        assert result.unicast_latency.count > 0
+        assert result.op_last_latency.count > 0
+
+    def test_fraction_zero_is_pure_unicast(self):
+        workload = BimodalTraffic(
+            load=0.2, multicast_fraction=0.0, degree=4, payload_flits=16,
+            scheme=MulticastScheme.HARDWARE,
+            warmup_cycles=50, measure_cycles=500,
+        )
+        result = run_simulation(cfg(), workload, max_cycles=60_000)
+        assert result.collector.operations_created == 0
+        assert result.unicast_latency.count > 0
+
+    def test_fraction_one_is_pure_multicast(self):
+        workload = BimodalTraffic(
+            load=0.1, multicast_fraction=1.0, degree=3, payload_flits=16,
+            scheme=MulticastScheme.HARDWARE,
+            warmup_cycles=50, measure_cycles=500,
+        )
+        result = run_simulation(cfg(), workload, max_cycles=120_000)
+        assert result.unicast_latency.count == 0
+        assert result.collector.operations_created > 0
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            BimodalTraffic(load=0.2, multicast_fraction=1.5)
+
+    def test_same_seed_same_message_stream(self):
+        def run(scheme):
+            workload = BimodalTraffic(
+                load=0.2, multicast_fraction=0.25, degree=4,
+                payload_flits=16, scheme=scheme,
+                warmup_cycles=50, measure_cycles=800,
+            )
+            result = run_simulation(
+                cfg(seed=9), workload, max_cycles=120_000
+            )
+            return result.collector.operations_created
+
+        # the generated operation stream is identical across schemes, so
+        # comparisons isolate the implementation, not the workload
+        assert run(MulticastScheme.HARDWARE) == run(MulticastScheme.SOFTWARE)
