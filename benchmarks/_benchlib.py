@@ -8,6 +8,8 @@ is a simulator with reconstructed parameters, not the authors' testbed.
 
 from __future__ import annotations
 
+import os
+
 from repro.experiments.common import Scale
 
 #: benchmark scale: single seed, short windows — shapes remain stable
@@ -18,6 +20,11 @@ BENCH = Scale(
     measure_cycles=1_200,
     max_cycles=60_000,
 )
+
+#: worker processes per benchmark grid.  Serial by default so timings
+#: stay comparable run-to-run; set REPRO_BENCH_JOBS to fan the grid out
+#: (results are identical either way — see repro.experiments.parallel).
+JOBS = max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
 
 
 def show(result) -> None:

@@ -8,7 +8,7 @@ bandwidth is throttled well below one flit per port.
 
 from __future__ import annotations
 
-from _benchlib import BENCH, show
+from _benchlib import BENCH, JOBS, show
 
 from repro.experiments.ablations import run_cb_bandwidth_ablation
 
@@ -17,7 +17,7 @@ BANDWIDTHS = (1, 2, 4, 8)
 
 def run():
     return run_cb_bandwidth_ablation(
-        scale=BENCH,
+        scale=BENCH, jobs=JOBS,
         num_hosts=64,
         bandwidths=BANDWIDTHS,
         num_multicasts=8,

@@ -7,7 +7,7 @@ meaningfully slower on an idle network.
 
 from __future__ import annotations
 
-from _benchlib import BENCH, show
+from _benchlib import BENCH, JOBS, show
 
 from repro.experiments.ablations import run_routing_mode_ablation
 
@@ -16,7 +16,7 @@ DEGREES = (4, 8, 16, 32)
 
 def run():
     return run_routing_mode_ablation(
-        scale=BENCH, num_hosts=64, degrees=DEGREES, payload_flits=64
+        scale=BENCH, jobs=JOBS, num_hosts=64, degrees=DEGREES, payload_flits=64
     )
 
 

@@ -8,7 +8,7 @@ each a separate worm serialized at the source.
 
 from __future__ import annotations
 
-from _benchlib import BENCH, show
+from _benchlib import BENCH, JOBS, show
 
 from repro.experiments.ablations import run_encoding_ablation
 
@@ -16,7 +16,7 @@ SIZES = (16, 64, 256)
 
 
 def run():
-    return run_encoding_ablation(scale=BENCH, sizes=SIZES, degree=8)
+    return run_encoding_ablation(scale=BENCH, jobs=JOBS, sizes=SIZES, degree=8)
 
 
 def test_a3_encoding(benchmark):

@@ -8,7 +8,7 @@ the synchronous handicap must grow with concurrency.
 
 from __future__ import annotations
 
-from _benchlib import BENCH, show
+from _benchlib import BENCH, JOBS, show
 
 from repro.experiments.ablations import run_replication_ablation
 
@@ -17,8 +17,8 @@ CONCURRENCY = (2, 4, 8, 16)
 
 def run():
     return run_replication_ablation(
-        scale=BENCH, num_hosts=16, concurrency=CONCURRENCY, degree=6,
-        payload_flits=48,
+        scale=BENCH, jobs=JOBS, num_hosts=16,
+        concurrency=CONCURRENCY, degree=6, payload_flits=48,
     )
 
 

@@ -10,7 +10,7 @@ blocking, not capacity).
 
 from __future__ import annotations
 
-from _benchlib import BENCH, show
+from _benchlib import BENCH, JOBS, show
 
 from repro.experiments.ablations import run_equal_storage_ablation
 
@@ -18,7 +18,9 @@ LOADS = (0.3, 0.55)
 
 
 def run():
-    return run_equal_storage_ablation(scale=BENCH, num_hosts=64, loads=LOADS)
+    return run_equal_storage_ablation(
+        scale=BENCH, jobs=JOBS, num_hosts=64, loads=LOADS,
+    )
 
 
 def test_a5_equal_storage(benchmark):

@@ -6,14 +6,14 @@ concurrency; SW is several times slower at every point.
 
 from __future__ import annotations
 
-from _benchlib import BENCH, show
+from _benchlib import BENCH, JOBS, show
 
 from repro.experiments.multiple_multicast import run_multiple_multicast
 
 
 def run():
     return run_multiple_multicast(
-        scale=BENCH,
+        scale=BENCH, jobs=JOBS,
         num_hosts=64,
         concurrency=(1, 2, 4, 8, 16),
         degree=8,

@@ -6,7 +6,7 @@ grows with ceil(log2(d+1)) phases, reaching a multi-x gap by d=63.
 
 from __future__ import annotations
 
-from _benchlib import BENCH, show
+from _benchlib import BENCH, JOBS, show
 
 from repro.experiments.degree_sweep import run_degree_sweep
 
@@ -15,7 +15,7 @@ DEGREES = (2, 4, 8, 16, 32, 63)
 
 def run():
     return run_degree_sweep(
-        scale=BENCH, num_hosts=64, degrees=DEGREES, payload_flits=64
+        scale=BENCH, jobs=JOBS, num_hosts=64, degrees=DEGREES, payload_flits=64
     )
 
 

@@ -7,7 +7,7 @@ message), so the absolute gap widens with length.
 
 from __future__ import annotations
 
-from _benchlib import BENCH, show
+from _benchlib import BENCH, JOBS, show
 
 from repro.experiments.length_sweep import run_length_sweep
 
@@ -16,7 +16,7 @@ LENGTHS = (16, 32, 64, 128, 256)
 
 def run():
     return run_length_sweep(
-        scale=BENCH, num_hosts=64, lengths=LENGTHS, degree=8
+        scale=BENCH, jobs=JOBS, num_hosts=64, lengths=LENGTHS, degree=8
     )
 
 

@@ -8,7 +8,7 @@ the abstract's "affects background unicast traffic less adversely".
 
 from __future__ import annotations
 
-from _benchlib import BENCH, show
+from _benchlib import BENCH, JOBS, show
 
 from repro.experiments.bimodal import run_bimodal
 
@@ -17,7 +17,7 @@ LOADS = (0.15, 0.3, 0.45)
 
 def run():
     return run_bimodal(
-        scale=BENCH,
+        scale=BENCH, jobs=JOBS,
         num_hosts=64,
         loads=LOADS,
         multicast_fraction=1.0 / 16.0,

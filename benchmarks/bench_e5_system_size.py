@@ -7,7 +7,7 @@ system size.
 
 from __future__ import annotations
 
-from _benchlib import BENCH, show
+from _benchlib import BENCH, JOBS, show
 
 from repro.experiments.system_size import run_system_size
 
@@ -15,7 +15,9 @@ SIZES = (16, 64, 256)
 
 
 def run():
-    return run_system_size(scale=BENCH, sizes=SIZES, payload_flits=64)
+    return run_system_size(
+        scale=BENCH, jobs=JOBS, sizes=SIZES, payload_flits=64,
+    )
 
 
 def test_e5_system_size(benchmark):

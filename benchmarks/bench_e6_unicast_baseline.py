@@ -8,7 +8,7 @@ saturation.
 
 from __future__ import annotations
 
-from _benchlib import BENCH, show
+from _benchlib import BENCH, JOBS, show
 
 from repro.experiments.unicast_baseline import run_unicast_baseline
 
@@ -17,7 +17,7 @@ LOADS = (0.15, 0.35, 0.55)
 
 def run():
     return run_unicast_baseline(
-        scale=BENCH, num_hosts=64, loads=LOADS, payload_flits=32
+        scale=BENCH, jobs=JOBS, num_hosts=64, loads=LOADS, payload_flits=32
     )
 
 

@@ -6,13 +6,13 @@ the calibration any simulation-methodology section reports.
 
 from __future__ import annotations
 
-from _benchlib import BENCH, show
+from _benchlib import BENCH, JOBS, show
 
 from repro.experiments.parameters import run_parameters
 
 
 def run():
-    return run_parameters(scale=BENCH, num_hosts=64)
+    return run_parameters(scale=BENCH, jobs=JOBS, num_hosts=64)
 
 
 def test_e7_parameters(benchmark):

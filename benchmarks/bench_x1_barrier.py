@@ -7,7 +7,7 @@ and release skew, at every system size.
 
 from __future__ import annotations
 
-from _benchlib import BENCH, show
+from _benchlib import BENCH, JOBS, show
 
 from repro.experiments.extensions import run_barrier_scaling
 
@@ -15,7 +15,7 @@ SIZES = (16, 64, 256)
 
 
 def run():
-    return run_barrier_scaling(scale=BENCH, sizes=SIZES)
+    return run_barrier_scaling(scale=BENCH, jobs=JOBS, sizes=SIZES)
 
 
 def test_x1_barrier(benchmark):

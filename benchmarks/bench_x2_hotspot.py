@@ -7,7 +7,7 @@ dynamically shared central buffer.
 
 from __future__ import annotations
 
-from _benchlib import BENCH, show
+from _benchlib import BENCH, JOBS, show
 
 from repro.experiments.extensions import run_hotspot
 
@@ -16,7 +16,7 @@ FRACTIONS = (0.0, 0.05, 0.10)
 
 def run():
     return run_hotspot(
-        scale=BENCH, num_hosts=64, load=0.3, fractions=FRACTIONS
+        scale=BENCH, jobs=JOBS, num_hosts=64, load=0.3, fractions=FRACTIONS
     )
 
 

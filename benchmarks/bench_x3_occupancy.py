@@ -8,13 +8,15 @@ extra occupancy — worms always transit the central buffer — stays modest.
 
 from __future__ import annotations
 
-from _benchlib import BENCH, show
+from _benchlib import BENCH, JOBS, show
 
 from repro.experiments.extensions import run_buffer_occupancy
 
 
 def run():
-    return run_buffer_occupancy(scale=BENCH, num_hosts=64, load=0.3, degree=8)
+    return run_buffer_occupancy(
+        scale=BENCH, jobs=JOBS, num_hosts=64, load=0.3, degree=8,
+    )
 
 
 def test_x3_occupancy(benchmark):

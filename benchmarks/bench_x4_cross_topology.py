@@ -7,7 +7,7 @@ all three, with flat HW latency and log-growing SW latency everywhere.
 
 from __future__ import annotations
 
-from _benchlib import BENCH, show
+from _benchlib import BENCH, JOBS, show
 
 from repro.experiments.cross_topology import run_cross_topology
 
@@ -16,7 +16,9 @@ TOPOLOGIES = ("bmin", "umin", "irregular")
 
 
 def run():
-    return run_cross_topology(scale=BENCH, num_hosts=16, degrees=DEGREES)
+    return run_cross_topology(
+        scale=BENCH, jobs=JOBS, num_hosts=16, degrees=DEGREES,
+    )
 
 
 def test_x4_cross_topology(benchmark):

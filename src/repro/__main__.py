@@ -4,10 +4,16 @@ Runs the paper's headline comparison (one multicast under all three
 schemes) on a small system and points at the experiment runner for the
 full evaluation.  For everything else use
 ``python -m repro.experiments.runner``.
+
+The three demo cases are independent simulations, so they run through
+the same :mod:`repro.experiments.parallel` plan machinery as the full
+experiment suite — ``--jobs 3`` fans them out over worker processes,
+``--jobs 1`` runs them serially; the table is identical either way.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from repro import (
@@ -18,11 +24,51 @@ from repro import (
     __version__,
     run_simulation,
 )
+from repro.experiments.parallel import ExecutionPlan, RunSpec, execute_plan
 from repro.metrics.report import Table
 
+#: (label, switch architecture, multicast scheme) of each demo case
+DEMO_CASES = [
+    ("central buffer + hardware worms",
+     SwitchArchitecture.CENTRAL_BUFFER, MulticastScheme.HARDWARE),
+    ("input buffers  + hardware worms",
+     SwitchArchitecture.INPUT_BUFFER, MulticastScheme.HARDWARE),
+    ("central buffer + software binomial",
+     SwitchArchitecture.CENTRAL_BUFFER, MulticastScheme.SOFTWARE),
+]
 
-def main() -> int:
+
+def _run_demo_case(architecture, scheme):
+    """Worker: one 8-destination multicast; returns the two latencies."""
+    result = run_simulation(
+        SimulationConfig(
+            num_hosts=64, switch_architecture=architecture, seed=1
+        ),
+        SingleMulticast(
+            source=0, degree=8, payload_flits=64, scheme=scheme
+        ),
+    )
+    (operation,) = result.collector.completed_operations()
+    return {
+        "last": operation.last_latency,
+        "average": operation.average_latency,
+    }
+
+
+def main(argv=None) -> int:
     """Run the demo and print pointers to the full harness."""
+    parser = argparse.ArgumentParser(
+        description="Demo: one multicast under all three schemes."
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the demo cases (default: 1)",
+    )
+    args = parser.parse_args(argv)
+
     print(f"repro {__version__} — multidestination worms in switch-based "
           "parallel systems (ISCA 1997 reproduction)")
     print()
@@ -30,31 +76,26 @@ def main() -> int:
         "Demo: 8-destination multicast on a 64-host BMIN [cycles]",
         ["scheme", "last arrival", "mean arrival"],
     )
-    cases = [
-        ("central buffer + hardware worms",
-         SwitchArchitecture.CENTRAL_BUFFER, MulticastScheme.HARDWARE),
-        ("input buffers  + hardware worms",
-         SwitchArchitecture.INPUT_BUFFER, MulticastScheme.HARDWARE),
-        ("central buffer + software binomial",
-         SwitchArchitecture.CENTRAL_BUFFER, MulticastScheme.SOFTWARE),
-    ]
-    for label, architecture, scheme in cases:
-        result = run_simulation(
-            SimulationConfig(
-                num_hosts=64, switch_architecture=architecture, seed=1
-            ),
-            SingleMulticast(
-                source=0, degree=8, payload_flits=64, scheme=scheme
-            ),
-        )
-        (operation,) = result.collector.completed_operations()
-        table.add_row(
-            label, operation.last_latency,
-            round(operation.average_latency, 1),
-        )
+    plan = ExecutionPlan(
+        "demo",
+        [
+            RunSpec(
+                key=(label,),
+                fn=_run_demo_case,
+                kwargs=dict(architecture=architecture, scheme=scheme),
+            )
+            for label, architecture, scheme in DEMO_CASES
+        ],
+    )
+    results = execute_plan(plan, jobs=args.jobs)
+    for label, _, _ in DEMO_CASES:
+        case = results[(label,)]
+        table.add_row(label, case["last"], round(case["average"], 1))
     table.write()
     print()
     print("Full evaluation:   python -m repro.experiments.runner --all")
+    print("                   (add --jobs N to parallelize, --chart/--csv "
+          "for extra output)")
     print("Benchmarks:        pytest benchmarks/ --benchmark-only")
     print("Examples:          python examples/quickstart.py")
     return 0

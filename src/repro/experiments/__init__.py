@@ -21,6 +21,14 @@ Every experiment function accepts a :class:`~repro.experiments.common.Scale`
 (``QUICK`` for benches/CI, ``PAPER`` for full-size runs) and returns an
 :class:`~repro.experiments.common.ExperimentResult` with both structured
 rows and a printable table.
+
+Each experiment is split into three pieces (see
+:mod:`repro.experiments.parallel`): a ``plan_*`` function declaring the
+grid of independent :class:`~repro.experiments.parallel.RunSpec`\\ s, a
+pure ``reduce_*`` step folding per-run summaries into table rows in
+declared grid order, and the ``run_*`` entry point tying them together.
+``run_*(..., jobs=N)`` fans the grid out over N worker processes with
+output bit-identical to the serial path.
 """
 
 from repro.experiments.common import (
@@ -29,6 +37,13 @@ from repro.experiments.common import (
     ExperimentResult,
     Scale,
     Scheme,
+)
+from repro.experiments.parallel import (
+    ExecutionPlan,
+    RunOutcome,
+    RunSpec,
+    default_jobs,
+    execute_plan,
 )
 from repro.experiments.multiple_multicast import run_multiple_multicast
 from repro.experiments.degree_sweep import run_degree_sweep
@@ -52,11 +67,16 @@ from repro.experiments.extensions import (
 )
 
 __all__ = [
+    "ExecutionPlan",
     "ExperimentResult",
     "PAPER",
     "QUICK",
+    "RunOutcome",
+    "RunSpec",
     "Scale",
     "Scheme",
+    "default_jobs",
+    "execute_plan",
     "run_barrier_scaling",
     "run_bimodal",
     "run_buffer_occupancy",

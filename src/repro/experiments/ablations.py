@@ -11,11 +11,15 @@ branch-on-up (replicate toward in-subtree destinations while ascending).
 A3 — header encodings: bit-string (single phase, O(N) header) vs.
 multiport (tiny header, multiple phases for non-product sets) as system
 size grows.
+
+A4 — asynchronous vs. synchronous replication on the IB switch.
+
+A5 — equal-storage comparison: is the central buffer's win just silicon?
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.core.schemes import SwitchArchitecture
 from repro.experiments.common import (
@@ -25,14 +29,93 @@ from repro.experiments.common import (
     Scheme,
     base_config,
     mean,
+    simulate_summary,
+)
+from repro.experiments.parallel import (
+    ExecutionPlan,
+    Key,
+    RunSpec,
+    execute_plan,
 )
 from repro.flits.destset import DestinationSet
 from repro.metrics.report import Table
 from repro.network.config import EncodingKind
-from repro.network.simulation import run_simulation
 from repro.routing.base import MulticastRoutingMode
 from repro.switches.base import ReplicationMode
 from repro.traffic.multicast import MultipleMulticastBurst, SingleMulticast
+from repro.traffic.unicast import UniformRandomUnicast
+
+
+# ----------------------------------------------------------------------
+# A1: central-buffer bandwidth
+# ----------------------------------------------------------------------
+def plan_cb_bandwidth_ablation(
+    scale: Scale = QUICK,
+    num_hosts: int = 64,
+    bandwidths: Sequence[int] = (1, 2, 4, 8),
+    num_multicasts: int = 8,
+    degree: int = 8,
+    payload_flits: int = 64,
+) -> ExecutionPlan:
+    """Declare A1's (bandwidth x seed) grid."""
+    seeds = scale.seeds()
+    specs = []
+    for bandwidth in bandwidths:
+        for seed in seeds:
+            specs.append(
+                RunSpec(
+                    key=(bandwidth, seed),
+                    fn=simulate_summary,
+                    kwargs=dict(
+                        config=base_config(
+                            num_hosts,
+                            seed=seed,
+                            cb_write_bandwidth=bandwidth,
+                            cb_read_bandwidth=bandwidth,
+                        ),
+                        workload_cls=MultipleMulticastBurst,
+                        workload_kwargs=dict(
+                            num_multicasts=num_multicasts,
+                            degree=degree,
+                            payload_flits=payload_flits,
+                            scheme=Scheme.CB_HW.multicast_scheme,
+                        ),
+                        max_cycles=scale.max_cycles,
+                    ),
+                )
+            )
+    meta = dict(
+        num_hosts=num_hosts,
+        bandwidths=tuple(bandwidths),
+        num_multicasts=num_multicasts,
+        degree=degree,
+        seeds=seeds,
+    )
+    return ExecutionPlan("a1", specs, meta)
+
+
+def reduce_cb_bandwidth_ablation(
+    plan: ExecutionPlan, results: Dict[Key, object]
+) -> ExperimentResult:
+    """Fold per-run summaries into A1's table, in declared grid order."""
+    meta = plan.meta
+    table = Table(
+        f"A1: central-buffer bandwidth (N={meta['num_hosts']}, "
+        f"m={meta['num_multicasts']}, d={meta['degree']}) "
+        "— mean last-arrival latency [cycles]",
+        ["flits/cycle", "cb-hw"],
+    )
+    result = ExperimentResult("a1_cb_bandwidth", table)
+    for bandwidth in meta["bandwidths"]:
+        latency = mean(
+            [
+                results[(bandwidth, seed)].op_last_latency.mean
+                for seed in meta["seeds"]
+            ]
+        )
+        table.add_row(bandwidth, latency)
+        result.rows.append({"bandwidth": bandwidth, "latency": latency})
+    return result
 
 
 def run_cb_bandwidth_ablation(
@@ -42,70 +125,83 @@ def run_cb_bandwidth_ablation(
     num_multicasts: int = 8,
     degree: int = 8,
     payload_flits: int = 64,
+    jobs: Optional[int] = 1,
+    progress=None,
 ) -> ExperimentResult:
     """A1: E1's workload under reduced central-buffer port bandwidth."""
-    table = Table(
-        f"A1: central-buffer bandwidth (N={num_hosts}, m={num_multicasts}, "
-        f"d={degree}) — mean last-arrival latency [cycles]",
-        ["flits/cycle", "cb-hw"],
+    plan = plan_cb_bandwidth_ablation(
+        scale, num_hosts, bandwidths, num_multicasts, degree, payload_flits
     )
-    result = ExperimentResult("a1_cb_bandwidth", table)
-    for bandwidth in bandwidths:
-        latencies = []
-        for seed in scale.seeds():
-            config = base_config(
-                num_hosts,
-                seed=seed,
-                cb_write_bandwidth=bandwidth,
-                cb_read_bandwidth=bandwidth,
-            )
-            workload = MultipleMulticastBurst(
-                num_multicasts=num_multicasts,
-                degree=degree,
-                payload_flits=payload_flits,
-                scheme=Scheme.CB_HW.multicast_scheme,
-            )
-            run = run_simulation(config, workload, max_cycles=scale.max_cycles)
-            latencies.append(run.op_last_latency.mean)
-        latency = mean(latencies)
-        table.add_row(bandwidth, latency)
-        result.rows.append({"bandwidth": bandwidth, "latency": latency})
-    return result
+    return reduce_cb_bandwidth_ablation(
+        plan, execute_plan(plan, jobs=jobs, progress=progress)
+    )
 
 
-def run_routing_mode_ablation(
+# ----------------------------------------------------------------------
+# A2: LCA routing mode
+# ----------------------------------------------------------------------
+def plan_routing_mode_ablation(
     scale: Scale = QUICK,
     num_hosts: int = 64,
     degrees: Sequence[int] = (4, 8, 16, 32),
     payload_flits: int = 64,
-) -> ExperimentResult:
-    """A2: turnaround vs. branch-on-up LCA routing on E2's workload."""
+) -> ExecutionPlan:
+    """Declare A2's (degree x mode x seed) grid."""
     modes = list(MulticastRoutingMode)
+    seeds = scale.seeds()
+    specs = []
+    for degree in degrees:
+        for mode in modes:
+            for seed in seeds:
+                specs.append(
+                    RunSpec(
+                        key=(degree, mode.value, seed),
+                        fn=simulate_summary,
+                        kwargs=dict(
+                            config=base_config(
+                                num_hosts, seed=seed, multicast_mode=mode
+                            ),
+                            workload_cls=SingleMulticast,
+                            workload_kwargs=dict(
+                                source=seed % num_hosts,
+                                degree=degree,
+                                payload_flits=payload_flits,
+                                scheme=Scheme.CB_HW.multicast_scheme,
+                            ),
+                            max_cycles=scale.max_cycles,
+                        ),
+                    )
+                )
+    meta = dict(
+        num_hosts=num_hosts,
+        degrees=tuple(degrees),
+        modes=modes,
+        seeds=seeds,
+    )
+    return ExecutionPlan("a2", specs, meta)
+
+
+def reduce_routing_mode_ablation(
+    plan: ExecutionPlan, results: Dict[Key, object]
+) -> ExperimentResult:
+    """Fold per-run summaries into A2's table, in declared grid order."""
+    meta = plan.meta
+    modes = meta["modes"]
     table = Table(
-        f"A2: multicast routing mode (N={num_hosts}) — "
+        f"A2: multicast routing mode (N={meta['num_hosts']}) — "
         "mean last-arrival latency [cycles]",
         ["degree"] + [mode.value for mode in modes],
     )
     result = ExperimentResult("a2_routing_mode", table)
-    for degree in degrees:
+    for degree in meta["degrees"]:
         cells = [degree]
         for mode in modes:
-            latencies = []
-            for seed in scale.seeds():
-                config = base_config(
-                    num_hosts, seed=seed, multicast_mode=mode
-                )
-                workload = SingleMulticast(
-                    source=seed % num_hosts,
-                    degree=degree,
-                    payload_flits=payload_flits,
-                    scheme=Scheme.CB_HW.multicast_scheme,
-                )
-                run = run_simulation(
-                    config, workload, max_cycles=scale.max_cycles
-                )
-                latencies.append(run.op_last_latency.mean)
-            latency = mean(latencies)
+            latency = mean(
+                [
+                    results[(degree, mode.value, seed)].op_last_latency.mean
+                    for seed in meta["seeds"]
+                ]
+            )
             cells.append(latency)
             result.rows.append(
                 {"degree": degree, "mode": mode.value, "latency": latency}
@@ -114,29 +210,80 @@ def run_routing_mode_ablation(
     return result
 
 
-def run_encoding_ablation(
+def run_routing_mode_ablation(
+    scale: Scale = QUICK,
+    num_hosts: int = 64,
+    degrees: Sequence[int] = (4, 8, 16, 32),
+    payload_flits: int = 64,
+    jobs: Optional[int] = 1,
+    progress=None,
+) -> ExperimentResult:
+    """A2: turnaround vs. branch-on-up LCA routing on E2's workload."""
+    plan = plan_routing_mode_ablation(scale, num_hosts, degrees, payload_flits)
+    return reduce_routing_mode_ablation(
+        plan, execute_plan(plan, jobs=jobs, progress=progress)
+    )
+
+
+# ----------------------------------------------------------------------
+# A3: header encodings
+# ----------------------------------------------------------------------
+def plan_encoding_ablation(
     scale: Scale = QUICK,
     sizes: Sequence[int] = (16, 64, 256),
     degree: int = 8,
     payload_flits: int = 64,
-) -> ExperimentResult:
-    """A3: bit-string vs. multiport encoding across system sizes.
-
-    Reports the multicast header size each encoding needs and the measured
-    operation latency (multiport pays extra phases for random —
-    non-product — destination sets; bit-string pays a header that grows
-    with N)."""
+) -> ExecutionPlan:
+    """Declare A3's (size x encoding x seed) grid."""
     kinds = [EncodingKind.BITSTRING, EncodingKind.MULTIPORT]
+    seeds = scale.seeds()
+    usable = tuple(size for size in sizes if degree < size)
+    specs = []
+    for num_hosts in usable:
+        for kind in kinds:
+            for seed in seeds:
+                specs.append(
+                    RunSpec(
+                        key=(num_hosts, kind.value, seed),
+                        fn=simulate_summary,
+                        kwargs=dict(
+                            config=base_config(
+                                num_hosts, seed=seed, encoding=kind
+                            ),
+                            workload_cls=SingleMulticast,
+                            workload_kwargs=dict(
+                                source=seed % num_hosts,
+                                degree=degree,
+                                payload_flits=payload_flits,
+                                scheme=Scheme.CB_HW.multicast_scheme,
+                            ),
+                            max_cycles=scale.max_cycles,
+                        ),
+                    )
+                )
+    meta = dict(
+        sizes=usable,
+        kinds=kinds,
+        degree=degree,
+        seeds=seeds,
+    )
+    return ExecutionPlan("a3", specs, meta)
+
+
+def reduce_encoding_ablation(
+    plan: ExecutionPlan, results: Dict[Key, object]
+) -> ExperimentResult:
+    """Fold per-run summaries into A3's table; headers are closed-form."""
+    meta = plan.meta
+    kinds = meta["kinds"]
     table = Table(
-        f"A3: header encodings (d={degree}) — header [flits] and "
+        f"A3: header encodings (d={meta['degree']}) — header [flits] and "
         "latency [cycles]",
         ["N", "hdr@bitstring", "hdr@multiport", "lat@bitstring",
          "lat@multiport"],
     )
     result = ExperimentResult("a3_encoding", table)
-    for num_hosts in sizes:
-        if degree >= num_hosts:
-            continue
+    for num_hosts in meta["sizes"]:
         headers = {}
         latencies = {}
         for kind in kinds:
@@ -145,20 +292,14 @@ def run_encoding_ablation(
             headers[kind] = encoding.header_flits(
                 DestinationSet.full(num_hosts)
             )
-            values = []
-            for seed in scale.seeds():
-                run = run_simulation(
-                    config.derived(seed=seed),
-                    SingleMulticast(
-                        source=seed % num_hosts,
-                        degree=degree,
-                        payload_flits=payload_flits,
-                        scheme=Scheme.CB_HW.multicast_scheme,
-                    ),
-                    max_cycles=scale.max_cycles,
-                )
-                values.append(run.op_last_latency.mean)
-            latencies[kind] = mean(values)
+            latencies[kind] = mean(
+                [
+                    results[
+                        (num_hosts, kind.value, seed)
+                    ].op_last_latency.mean
+                    for seed in meta["seeds"]
+                ]
+            )
         table.add_row(
             num_hosts,
             headers[EncodingKind.BITSTRING],
@@ -178,12 +319,115 @@ def run_encoding_ablation(
     return result
 
 
+def run_encoding_ablation(
+    scale: Scale = QUICK,
+    sizes: Sequence[int] = (16, 64, 256),
+    degree: int = 8,
+    payload_flits: int = 64,
+    jobs: Optional[int] = 1,
+    progress=None,
+) -> ExperimentResult:
+    """A3: bit-string vs. multiport encoding across system sizes.
+
+    Reports the multicast header size each encoding needs and the measured
+    operation latency (multiport pays extra phases for random —
+    non-product — destination sets; bit-string pays a header that grows
+    with N)."""
+    plan = plan_encoding_ablation(scale, sizes, degree, payload_flits)
+    return reduce_encoding_ablation(
+        plan, execute_plan(plan, jobs=jobs, progress=progress)
+    )
+
+
+# ----------------------------------------------------------------------
+# A4: replication discipline
+# ----------------------------------------------------------------------
+def plan_replication_ablation(
+    scale: Scale = QUICK,
+    num_hosts: int = 16,
+    concurrency: Sequence[int] = (2, 4, 8, 16),
+    degree: int = 6,
+    payload_flits: int = 48,
+) -> ExecutionPlan:
+    """Declare A4's (m x mode x seed) grid."""
+    modes = list(ReplicationMode)
+    seeds = scale.seeds()
+    specs = []
+    for m in concurrency:
+        for mode in modes:
+            for seed in seeds:
+                specs.append(
+                    RunSpec(
+                        key=(m, mode.value, seed),
+                        fn=simulate_summary,
+                        kwargs=dict(
+                            config=base_config(
+                                num_hosts,
+                                seed=seed,
+                                switch_architecture=(
+                                    SwitchArchitecture.INPUT_BUFFER
+                                ),
+                                replication=mode,
+                            ),
+                            workload_cls=MultipleMulticastBurst,
+                            workload_kwargs=dict(
+                                num_multicasts=m,
+                                degree=degree,
+                                payload_flits=payload_flits,
+                                scheme=Scheme.IB_HW.multicast_scheme,
+                            ),
+                            max_cycles=scale.max_cycles,
+                        ),
+                    )
+                )
+    meta = dict(
+        num_hosts=num_hosts,
+        concurrency=tuple(concurrency),
+        degree=degree,
+        modes=modes,
+        seeds=seeds,
+    )
+    return ExecutionPlan("a4", specs, meta)
+
+
+def reduce_replication_ablation(
+    plan: ExecutionPlan, results: Dict[Key, object]
+) -> ExperimentResult:
+    """Fold per-run summaries into A4's table, in declared grid order."""
+    meta = plan.meta
+    modes = meta["modes"]
+    table = Table(
+        f"A4: replication discipline on the IB switch "
+        f"(N={meta['num_hosts']}, d={meta['degree']}) "
+        "— mean last-arrival latency [cycles]",
+        ["m"] + [mode.value for mode in modes],
+    )
+    result = ExperimentResult("a4_replication", table)
+    for m in meta["concurrency"]:
+        cells = [m]
+        for mode in modes:
+            latency = mean(
+                [
+                    results[(m, mode.value, seed)].op_last_latency.mean
+                    for seed in meta["seeds"]
+                ]
+            )
+            cells.append(latency)
+            result.rows.append(
+                {"m": m, "replication": mode.value, "latency": latency}
+            )
+        table.add_row(*cells)
+    return result
+
+
 def run_replication_ablation(
     scale: Scale = QUICK,
     num_hosts: int = 16,
     concurrency: Sequence[int] = (2, 4, 8, 16),
     degree: int = 6,
     payload_flits: int = 48,
+    jobs: Optional[int] = 1,
+    progress=None,
 ) -> ExperimentResult:
     """A4: asynchronous vs. synchronous replication (paper §3).
 
@@ -194,38 +438,89 @@ def run_replication_ablation(
     time port arbitration serializes replication at each switch — the
     performance argument for the paper's asynchronous choice.
     """
-    modes = list(ReplicationMode)
-    table = Table(
-        f"A4: replication discipline on the IB switch (N={num_hosts}, "
-        f"d={degree}) — mean last-arrival latency [cycles]",
-        ["m"] + [mode.value for mode in modes],
+    plan = plan_replication_ablation(
+        scale, num_hosts, concurrency, degree, payload_flits
     )
-    result = ExperimentResult("a4_replication", table)
-    for m in concurrency:
-        cells = [m]
-        for mode in modes:
+    return reduce_replication_ablation(
+        plan, execute_plan(plan, jobs=jobs, progress=progress)
+    )
+
+
+# ----------------------------------------------------------------------
+# A5: equal-storage comparison
+# ----------------------------------------------------------------------
+
+#: (variant name, scheme, per-input buffer override)
+EQUAL_STORAGE_VARIANTS = (
+    ("cb-2048-shared", Scheme.CB_HW, None),
+    ("ib-minimal", Scheme.IB_HW, None),
+    ("ib-2048-split", Scheme.IB_HW, 256),
+)
+
+
+def plan_equal_storage_ablation(
+    scale: Scale = QUICK,
+    num_hosts: int = 64,
+    loads: Sequence[float] = (0.3, 0.45, 0.6),
+    payload_flits: int = 32,
+) -> ExecutionPlan:
+    """Declare A5's (load x variant x seed) grid."""
+    seeds = scale.seeds()
+    specs = []
+    for load in loads:
+        for name, scheme, buffer_flits in EQUAL_STORAGE_VARIANTS:
+            for seed in seeds:
+                config = scheme.apply(base_config(num_hosts, seed=seed))
+                if buffer_flits is not None:
+                    config = config.derived(input_buffer_flits=buffer_flits)
+                specs.append(
+                    RunSpec(
+                        key=(load, name, seed),
+                        fn=simulate_summary,
+                        kwargs=dict(
+                            config=config,
+                            workload_cls=UniformRandomUnicast,
+                            workload_kwargs=dict(
+                                load=load,
+                                payload_flits=payload_flits,
+                                warmup_cycles=scale.warmup_cycles,
+                                measure_cycles=scale.measure_cycles,
+                            ),
+                            max_cycles=scale.max_cycles,
+                        ),
+                    )
+                )
+    meta = dict(
+        num_hosts=num_hosts,
+        loads=tuple(loads),
+        seeds=seeds,
+    )
+    return ExecutionPlan("a5", specs, meta)
+
+
+def reduce_equal_storage_ablation(
+    plan: ExecutionPlan, results: Dict[Key, object]
+) -> ExperimentResult:
+    """Fold per-run summaries into A5's table, in declared grid order."""
+    meta = plan.meta
+    table = Table(
+        f"A5: equal-storage comparison (N={meta['num_hosts']}) — "
+        "unicast latency [cycles]",
+        ["load"] + [name for name, _, _ in EQUAL_STORAGE_VARIANTS],
+    )
+    result = ExperimentResult("a5_equal_storage", table)
+    for load in meta["loads"]:
+        cells = [load]
+        for name, _, _ in EQUAL_STORAGE_VARIANTS:
             latencies = []
-            for seed in scale.seeds():
-                config = base_config(
-                    num_hosts,
-                    seed=seed,
-                    switch_architecture=SwitchArchitecture.INPUT_BUFFER,
-                    replication=mode,
-                )
-                workload = MultipleMulticastBurst(
-                    num_multicasts=m,
-                    degree=degree,
-                    payload_flits=payload_flits,
-                    scheme=Scheme.IB_HW.multicast_scheme,
-                )
-                run = run_simulation(
-                    config, workload, max_cycles=scale.max_cycles
-                )
-                latencies.append(run.op_last_latency.mean)
+            for seed in meta["seeds"]:
+                summary = results[(load, name, seed)]
+                if summary.unicast_latency.count:
+                    latencies.append(summary.unicast_latency.mean)
             latency = mean(latencies)
             cells.append(latency)
             result.rows.append(
-                {"m": m, "replication": mode.value, "latency": latency}
+                {"load": load, "variant": name, "latency": latency}
             )
         table.add_row(*cells)
     return result
@@ -236,6 +531,8 @@ def run_equal_storage_ablation(
     num_hosts: int = 64,
     loads: Sequence[float] = (0.3, 0.45, 0.6),
     payload_flits: int = 32,
+    jobs: Optional[int] = 1,
+    progress=None,
 ) -> ExperimentResult:
     """A5: is the central buffer's win just more silicon?
 
@@ -247,42 +544,7 @@ def run_equal_storage_ablation(
     is what matters — the claim of refs [36, 37] the paper builds on —
     the equal-storage IB switch must still trail the CB switch.
     """
-    from repro.traffic.unicast import UniformRandomUnicast
-
-    variants = [
-        ("cb-2048-shared", Scheme.CB_HW, None),
-        ("ib-minimal", Scheme.IB_HW, None),
-        ("ib-2048-split", Scheme.IB_HW, 256),
-    ]
-    table = Table(
-        f"A5: equal-storage comparison (N={num_hosts}) — unicast latency "
-        "[cycles]",
-        ["load"] + [name for name, _, _ in variants],
+    plan = plan_equal_storage_ablation(scale, num_hosts, loads, payload_flits)
+    return reduce_equal_storage_ablation(
+        plan, execute_plan(plan, jobs=jobs, progress=progress)
     )
-    result = ExperimentResult("a5_equal_storage", table)
-    for load in loads:
-        cells = [load]
-        for name, scheme, buffer_flits in variants:
-            latencies = []
-            for seed in scale.seeds():
-                config = scheme.apply(base_config(num_hosts, seed=seed))
-                if buffer_flits is not None:
-                    config = config.derived(input_buffer_flits=buffer_flits)
-                workload = UniformRandomUnicast(
-                    load=load,
-                    payload_flits=payload_flits,
-                    warmup_cycles=scale.warmup_cycles,
-                    measure_cycles=scale.measure_cycles,
-                )
-                run = run_simulation(
-                    config, workload, max_cycles=scale.max_cycles
-                )
-                if run.unicast_latency.count:
-                    latencies.append(run.unicast_latency.mean)
-            latency = mean(latencies)
-            cells.append(latency)
-            result.rows.append(
-                {"load": load, "variant": name, "latency": latency}
-            )
-        table.add_row(*cells)
-    return result

@@ -14,7 +14,7 @@ else's traffic.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.experiments.common import (
     QUICK,
@@ -23,16 +23,21 @@ from repro.experiments.common import (
     Scheme,
     base_config,
     mean,
+    simulate_summary,
 )
-
+from repro.experiments.parallel import (
+    ExecutionPlan,
+    Key,
+    RunSpec,
+    execute_plan,
+)
 from repro.metrics.report import Table
-from repro.network.simulation import run_simulation
 from repro.traffic.bimodal import BimodalTraffic
 
 DEFAULT_LOADS = (0.1, 0.2, 0.3, 0.4, 0.5)
 
 
-def run_bimodal(
+def plan_bimodal(
     scale: Scale = QUICK,
     num_hosts: int = 64,
     loads: Sequence[float] = DEFAULT_LOADS,
@@ -40,43 +45,76 @@ def run_bimodal(
     degree: int = 8,
     payload_flits: int = 32,
     schemes: Optional[Sequence[Scheme]] = None,
-) -> ExperimentResult:
-    """Run E4; rows carry unicast and op latency per (load, scheme)."""
+) -> ExecutionPlan:
+    """Declare E4's (load x scheme x seed) grid of independent runs."""
     schemes = (
         list(schemes) if schemes is not None else [Scheme.CB_HW, Scheme.SW]
     )
+    seeds = scale.seeds()
+    specs = []
+    for load in loads:
+        for scheme in schemes:
+            for seed in seeds:
+                specs.append(
+                    RunSpec(
+                        key=(load, scheme.value, seed),
+                        fn=simulate_summary,
+                        kwargs=dict(
+                            config=scheme.apply(
+                                base_config(num_hosts, seed=seed)
+                            ),
+                            workload_cls=BimodalTraffic,
+                            workload_kwargs=dict(
+                                load=load,
+                                multicast_fraction=multicast_fraction,
+                                degree=degree,
+                                payload_flits=payload_flits,
+                                scheme=scheme.multicast_scheme,
+                                warmup_cycles=scale.warmup_cycles,
+                                measure_cycles=scale.measure_cycles,
+                            ),
+                            max_cycles=scale.max_cycles,
+                        ),
+                    )
+                )
+    meta = dict(
+        num_hosts=num_hosts,
+        loads=tuple(loads),
+        multicast_fraction=multicast_fraction,
+        degree=degree,
+        schemes=schemes,
+        seeds=seeds,
+    )
+    return ExecutionPlan("e4", specs, meta)
+
+
+def reduce_bimodal(
+    plan: ExecutionPlan, results: Dict[Key, object]
+) -> ExperimentResult:
+    """Fold per-run summaries into E4's table, in declared grid order."""
+    meta = plan.meta
+    schemes = meta["schemes"]
     columns = ["load"]
     for scheme in schemes:
         columns.append(f"uni@{scheme.value}")
         columns.append(f"mc@{scheme.value}")
     table = Table(
-        f"E4: bimodal traffic (N={num_hosts}, f={multicast_fraction:.3f}, "
-        f"d={degree}) — unicast and multicast latency [cycles]",
+        f"E4: bimodal traffic (N={meta['num_hosts']}, "
+        f"f={meta['multicast_fraction']:.3f}, d={meta['degree']}) "
+        "— unicast and multicast latency [cycles]",
         columns,
     )
     result = ExperimentResult("e4_bimodal", table)
-    for load in loads:
+    for load in meta["loads"]:
         cells = [load]
         for scheme in schemes:
             unicast, ops = [], []
-            for seed in scale.seeds():
-                config = scheme.apply(base_config(num_hosts, seed=seed))
-                workload = BimodalTraffic(
-                    load=load,
-                    multicast_fraction=multicast_fraction,
-                    degree=degree,
-                    payload_flits=payload_flits,
-                    scheme=scheme.multicast_scheme,
-                    warmup_cycles=scale.warmup_cycles,
-                    measure_cycles=scale.measure_cycles,
-                )
-                run = run_simulation(
-                    config, workload, max_cycles=scale.max_cycles
-                )
-                if run.unicast_latency.count:
-                    unicast.append(run.unicast_latency.mean)
-                if run.op_last_latency.count:
-                    ops.append(run.op_last_latency.mean)
+            for seed in meta["seeds"]:
+                summary = results[(load, scheme.value, seed)]
+                if summary.unicast_latency.count:
+                    unicast.append(summary.unicast_latency.mean)
+                if summary.op_last_latency.count:
+                    ops.append(summary.op_last_latency.mean)
             uni_latency = mean(unicast)
             op_latency = mean(ops)
             cells.extend([uni_latency, op_latency])
@@ -90,3 +128,24 @@ def run_bimodal(
             )
         table.add_row(*cells)
     return result
+
+
+def run_bimodal(
+    scale: Scale = QUICK,
+    num_hosts: int = 64,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    multicast_fraction: float = 1.0 / 16.0,
+    degree: int = 8,
+    payload_flits: int = 32,
+    schemes: Optional[Sequence[Scheme]] = None,
+    jobs: Optional[int] = 1,
+    progress=None,
+) -> ExperimentResult:
+    """Run E4; rows carry unicast and op latency per (load, scheme)."""
+    plan = plan_bimodal(
+        scale, num_hosts, loads, multicast_fraction, degree, payload_flits,
+        schemes,
+    )
+    return reduce_bimodal(
+        plan, execute_plan(plan, jobs=jobs, progress=progress)
+    )

@@ -4,11 +4,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Type
 
 from repro.core.schemes import MulticastScheme, SwitchArchitecture
 from repro.metrics.report import Table
 from repro.network.config import SimulationConfig
+from repro.network.simulation import RunSummary, run_simulation
+from repro.traffic.base import Workload
 
 
 class Scheme(enum.Enum):
@@ -143,3 +145,21 @@ def mean(values: List[float]) -> float:
 def base_config(num_hosts: int = 64, **overrides) -> SimulationConfig:
     """The paper's default system, with experiment overrides applied."""
     return SimulationConfig(num_hosts=num_hosts, **overrides)
+
+
+def simulate_summary(
+    config: SimulationConfig,
+    workload_cls: Type[Workload],
+    workload_kwargs: Dict[str, object],
+    max_cycles: int,
+) -> RunSummary:
+    """The shared pool worker behind most experiment grids.
+
+    Builds the workload from its class and kwargs *inside* the worker
+    process (workload instances need not be picklable — only their
+    constructor arguments), runs the simulation, and ships back the
+    picklable :class:`~repro.network.simulation.RunSummary`.
+    """
+    workload = workload_cls(**workload_kwargs)
+    result = run_simulation(config, workload, max_cycles=max_cycles)
+    return result.to_summary()

@@ -11,7 +11,7 @@ the fat-tree.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.experiments.common import (
     QUICK,
@@ -20,10 +20,16 @@ from repro.experiments.common import (
     Scheme,
     base_config,
     mean,
+    simulate_summary,
+)
+from repro.experiments.parallel import (
+    ExecutionPlan,
+    Key,
+    RunSpec,
+    execute_plan,
 )
 from repro.metrics.report import Table
 from repro.network.config import TopologyKind
-from repro.network.simulation import run_simulation
 from repro.traffic.multicast import SingleMulticast
 
 
@@ -37,45 +43,80 @@ def _config_for(topology: TopologyKind, num_hosts: int, seed: int):
     return config
 
 
-def run_cross_topology(
+def plan_cross_topology(
     scale: Scale = QUICK,
     num_hosts: int = 16,
     degrees: Sequence[int] = (4, 8, 12),
-) -> ExperimentResult:
-    """Run X4: HW vs SW multicast latency on BMIN, UMIN and irregular."""
+) -> ExecutionPlan:
+    """Declare X4's (degree x topology x scheme x seed) grid."""
     topologies = list(TopologyKind)
+    schemes = [Scheme.CB_HW, Scheme.SW]
+    seeds = scale.seeds()
+    usable = tuple(degree for degree in degrees if degree < num_hosts)
+    specs = []
+    for degree in usable:
+        for topology in topologies:
+            for scheme in schemes:
+                for seed in seeds:
+                    specs.append(
+                        RunSpec(
+                            key=(
+                                degree, topology.value, scheme.value, seed
+                            ),
+                            fn=simulate_summary,
+                            kwargs=dict(
+                                config=scheme.apply(
+                                    _config_for(topology, num_hosts, seed)
+                                ),
+                                workload_cls=SingleMulticast,
+                                workload_kwargs=dict(
+                                    source=seed % num_hosts,
+                                    degree=degree,
+                                    payload_flits=32,
+                                    scheme=scheme.multicast_scheme,
+                                ),
+                                max_cycles=scale.max_cycles,
+                            ),
+                        )
+                    )
+    meta = dict(
+        num_hosts=num_hosts,
+        degrees=usable,
+        topologies=topologies,
+        schemes=schemes,
+        seeds=seeds,
+    )
+    return ExecutionPlan("x4", specs, meta)
+
+
+def reduce_cross_topology(
+    plan: ExecutionPlan, results: Dict[Key, object]
+) -> ExperimentResult:
+    """Fold per-run summaries into X4's table, in declared grid order."""
+    meta = plan.meta
+    topologies = meta["topologies"]
     columns = ["degree"]
     for topology in topologies:
         columns.append(f"hw@{topology.value}")
         columns.append(f"sw@{topology.value}")
     table = Table(
-        f"X4: multicast latency across topology families (N={num_hosts}) "
-        "[cycles]",
+        f"X4: multicast latency across topology families "
+        f"(N={meta['num_hosts']}) [cycles]",
         columns,
     )
     result = ExperimentResult("x4_cross_topology", table)
-    for degree in degrees:
-        if degree >= num_hosts:
-            continue
+    for degree in meta["degrees"]:
         cells = [degree]
         for topology in topologies:
-            for scheme in (Scheme.CB_HW, Scheme.SW):
-                latencies = []
-                for seed in scale.seeds():
-                    config = scheme.apply(
-                        _config_for(topology, num_hosts, seed)
-                    )
-                    workload = SingleMulticast(
-                        source=seed % num_hosts,
-                        degree=degree,
-                        payload_flits=32,
-                        scheme=scheme.multicast_scheme,
-                    )
-                    run = run_simulation(
-                        config, workload, max_cycles=scale.max_cycles
-                    )
-                    latencies.append(run.op_last_latency.mean)
-                latency = mean(latencies)
+            for scheme in meta["schemes"]:
+                latency = mean(
+                    [
+                        results[
+                            (degree, topology.value, scheme.value, seed)
+                        ].op_last_latency.mean
+                        for seed in meta["seeds"]
+                    ]
+                )
                 cells.append(latency)
                 result.rows.append(
                     {
@@ -87,3 +128,17 @@ def run_cross_topology(
                 )
         table.add_row(*cells)
     return result
+
+
+def run_cross_topology(
+    scale: Scale = QUICK,
+    num_hosts: int = 16,
+    degrees: Sequence[int] = (4, 8, 12),
+    jobs: Optional[int] = 1,
+    progress=None,
+) -> ExperimentResult:
+    """Run X4: HW vs SW multicast latency on BMIN, UMIN and irregular."""
+    plan = plan_cross_topology(scale, num_hosts, degrees)
+    return reduce_cross_topology(
+        plan, execute_plan(plan, jobs=jobs, progress=progress)
+    )

@@ -9,7 +9,7 @@ up-to-4x gap.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.experiments.common import (
     QUICK,
@@ -18,12 +18,91 @@ from repro.experiments.common import (
     Scheme,
     base_config,
     mean,
+    simulate_summary,
+)
+from repro.experiments.parallel import (
+    ExecutionPlan,
+    Key,
+    RunSpec,
+    execute_plan,
 )
 from repro.metrics.report import Table
-from repro.network.simulation import run_simulation
 from repro.traffic.multicast import SingleMulticast
 
 DEFAULT_DEGREES = (2, 4, 8, 16, 32, 63)
+
+
+def plan_degree_sweep(
+    scale: Scale = QUICK,
+    num_hosts: int = 64,
+    degrees: Sequence[int] = DEFAULT_DEGREES,
+    payload_flits: int = 64,
+    schemes: Optional[Sequence[Scheme]] = None,
+) -> ExecutionPlan:
+    """Declare E2's (degree x scheme x seed) grid of independent runs."""
+    schemes = list(schemes) if schemes is not None else list(Scheme)
+    seeds = scale.seeds()
+    usable = tuple(degree for degree in degrees if degree < num_hosts)
+    specs = []
+    for degree in usable:
+        for scheme in schemes:
+            for seed in seeds:
+                specs.append(
+                    RunSpec(
+                        key=(degree, scheme.value, seed),
+                        fn=simulate_summary,
+                        kwargs=dict(
+                            config=scheme.apply(
+                                base_config(num_hosts, seed=seed)
+                            ),
+                            workload_cls=SingleMulticast,
+                            workload_kwargs=dict(
+                                source=seed % num_hosts,
+                                degree=degree,
+                                payload_flits=payload_flits,
+                                scheme=scheme.multicast_scheme,
+                            ),
+                            max_cycles=scale.max_cycles,
+                        ),
+                    )
+                )
+    meta = dict(
+        num_hosts=num_hosts,
+        degrees=usable,
+        payload_flits=payload_flits,
+        schemes=schemes,
+        seeds=seeds,
+    )
+    return ExecutionPlan("e2", specs, meta)
+
+
+def reduce_degree_sweep(
+    plan: ExecutionPlan, results: Dict[Key, object]
+) -> ExperimentResult:
+    """Fold per-run summaries into E2's table, in declared grid order."""
+    meta = plan.meta
+    schemes = meta["schemes"]
+    table = Table(
+        f"E2: single multicast latency vs. degree (N={meta['num_hosts']}, "
+        f"{meta['payload_flits']}-flit payload) [cycles]",
+        ["degree"] + [scheme.value for scheme in schemes],
+    )
+    result = ExperimentResult("e2_degree_sweep", table)
+    for degree in meta["degrees"]:
+        cells = [degree]
+        for scheme in schemes:
+            latency = mean(
+                [
+                    results[(degree, scheme.value, seed)].op_last_latency.mean
+                    for seed in meta["seeds"]
+                ]
+            )
+            cells.append(latency)
+            result.rows.append(
+                {"degree": degree, "scheme": scheme.value, "latency": latency}
+            )
+        table.add_row(*cells)
+    return result
 
 
 def run_degree_sweep(
@@ -32,37 +111,11 @@ def run_degree_sweep(
     degrees: Sequence[int] = DEFAULT_DEGREES,
     payload_flits: int = 64,
     schemes: Optional[Sequence[Scheme]] = None,
+    jobs: Optional[int] = 1,
+    progress=None,
 ) -> ExperimentResult:
     """Run E2 and return per-(degree, scheme) last-arrival latencies."""
-    schemes = list(schemes) if schemes is not None else list(Scheme)
-    table = Table(
-        f"E2: single multicast latency vs. degree (N={num_hosts}, "
-        f"{payload_flits}-flit payload) [cycles]",
-        ["degree"] + [scheme.value for scheme in schemes],
+    plan = plan_degree_sweep(scale, num_hosts, degrees, payload_flits, schemes)
+    return reduce_degree_sweep(
+        plan, execute_plan(plan, jobs=jobs, progress=progress)
     )
-    result = ExperimentResult("e2_degree_sweep", table)
-    for degree in degrees:
-        if degree >= num_hosts:
-            continue
-        cells = [degree]
-        for scheme in schemes:
-            latencies = []
-            for seed in scale.seeds():
-                config = scheme.apply(base_config(num_hosts, seed=seed))
-                workload = SingleMulticast(
-                    source=seed % num_hosts,
-                    degree=degree,
-                    payload_flits=payload_flits,
-                    scheme=scheme.multicast_scheme,
-                )
-                run = run_simulation(
-                    config, workload, max_cycles=scale.max_cycles
-                )
-                latencies.append(run.op_last_latency.mean)
-            latency = mean(latencies)
-            cells.append(latency)
-            result.rows.append(
-                {"degree": degree, "scheme": scheme.value, "latency": latency}
-            )
-        table.add_row(*cells)
-    return result

@@ -15,7 +15,7 @@ X3 — central-buffer occupancy by switch level under bimodal traffic,
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.collectives.barrier import BarrierEngine, ReleaseScheme
 from repro.experiments.common import (
@@ -25,6 +25,13 @@ from repro.experiments.common import (
     Scheme,
     base_config,
     mean,
+    simulate_summary,
+)
+from repro.experiments.parallel import (
+    ExecutionPlan,
+    Key,
+    RunSpec,
+    execute_plan,
 )
 from repro.metrics.probe import central_buffer_occupancy_by_level
 from repro.metrics.report import Table
@@ -34,47 +41,88 @@ from repro.traffic.bimodal import BimodalTraffic
 from repro.traffic.hotspot import HotspotTraffic
 
 
-def run_barrier_scaling(
+# ----------------------------------------------------------------------
+# X1: barrier scaling
+# ----------------------------------------------------------------------
+def _run_barrier(
+    num_hosts: int,
+    seed: int,
+    release: ReleaseScheme,
+    max_cycles: int,
+) -> Dict[str, float]:
+    """Worker: one full-system barrier; returns latency and skew."""
+    network = build_network(base_config(num_hosts, seed=seed))
+    engine = BarrierEngine(network.nodes)
+    operation = engine.create(
+        list(range(num_hosts)), release_scheme=release
+    )
+
+    def enter_all(op=operation, eng=engine, n=num_hosts):
+        for host in range(n):
+            eng.enter(op, host)
+
+    network.sim.schedule_at(0, enter_all)
+    network.sim.run_until(
+        lambda op=operation: op.complete,
+        max_cycles=max_cycles,
+        stall_limit=30_000,
+    )
+    return {"latency": operation.last_latency, "skew": operation.skew}
+
+
+def plan_barrier_scaling(
     scale: Scale = QUICK,
     sizes: Sequence[int] = (16, 64, 256),
+) -> ExecutionPlan:
+    """Declare X1's (size x release x seed) grid."""
+    seeds = scale.seeds()
+    specs = []
+    for num_hosts in sizes:
+        for release in ReleaseScheme:
+            for seed in seeds:
+                specs.append(
+                    RunSpec(
+                        key=(num_hosts, release.value, seed),
+                        fn=_run_barrier,
+                        kwargs=dict(
+                            num_hosts=num_hosts,
+                            seed=seed,
+                            release=release,
+                            max_cycles=scale.max_cycles,
+                        ),
+                    )
+                )
+    meta = dict(sizes=tuple(sizes), seeds=seeds)
+    return ExecutionPlan("x1", specs, meta)
+
+
+def reduce_barrier_scaling(
+    plan: ExecutionPlan, results: Dict[Key, object]
 ) -> ExperimentResult:
-    """X1: full-system barrier latency/skew vs. N for both releases."""
+    """Fold per-run barrier measurements into X1's table."""
+    meta = plan.meta
     table = Table(
         "X1: barrier synchronization — latency and release skew [cycles]",
         ["N", "lat@hw-release", "skew@hw-release",
          "lat@sw-release", "skew@sw-release"],
     )
     result = ExperimentResult("x1_barrier", table)
-    for num_hosts in sizes:
+    for num_hosts in meta["sizes"]:
         measured = {}
         for release in ReleaseScheme:
-            latencies, skews = [], []
-            for seed in scale.seeds():
-                network = build_network(base_config(num_hosts, seed=seed))
-                engine = BarrierEngine(network.nodes)
-                operation = engine.create(
-                    list(range(num_hosts)), release_scheme=release
-                )
-
-                def enter_all(op=operation, eng=engine, n=num_hosts):
-                    for host in range(n):
-                        eng.enter(op, host)
-
-                network.sim.schedule_at(0, enter_all)
-                network.sim.run_until(
-                    lambda op=operation: op.complete,
-                    max_cycles=scale.max_cycles,
-                    stall_limit=30_000,
-                )
-                latencies.append(operation.last_latency)
-                skews.append(operation.skew)
-            measured[release] = (mean(latencies), mean(skews))
+            runs = [
+                results[(num_hosts, release.value, seed)]
+                for seed in meta["seeds"]
+            ]
+            latency = mean([run["latency"] for run in runs])
+            skew = mean([run["skew"] for run in runs])
+            measured[release] = (latency, skew)
             result.rows.append(
                 {
                     "num_hosts": num_hosts,
                     "release": release.value,
-                    "latency": mean(latencies),
-                    "skew": mean(skews),
+                    "latency": latency,
+                    "skew": skew,
                 }
             )
         hw = measured[ReleaseScheme.HARDWARE_MULTICAST]
@@ -83,41 +131,87 @@ def run_barrier_scaling(
     return result
 
 
-def run_hotspot(
+def run_barrier_scaling(
+    scale: Scale = QUICK,
+    sizes: Sequence[int] = (16, 64, 256),
+    jobs: Optional[int] = 1,
+    progress=None,
+) -> ExperimentResult:
+    """X1: full-system barrier latency/skew vs. N for both releases."""
+    plan = plan_barrier_scaling(scale, sizes)
+    return reduce_barrier_scaling(
+        plan, execute_plan(plan, jobs=jobs, progress=progress)
+    )
+
+
+# ----------------------------------------------------------------------
+# X2: hot-spot traffic
+# ----------------------------------------------------------------------
+def plan_hotspot(
     scale: Scale = QUICK,
     num_hosts: int = 64,
     load: float = 0.3,
     fractions: Sequence[float] = (0.0, 0.02, 0.05, 0.10),
     payload_flits: int = 32,
-) -> ExperimentResult:
-    """X2: hot-spot unicast — latency vs. hot fraction, CB vs. IB."""
+) -> ExecutionPlan:
+    """Declare X2's (fraction x scheme x seed) grid."""
     schemes = [Scheme.CB_HW, Scheme.IB_HW]
+    seeds = scale.seeds()
+    specs = []
+    for fraction in fractions:
+        for scheme in schemes:
+            for seed in seeds:
+                specs.append(
+                    RunSpec(
+                        key=(fraction, scheme.value, seed),
+                        fn=simulate_summary,
+                        kwargs=dict(
+                            config=scheme.apply(
+                                base_config(num_hosts, seed=seed)
+                            ),
+                            workload_cls=HotspotTraffic,
+                            workload_kwargs=dict(
+                                load=load,
+                                hotspot_fraction=fraction,
+                                hotspot_host=0,
+                                payload_flits=payload_flits,
+                                warmup_cycles=scale.warmup_cycles,
+                                measure_cycles=scale.measure_cycles,
+                            ),
+                            max_cycles=scale.max_cycles,
+                        ),
+                    )
+                )
+    meta = dict(
+        num_hosts=num_hosts,
+        load=load,
+        fractions=tuple(fractions),
+        schemes=schemes,
+        seeds=seeds,
+    )
+    return ExecutionPlan("x2", specs, meta)
+
+
+def reduce_hotspot(
+    plan: ExecutionPlan, results: Dict[Key, object]
+) -> ExperimentResult:
+    """Fold per-run summaries into X2's table, in declared grid order."""
+    meta = plan.meta
+    schemes = meta["schemes"]
     table = Table(
-        f"X2: hot-spot traffic (N={num_hosts}, load={load}) — "
-        "unicast latency [cycles]",
+        f"X2: hot-spot traffic (N={meta['num_hosts']}, "
+        f"load={meta['load']}) — unicast latency [cycles]",
         ["hot fraction"] + [scheme.value for scheme in schemes],
     )
     result = ExperimentResult("x2_hotspot", table)
-    for fraction in fractions:
+    for fraction in meta["fractions"]:
         cells = [fraction]
         for scheme in schemes:
             latencies = []
-            for seed in scale.seeds():
-                config = scheme.apply(base_config(num_hosts, seed=seed))
-                workload = HotspotTraffic(
-                    load=load,
-                    hotspot_fraction=fraction,
-                    hotspot_host=0,
-                    payload_flits=payload_flits,
-                    warmup_cycles=scale.warmup_cycles,
-                    measure_cycles=scale.measure_cycles,
-                )
-                network = build_network(config)
-                run = run_workload(
-                    network, workload, max_cycles=scale.max_cycles
-                )
-                if run.unicast_latency.count:
-                    latencies.append(run.unicast_latency.mean)
+            for seed in meta["seeds"]:
+                summary = results[(fraction, scheme.value, seed)]
+                if summary.unicast_latency.count:
+                    latencies.append(summary.unicast_latency.mean)
             latency = mean(latencies)
             cells.append(latency)
             result.rows.append(
@@ -131,39 +225,94 @@ def run_hotspot(
     return result
 
 
-def run_buffer_occupancy(
+def run_hotspot(
+    scale: Scale = QUICK,
+    num_hosts: int = 64,
+    load: float = 0.3,
+    fractions: Sequence[float] = (0.0, 0.02, 0.05, 0.10),
+    payload_flits: int = 32,
+    jobs: Optional[int] = 1,
+    progress=None,
+) -> ExperimentResult:
+    """X2: hot-spot unicast — latency vs. hot fraction, CB vs. IB."""
+    plan = plan_hotspot(scale, num_hosts, load, fractions, payload_flits)
+    return reduce_hotspot(
+        plan, execute_plan(plan, jobs=jobs, progress=progress)
+    )
+
+
+# ----------------------------------------------------------------------
+# X3: buffer occupancy
+# ----------------------------------------------------------------------
+def _run_occupancy(
+    config, workload_kwargs: Dict[str, object], max_cycles: int
+) -> Dict[int, float]:
+    """Worker: one bimodal run; returns occupancy by switch level."""
+    network = build_network(config)
+    workload = BimodalTraffic(**workload_kwargs)
+    run_workload(network, workload, max_cycles=max_cycles)
+    return central_buffer_occupancy_by_level(network)
+
+
+def plan_buffer_occupancy(
     scale: Scale = QUICK,
     num_hosts: int = 64,
     load: float = 0.3,
     degree: int = 8,
-) -> ExperimentResult:
-    """X3: central-buffer occupancy by level under bimodal traffic."""
+) -> ExecutionPlan:
+    """Declare X3's (scheme x seed) grid."""
     schemes = [Scheme.CB_HW, Scheme.SW]
+    seeds = scale.seeds()
+    specs = []
+    for scheme in schemes:
+        for seed in seeds:
+            specs.append(
+                RunSpec(
+                    key=(scheme.value, seed),
+                    fn=_run_occupancy,
+                    kwargs=dict(
+                        config=scheme.apply(base_config(num_hosts, seed=seed)),
+                        workload_kwargs=dict(
+                            load=load,
+                            multicast_fraction=1.0 / 16.0,
+                            degree=degree,
+                            payload_flits=32,
+                            scheme=scheme.multicast_scheme,
+                            warmup_cycles=scale.warmup_cycles,
+                            measure_cycles=scale.measure_cycles,
+                        ),
+                        max_cycles=scale.max_cycles,
+                    ),
+                )
+            )
+    meta = dict(
+        num_hosts=num_hosts,
+        load=load,
+        degree=degree,
+        schemes=schemes,
+        seeds=seeds,
+    )
+    return ExecutionPlan("x3", specs, meta)
+
+
+def reduce_buffer_occupancy(
+    plan: ExecutionPlan, results: Dict[Key, object]
+) -> ExperimentResult:
+    """Fold per-run occupancy maps into X3's per-level table."""
+    meta = plan.meta
+    schemes = meta["schemes"]
     table = Table(
         f"X3: mean central-buffer occupancy by level "
-        f"(N={num_hosts}, load={load}, d={degree}) [chunks]",
+        f"(N={meta['num_hosts']}, load={meta['load']}, "
+        f"d={meta['degree']}) [chunks]",
         ["level"] + [scheme.value for scheme in schemes],
     )
     result = ExperimentResult("x3_occupancy", table)
     per_scheme = {}
     for scheme in schemes:
         occupancy_sums: dict = {}
-        for seed in scale.seeds():
-            config = scheme.apply(base_config(num_hosts, seed=seed))
-            workload = BimodalTraffic(
-                load=load,
-                multicast_fraction=1.0 / 16.0,
-                degree=degree,
-                payload_flits=32,
-                scheme=scheme.multicast_scheme,
-                warmup_cycles=scale.warmup_cycles,
-                measure_cycles=scale.measure_cycles,
-            )
-            network = build_network(config)
-            run_workload(network, workload, max_cycles=scale.max_cycles)
-            for level, value in central_buffer_occupancy_by_level(
-                network
-            ).items():
+        for seed in meta["seeds"]:
+            for level, value in results[(scheme.value, seed)].items():
                 occupancy_sums.setdefault(level, []).append(value)
         per_scheme[scheme] = {
             level: mean(values) for level, values in occupancy_sums.items()
@@ -183,3 +332,18 @@ def run_buffer_occupancy(
             )
         table.add_row(*cells)
     return result
+
+
+def run_buffer_occupancy(
+    scale: Scale = QUICK,
+    num_hosts: int = 64,
+    load: float = 0.3,
+    degree: int = 8,
+    jobs: Optional[int] = 1,
+    progress=None,
+) -> ExperimentResult:
+    """X3: central-buffer occupancy by level under bimodal traffic."""
+    plan = plan_buffer_occupancy(scale, num_hosts, load, degree)
+    return reduce_buffer_occupancy(
+        plan, execute_plan(plan, jobs=jobs, progress=progress)
+    )

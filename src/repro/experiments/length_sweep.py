@@ -8,7 +8,7 @@ so the absolute hardware advantage *widens* with message length.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.experiments.common import (
     QUICK,
@@ -17,12 +17,97 @@ from repro.experiments.common import (
     Scheme,
     base_config,
     mean,
+    simulate_summary,
+)
+from repro.experiments.parallel import (
+    ExecutionPlan,
+    Key,
+    RunSpec,
+    execute_plan,
 )
 from repro.metrics.report import Table
-from repro.network.simulation import run_simulation
 from repro.traffic.multicast import SingleMulticast
 
 DEFAULT_LENGTHS = (16, 32, 64, 128, 256)
+
+
+def plan_length_sweep(
+    scale: Scale = QUICK,
+    num_hosts: int = 64,
+    lengths: Sequence[int] = DEFAULT_LENGTHS,
+    degree: int = 8,
+    schemes: Optional[Sequence[Scheme]] = None,
+) -> ExecutionPlan:
+    """Declare E3's (length x scheme x seed) grid of independent runs."""
+    schemes = list(schemes) if schemes is not None else list(Scheme)
+    seeds = scale.seeds()
+    specs = []
+    for length in lengths:
+        for scheme in schemes:
+            for seed in seeds:
+                specs.append(
+                    RunSpec(
+                        key=(length, scheme.value, seed),
+                        fn=simulate_summary,
+                        kwargs=dict(
+                            config=scheme.apply(
+                                base_config(
+                                    num_hosts,
+                                    seed=seed,
+                                    max_packet_payload_flits=max(128, length),
+                                    central_buffer_flits=_buffer_for(
+                                        num_hosts, length
+                                    ),
+                                )
+                            ),
+                            workload_cls=SingleMulticast,
+                            workload_kwargs=dict(
+                                source=seed % num_hosts,
+                                degree=degree,
+                                payload_flits=length,
+                                scheme=scheme.multicast_scheme,
+                            ),
+                            max_cycles=scale.max_cycles,
+                        ),
+                    )
+                )
+    meta = dict(
+        num_hosts=num_hosts,
+        lengths=tuple(lengths),
+        degree=degree,
+        schemes=schemes,
+        seeds=seeds,
+    )
+    return ExecutionPlan("e3", specs, meta)
+
+
+def reduce_length_sweep(
+    plan: ExecutionPlan, results: Dict[Key, object]
+) -> ExperimentResult:
+    """Fold per-run summaries into E3's table, in declared grid order."""
+    meta = plan.meta
+    schemes = meta["schemes"]
+    table = Table(
+        f"E3: single multicast latency vs. message length "
+        f"(N={meta['num_hosts']}, d={meta['degree']}) [cycles]",
+        ["payload_flits"] + [scheme.value for scheme in schemes],
+    )
+    result = ExperimentResult("e3_length_sweep", table)
+    for length in meta["lengths"]:
+        cells = [length]
+        for scheme in schemes:
+            latency = mean(
+                [
+                    results[(length, scheme.value, seed)].op_last_latency.mean
+                    for seed in meta["seeds"]
+                ]
+            )
+            cells.append(latency)
+            result.rows.append(
+                {"length": length, "scheme": scheme.value, "latency": latency}
+            )
+        table.add_row(*cells)
+    return result
 
 
 def run_length_sweep(
@@ -31,45 +116,14 @@ def run_length_sweep(
     lengths: Sequence[int] = DEFAULT_LENGTHS,
     degree: int = 8,
     schemes: Optional[Sequence[Scheme]] = None,
+    jobs: Optional[int] = 1,
+    progress=None,
 ) -> ExperimentResult:
     """Run E3 and return per-(length, scheme) last-arrival latencies."""
-    schemes = list(schemes) if schemes is not None else list(Scheme)
-    table = Table(
-        f"E3: single multicast latency vs. message length "
-        f"(N={num_hosts}, d={degree}) [cycles]",
-        ["payload_flits"] + [scheme.value for scheme in schemes],
+    plan = plan_length_sweep(scale, num_hosts, lengths, degree, schemes)
+    return reduce_length_sweep(
+        plan, execute_plan(plan, jobs=jobs, progress=progress)
     )
-    result = ExperimentResult("e3_length_sweep", table)
-    for length in lengths:
-        cells = [length]
-        for scheme in schemes:
-            latencies = []
-            for seed in scale.seeds():
-                config = scheme.apply(
-                    base_config(
-                        num_hosts,
-                        seed=seed,
-                        max_packet_payload_flits=max(128, length),
-                        central_buffer_flits=_buffer_for(num_hosts, length),
-                    )
-                )
-                workload = SingleMulticast(
-                    source=seed % num_hosts,
-                    degree=degree,
-                    payload_flits=length,
-                    scheme=scheme.multicast_scheme,
-                )
-                run = run_simulation(
-                    config, workload, max_cycles=scale.max_cycles
-                )
-                latencies.append(run.op_last_latency.mean)
-            latency = mean(latencies)
-            cells.append(latency)
-            result.rows.append(
-                {"length": length, "scheme": scheme.value, "latency": latency}
-            )
-        table.add_row(*cells)
-    return result
 
 
 def _buffer_for(num_hosts: int, length: int) -> int:

@@ -10,7 +10,7 @@ serialized unicast phases with software start-ups.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.experiments.common import (
     QUICK,
@@ -19,12 +19,93 @@ from repro.experiments.common import (
     Scheme,
     base_config,
     mean,
+    simulate_summary,
+)
+from repro.experiments.parallel import (
+    ExecutionPlan,
+    Key,
+    RunSpec,
+    execute_plan,
 )
 from repro.metrics.report import Table
-from repro.network.simulation import run_simulation
 from repro.traffic.multicast import MultipleMulticastBurst
 
 DEFAULT_CONCURRENCY = (1, 2, 4, 8, 16)
+
+
+def plan_multiple_multicast(
+    scale: Scale = QUICK,
+    num_hosts: int = 64,
+    concurrency: Sequence[int] = DEFAULT_CONCURRENCY,
+    degree: int = 8,
+    payload_flits: int = 64,
+    schemes: Optional[Sequence[Scheme]] = None,
+) -> ExecutionPlan:
+    """Declare E1's (m x scheme x seed) grid of independent runs."""
+    schemes = list(schemes) if schemes is not None else list(Scheme)
+    seeds = scale.seeds()
+    specs = []
+    for m in concurrency:
+        for scheme in schemes:
+            for seed in seeds:
+                specs.append(
+                    RunSpec(
+                        key=(m, scheme.value, seed),
+                        fn=simulate_summary,
+                        kwargs=dict(
+                            config=scheme.apply(
+                                base_config(num_hosts, seed=seed)
+                            ),
+                            workload_cls=MultipleMulticastBurst,
+                            workload_kwargs=dict(
+                                num_multicasts=m,
+                                degree=degree,
+                                payload_flits=payload_flits,
+                                scheme=scheme.multicast_scheme,
+                            ),
+                            max_cycles=scale.max_cycles,
+                        ),
+                    )
+                )
+    meta = dict(
+        num_hosts=num_hosts,
+        concurrency=tuple(concurrency),
+        degree=degree,
+        payload_flits=payload_flits,
+        schemes=schemes,
+        seeds=seeds,
+    )
+    return ExecutionPlan("e1", specs, meta)
+
+
+def reduce_multiple_multicast(
+    plan: ExecutionPlan, results: Dict[Key, object]
+) -> ExperimentResult:
+    """Fold per-run summaries into E1's table, in declared grid order."""
+    meta = plan.meta
+    schemes = meta["schemes"]
+    table = Table(
+        f"E1: multiple multicast (N={meta['num_hosts']}, "
+        f"d={meta['degree']}, {meta['payload_flits']}-flit payload) "
+        "— mean last-arrival latency [cycles]",
+        ["m"] + [scheme.value for scheme in schemes],
+    )
+    result = ExperimentResult("e1_multiple_multicast", table)
+    for m in meta["concurrency"]:
+        cells = [m]
+        for scheme in schemes:
+            latency = mean(
+                [
+                    results[(m, scheme.value, seed)].op_last_latency.mean
+                    for seed in meta["seeds"]
+                ]
+            )
+            cells.append(latency)
+            result.rows.append(
+                {"m": m, "scheme": scheme.value, "latency": latency}
+            )
+        table.add_row(*cells)
+    return result
 
 
 def run_multiple_multicast(
@@ -34,35 +115,13 @@ def run_multiple_multicast(
     degree: int = 8,
     payload_flits: int = 64,
     schemes: Optional[Sequence[Scheme]] = None,
+    jobs: Optional[int] = 1,
+    progress=None,
 ) -> ExperimentResult:
     """Run E1 and return per-(m, scheme) mean last-arrival latencies."""
-    schemes = list(schemes) if schemes is not None else list(Scheme)
-    table = Table(
-        f"E1: multiple multicast (N={num_hosts}, d={degree}, "
-        f"{payload_flits}-flit payload) — mean last-arrival latency [cycles]",
-        ["m"] + [scheme.value for scheme in schemes],
+    plan = plan_multiple_multicast(
+        scale, num_hosts, concurrency, degree, payload_flits, schemes
     )
-    result = ExperimentResult("e1_multiple_multicast", table)
-    for m in concurrency:
-        cells = [m]
-        for scheme in schemes:
-            latencies = []
-            for seed in scale.seeds():
-                config = scheme.apply(base_config(num_hosts, seed=seed))
-                workload = MultipleMulticastBurst(
-                    num_multicasts=m,
-                    degree=degree,
-                    payload_flits=payload_flits,
-                    scheme=scheme.multicast_scheme,
-                )
-                run = run_simulation(
-                    config, workload, max_cycles=scale.max_cycles
-                )
-                latencies.append(run.op_last_latency.mean)
-            latency = mean(latencies)
-            cells.append(latency)
-            result.rows.append(
-                {"m": m, "scheme": scheme.value, "latency": latency}
-            )
-        table.add_row(*cells)
-    return result
+    return reduce_multiple_multicast(
+        plan, execute_plan(plan, jobs=jobs, progress=progress)
+    )

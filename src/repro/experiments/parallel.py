@@ -1,0 +1,186 @@
+"""Parallel experiment execution: plans of independent runs plus a pool.
+
+Every experiment in this suite is an embarrassingly parallel grid — a
+(seed x sweep-point x scheme) cross product of simulations that share no
+state.  This module gives that structure a name:
+
+* an experiment *declares* its grid as a list of :class:`RunSpec`\\ s —
+  each a picklable, module-level worker function plus keyword arguments
+  and a unique sortable ``key``;
+* :func:`execute_plan` runs the specs, either serially (``jobs=1``) or
+  on a ``multiprocessing`` pool, and returns ``{key: value}``;
+* the experiment's *reduce* step folds the per-run values into table
+  rows by looking results up **by key** in its own declared grid order —
+  never by iterating the result mapping — so the output is identical no
+  matter how workers were scheduled.
+
+Determinism contract: a run's value depends only on its spec (all
+simulator randomness flows from the config seed), and reduction order is
+fixed by the plan, so ``jobs=N`` is bit-identical to ``jobs=1``.
+``tests/experiments/test_parallel.py`` enforces this.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+#: a spec's identity inside its plan: a tuple of primitives, unique and
+#: sortable so outcomes can be ordered without reference to wall time
+Key = Tuple[Hashable, ...]
+
+#: called after each finished run with (outcome, done_count, total)
+ProgressFn = Callable[["RunOutcome", int, int], None]
+
+
+def default_jobs() -> int:
+    """The default worker count: one per available CPU."""
+    return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent simulation run of an experiment grid.
+
+    ``fn`` must be a module-level function (so it pickles by reference)
+    and ``kwargs`` must contain only picklable values; the spec may then
+    execute in any worker process.
+    """
+
+    key: Key
+    fn: Callable[..., Any]
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def execute(self) -> Any:
+        """Run the spec in the current process."""
+        return self.fn(**self.kwargs)
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """A finished run: its key, its value, and how long it took."""
+
+    key: Key
+    value: Any
+    wall_seconds: float
+
+
+@dataclass
+class ExecutionPlan:
+    """A named list of independent runs plus grid metadata for reduce."""
+
+    name: str
+    specs: List[RunSpec]
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for spec in self.specs:
+            if spec.key in seen:
+                raise ValueError(
+                    f"plan {self.name!r}: duplicate run key {spec.key!r}"
+                )
+            seen.add(spec.key)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+
+def _execute_spec(spec: RunSpec) -> RunOutcome:
+    """Pool worker: run one spec and time it."""
+    started = time.perf_counter()
+    value = spec.execute()
+    return RunOutcome(
+        key=spec.key,
+        value=value,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+def run_outcomes(
+    plan: ExecutionPlan,
+    jobs: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
+) -> List[RunOutcome]:
+    """Execute every spec in ``plan``; outcomes are in completion order.
+
+    ``jobs=None`` uses :func:`default_jobs`; ``jobs=1`` (or a one-spec
+    plan) runs serially in this process.  If the pool cannot be set up —
+    some sandboxes forbid the semaphores ``multiprocessing`` needs — the
+    plan silently falls back to the serial path, which computes the same
+    values.
+    """
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    workers = min(jobs, len(plan.specs))
+    if workers > 1:
+        try:
+            return _run_pool(plan, workers, progress)
+        except (OSError, ImportError):
+            pass
+    return _run_serial(plan, progress)
+
+
+def _run_serial(
+    plan: ExecutionPlan, progress: Optional[ProgressFn]
+) -> List[RunOutcome]:
+    outcomes = []
+    for spec in plan.specs:
+        outcomes.append(_execute_spec(spec))
+        if progress is not None:
+            progress(outcomes[-1], len(outcomes), len(plan.specs))
+    return outcomes
+
+
+def _run_pool(
+    plan: ExecutionPlan, workers: int, progress: Optional[ProgressFn]
+) -> List[RunOutcome]:
+    outcomes: List[RunOutcome] = []
+    with multiprocessing.Pool(processes=workers) as pool:
+        for outcome in pool.imap_unordered(
+            _execute_spec, plan.specs, chunksize=1
+        ):
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(outcome, len(outcomes), len(plan.specs))
+    return outcomes
+
+
+def resolve(outcomes: List[RunOutcome]) -> Dict[Key, Any]:
+    """Outcomes as a ``{key: value}`` mapping for order-free lookup."""
+    return {outcome.key: outcome.value for outcome in outcomes}
+
+
+def execute_plan(
+    plan: ExecutionPlan,
+    jobs: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
+) -> Dict[Key, Any]:
+    """Run the plan and return ``{key: value}`` for the reduce step."""
+    return resolve(run_outcomes(plan, jobs=jobs, progress=progress))
+
+
+def stderr_progress(name: str) -> ProgressFn:
+    """A progress printer for CLI use (stderr, one line per run)."""
+
+    def report(outcome: RunOutcome, done: int, total: int) -> None:
+        label = "/".join(str(part) for part in outcome.key)
+        print(
+            f"[{name} {done}/{total}] {label} ({outcome.wall_seconds:.2f}s)",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    return report

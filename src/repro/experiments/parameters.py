@@ -8,17 +8,66 @@ the calibration step a simulation-methodology section reports.
 
 from __future__ import annotations
 
+from typing import Dict, Optional
+
 from repro.core.latency_model import unicast_zero_load
 from repro.core.schemes import MulticastScheme
 from repro.experiments.common import QUICK, ExperimentResult, Scale, base_config
+from repro.experiments.parallel import (
+    ExecutionPlan,
+    Key,
+    RunSpec,
+    execute_plan,
+)
 from repro.metrics.report import Table
 from repro.network.builder import build_network
 from repro.network.simulation import run_workload
 from repro.traffic.multicast import SingleMulticast
 
 
-def run_parameters(scale: Scale = QUICK, num_hosts: int = 64) -> ExperimentResult:
-    """Emit the parameter table plus zero-load model-vs-simulator checks."""
+def _run_calibration(num_hosts: int, max_cycles: int) -> Dict[str, float]:
+    """Worker: one far multicast at zero load, simulator vs. model."""
+    config = base_config(num_hosts)
+    network = build_network(config.derived(seed=11))
+    dests = [num_hosts - 1]
+    workload = SingleMulticast(
+        source=0, destinations=dests, payload_flits=32,
+        scheme=MulticastScheme.HARDWARE,
+    )
+    run = run_workload(network, workload, max_cycles=max_cycles)
+    (op,) = run.collector.completed_operations()
+    bmin = network.topology_object
+    hops = bmin.min_switch_hops(0, num_hosts - 1)
+    model = unicast_zero_load(
+        hops=hops,
+        size_flits=network.unicast_header_flits() + 32,
+        link_latency=config.link_latency,
+        routing_delay=config.routing_delay,
+        header_flits=network.unicast_header_flits(),
+        send_overhead=config.sw_send_overhead,
+    )
+    return {"simulated": op.last_latency, "model": model}
+
+
+def plan_parameters(
+    scale: Scale = QUICK, num_hosts: int = 64
+) -> ExecutionPlan:
+    """Declare E7's single calibration run (the table itself is free)."""
+    specs = [
+        RunSpec(
+            key=("calibration",),
+            fn=_run_calibration,
+            kwargs=dict(num_hosts=num_hosts, max_cycles=scale.max_cycles),
+        )
+    ]
+    return ExecutionPlan("e7", specs, dict(num_hosts=num_hosts))
+
+
+def reduce_parameters(
+    plan: ExecutionPlan, results: Dict[Key, object]
+) -> ExperimentResult:
+    """Emit the parameter table plus the zero-load calibration rows."""
+    num_hosts = plan.meta["num_hosts"]
     config = base_config(num_hosts)
     table = Table(
         "E7: simulation parameters and zero-load calibration",
@@ -51,30 +100,28 @@ def run_parameters(scale: Scale = QUICK, num_hosts: int = 64) -> ExperimentResul
         table.add_row(name, str(value))
         result.rows.append({"parameter": name, "value": value})
 
-    # zero-load calibration: one far multicast, simulator vs. model
-    network = build_network(config.derived(seed=11))
-    dests = [num_hosts - 1]
-    workload = SingleMulticast(
-        source=0, destinations=dests, payload_flits=32,
-        scheme=MulticastScheme.HARDWARE,
-    )
-    run = run_workload(network, workload, max_cycles=scale.max_cycles)
-    (op,) = run.collector.completed_operations()
-    bmin = network.topology_object
-    hops = bmin.min_switch_hops(0, num_hosts - 1)
-    model = unicast_zero_load(
-        hops=hops,
-        size_flits=network.unicast_header_flits() + 32,
-        link_latency=config.link_latency,
-        routing_delay=config.routing_delay,
-        header_flits=network.unicast_header_flits(),
-        send_overhead=config.sw_send_overhead,
-    )
+    calibration = results[("calibration",)]
     table.add_row("zero-load far unicast, simulated [cycles]",
-                  str(op.last_latency))
-    table.add_row("zero-load far unicast, model [cycles]", str(model))
+                  str(calibration["simulated"]))
+    table.add_row("zero-load far unicast, model [cycles]",
+                  str(calibration["model"]))
     result.rows.append(
-        {"parameter": "zero_load_simulated", "value": op.last_latency}
+        {"parameter": "zero_load_simulated", "value": calibration["simulated"]}
     )
-    result.rows.append({"parameter": "zero_load_model", "value": model})
+    result.rows.append(
+        {"parameter": "zero_load_model", "value": calibration["model"]}
+    )
     return result
+
+
+def run_parameters(
+    scale: Scale = QUICK,
+    num_hosts: int = 64,
+    jobs: Optional[int] = 1,
+    progress=None,
+) -> ExperimentResult:
+    """Emit the parameter table plus zero-load model-vs-simulator checks."""
+    plan = plan_parameters(scale, num_hosts)
+    return reduce_parameters(
+        plan, execute_plan(plan, jobs=jobs, progress=progress)
+    )

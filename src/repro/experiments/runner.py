@@ -3,10 +3,17 @@
 Run one experiment (or all of them) and print the paper-style tables::
 
     python -m repro.experiments.runner --experiment e1 --scale quick
-    python -m repro.experiments.runner --all --scale paper
+    python -m repro.experiments.runner --all --scale paper --jobs 8
 
 ``quick`` scale finishes in seconds per experiment; ``paper`` scale runs
 the full sweeps recorded in EXPERIMENTS.md (minutes to hours).
+
+``--jobs N`` fans the (seed x sweep-point x scheme) grid of each
+experiment out over N worker processes (default: one per CPU).  Results
+are bit-identical to ``--jobs 1``: per-run values depend only on the
+config seed, and each experiment's reduce step folds them in declared
+grid order, never in completion order.  Progress lines go to stderr so
+table output stays clean.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ import time
 from typing import Callable, Dict
 
 from repro.experiments.common import PAPER, QUICK, ExperimentResult, Scale
+from repro.experiments.parallel import default_jobs, stderr_progress
 from repro.experiments.ablations import (
     run_cb_bandwidth_ablation,
     run_encoding_ablation,
@@ -38,7 +46,7 @@ from repro.experiments.extensions import (
     run_hotspot,
 )
 
-EXPERIMENTS: Dict[str, Callable[[Scale], ExperimentResult]] = {
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "e1": run_multiple_multicast,
     "e2": run_degree_sweep,
     "e3": run_length_sweep,
@@ -92,6 +100,19 @@ def main(argv=None) -> int:
         help="quick: seconds per experiment; paper: full sweeps",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes per experiment grid (default: CPU count; "
+        "1 = serial; output is identical either way)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a per-run progress line to stderr",
+    )
+    parser.add_argument(
         "--csv", action="store_true", help="also print CSV after each table"
     )
     parser.add_argument(
@@ -101,13 +122,18 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     scale = QUICK if args.scale == "quick" else PAPER
+    jobs = default_jobs() if args.jobs is None else max(1, args.jobs)
     names = sorted(EXPERIMENTS) if args.all else [args.experiment]
     for name in names:
+        progress = stderr_progress(name) if args.progress else None
         started = time.time()
-        result = EXPERIMENTS[name](scale)
+        result = EXPERIMENTS[name](scale, jobs=jobs, progress=progress)
         elapsed = time.time() - started
         print(result.render())
-        print(f"[{name} finished in {elapsed:.1f}s at scale={scale.name}]")
+        print(
+            f"[{name} finished in {elapsed:.1f}s at scale={scale.name}, "
+            f"jobs={jobs}]"
+        )
         if args.chart and name in CHARTS:
             x_key, y_key, series_key = CHARTS[name]
             print()

@@ -8,7 +8,7 @@ the *destination count*, so the gap widens sharply with system size.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.experiments.common import (
     QUICK,
@@ -17,51 +17,95 @@ from repro.experiments.common import (
     Scheme,
     base_config,
     mean,
+    simulate_summary,
+)
+from repro.experiments.parallel import (
+    ExecutionPlan,
+    Key,
+    RunSpec,
+    execute_plan,
 )
 from repro.metrics.report import Table
-from repro.network.simulation import run_simulation
 from repro.traffic.multicast import SingleMulticast
 
 DEFAULT_SIZES = (16, 64, 256)
 
+#: (label, degree_fn) pairs defining the two workloads per system size
+WORKLOADS = (
+    ("broadcast", lambda n: n - 1),
+    ("quarter", lambda n: max(2, n // 4)),
+)
 
-def run_system_size(
+
+def plan_system_size(
     scale: Scale = QUICK,
     sizes: Sequence[int] = DEFAULT_SIZES,
     payload_flits: int = 64,
     schemes: Optional[Sequence[Scheme]] = None,
-) -> ExperimentResult:
-    """Run E5: broadcast and N/4-degree multicast at each system size."""
+) -> ExecutionPlan:
+    """Declare E5's (size x workload x scheme x seed) grid."""
     schemes = list(schemes) if schemes is not None else list(Scheme)
+    seeds = scale.seeds()
+    specs = []
+    for num_hosts in sizes:
+        for label, degree_fn in WORKLOADS:
+            degree = degree_fn(num_hosts)
+            for scheme in schemes:
+                for seed in seeds:
+                    specs.append(
+                        RunSpec(
+                            key=(num_hosts, label, scheme.value, seed),
+                            fn=simulate_summary,
+                            kwargs=dict(
+                                config=scheme.apply(
+                                    base_config(num_hosts, seed=seed)
+                                ),
+                                workload_cls=SingleMulticast,
+                                workload_kwargs=dict(
+                                    source=seed % num_hosts,
+                                    degree=degree,
+                                    payload_flits=payload_flits,
+                                    scheme=scheme.multicast_scheme,
+                                ),
+                                max_cycles=scale.max_cycles,
+                            ),
+                        )
+                    )
+    meta = dict(
+        sizes=tuple(sizes),
+        payload_flits=payload_flits,
+        schemes=schemes,
+        seeds=seeds,
+    )
+    return ExecutionPlan("e5", specs, meta)
+
+
+def reduce_system_size(
+    plan: ExecutionPlan, results: Dict[Key, object]
+) -> ExperimentResult:
+    """Fold per-run summaries into E5's table, in declared grid order."""
+    meta = plan.meta
+    schemes = meta["schemes"]
     columns = ["N", "workload"]
     columns.extend(scheme.value for scheme in schemes)
     table = Table(
         f"E5: multicast latency vs. system size "
-        f"({payload_flits}-flit payload) [cycles]",
+        f"({meta['payload_flits']}-flit payload) [cycles]",
         columns,
     )
     result = ExperimentResult("e5_system_size", table)
-    for num_hosts in sizes:
-        for label, degree in (
-            ("broadcast", num_hosts - 1),
-            ("quarter", max(2, num_hosts // 4)),
-        ):
+    for num_hosts in meta["sizes"]:
+        for label, _ in WORKLOADS:
             cells = [num_hosts, label]
             for scheme in schemes:
-                latencies = []
-                for seed in scale.seeds():
-                    config = scheme.apply(base_config(num_hosts, seed=seed))
-                    workload = SingleMulticast(
-                        source=seed % num_hosts,
-                        degree=degree,
-                        payload_flits=payload_flits,
-                        scheme=scheme.multicast_scheme,
-                    )
-                    run = run_simulation(
-                        config, workload, max_cycles=scale.max_cycles
-                    )
-                    latencies.append(run.op_last_latency.mean)
-                latency = mean(latencies)
+                latency = mean(
+                    [
+                        results[
+                            (num_hosts, label, scheme.value, seed)
+                        ].op_last_latency.mean
+                        for seed in meta["seeds"]
+                    ]
+                )
                 cells.append(latency)
                 result.rows.append(
                     {
@@ -73,3 +117,18 @@ def run_system_size(
                 )
             table.add_row(*cells)
     return result
+
+
+def run_system_size(
+    scale: Scale = QUICK,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    payload_flits: int = 64,
+    schemes: Optional[Sequence[Scheme]] = None,
+    jobs: Optional[int] = 1,
+    progress=None,
+) -> ExperimentResult:
+    """Run E5: broadcast and N/4-degree multicast at each system size."""
+    plan = plan_system_size(scale, sizes, payload_flits, schemes)
+    return reduce_system_size(
+        plan, execute_plan(plan, jobs=jobs, progress=progress)
+    )

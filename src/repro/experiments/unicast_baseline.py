@@ -10,7 +10,7 @@ is worth the trouble.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.experiments.common import (
     QUICK,
@@ -19,57 +19,98 @@ from repro.experiments.common import (
     Scheme,
     base_config,
     mean,
+    simulate_summary,
+)
+from repro.experiments.parallel import (
+    ExecutionPlan,
+    Key,
+    RunSpec,
+    execute_plan,
 )
 from repro.flits.packet import TrafficClass
 from repro.metrics.report import Table
-from repro.network.simulation import run_simulation
 from repro.traffic.unicast import UniformRandomUnicast
 
 DEFAULT_LOADS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6)
 
 
-def run_unicast_baseline(
+def plan_unicast_baseline(
     scale: Scale = QUICK,
     num_hosts: int = 64,
     loads: Sequence[float] = DEFAULT_LOADS,
     payload_flits: int = 32,
     schemes: Optional[Sequence[Scheme]] = None,
-) -> ExperimentResult:
-    """Run E6; rows carry latency and throughput per (load, architecture)."""
+) -> ExecutionPlan:
+    """Declare E6's (load x scheme x seed) grid of independent runs."""
     schemes = (
         list(schemes)
         if schemes is not None
         else [Scheme.CB_HW, Scheme.IB_HW]
     )
+    seeds = scale.seeds()
+    specs = []
+    for load in loads:
+        for scheme in schemes:
+            for seed in seeds:
+                specs.append(
+                    RunSpec(
+                        key=(load, scheme.value, seed),
+                        fn=simulate_summary,
+                        kwargs=dict(
+                            config=scheme.apply(
+                                base_config(num_hosts, seed=seed)
+                            ),
+                            workload_cls=UniformRandomUnicast,
+                            workload_kwargs=dict(
+                                load=load,
+                                payload_flits=payload_flits,
+                                warmup_cycles=scale.warmup_cycles,
+                                measure_cycles=scale.measure_cycles,
+                            ),
+                            max_cycles=scale.max_cycles,
+                        ),
+                    )
+                )
+    meta = dict(
+        num_hosts=num_hosts,
+        loads=tuple(loads),
+        payload_flits=payload_flits,
+        schemes=schemes,
+        seeds=seeds,
+        measure_cycles=scale.measure_cycles,
+    )
+    return ExecutionPlan("e6", specs, meta)
+
+
+def reduce_unicast_baseline(
+    plan: ExecutionPlan, results: Dict[Key, object]
+) -> ExperimentResult:
+    """Fold per-run summaries into E6's table, in declared grid order."""
+    meta = plan.meta
+    schemes = meta["schemes"]
     columns = ["load"]
     for scheme in schemes:
         columns.append(f"lat@{scheme.value}")
         columns.append(f"thr@{scheme.value}")
     table = Table(
-        f"E6: uniform unicast (N={num_hosts}, {payload_flits}-flit payload)"
+        f"E6: uniform unicast (N={meta['num_hosts']}, "
+        f"{meta['payload_flits']}-flit payload)"
         " — latency [cycles] and accepted throughput [flits/cycle/host]",
         columns,
     )
     result = ExperimentResult("e6_unicast_baseline", table)
-    for load in loads:
+    for load in meta["loads"]:
         cells = [load]
         for scheme in schemes:
             latencies, throughputs = [], []
-            for seed in scale.seeds():
-                config = scheme.apply(base_config(num_hosts, seed=seed))
-                workload = UniformRandomUnicast(
-                    load=load,
-                    payload_flits=payload_flits,
-                    warmup_cycles=scale.warmup_cycles,
-                    measure_cycles=scale.measure_cycles,
-                )
-                run = run_simulation(
-                    config, workload, max_cycles=scale.max_cycles
-                )
-                if run.unicast_latency.count:
-                    latencies.append(run.unicast_latency.mean)
+            for seed in meta["seeds"]:
+                summary = results[(load, scheme.value, seed)]
+                if summary.unicast_latency.count:
+                    latencies.append(summary.unicast_latency.mean)
                 throughputs.append(
-                    run.throughput(TrafficClass.UNICAST, scale.measure_cycles)
+                    summary.throughput(
+                        TrafficClass.UNICAST, meta["measure_cycles"]
+                    )
                 )
             latency = mean(latencies)
             throughput = mean(throughputs)
@@ -84,3 +125,21 @@ def run_unicast_baseline(
             )
         table.add_row(*cells)
     return result
+
+
+def run_unicast_baseline(
+    scale: Scale = QUICK,
+    num_hosts: int = 64,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    payload_flits: int = 32,
+    schemes: Optional[Sequence[Scheme]] = None,
+    jobs: Optional[int] = 1,
+    progress=None,
+) -> ExperimentResult:
+    """Run E6; rows carry latency and throughput per (load, architecture)."""
+    plan = plan_unicast_baseline(
+        scale, num_hosts, loads, payload_flits, schemes
+    )
+    return reduce_unicast_baseline(
+        plan, execute_plan(plan, jobs=jobs, progress=progress)
+    )

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
 
 from repro.errors import SimulationError
 from repro.flits.packet import TrafficClass
@@ -84,6 +84,31 @@ class SimulationResult:
             out["op_avg_latency_mean"] = self.op_average_latency.mean
         return out
 
+    def to_summary(self, **extras: object) -> "RunSummary":
+        """A picklable :class:`RunSummary` for cross-process transport."""
+        class_latency: Dict[str, StatsSummary] = {}
+        class_deliveries: Dict[str, int] = {}
+        class_payload_flits: Dict[str, int] = {}
+        for traffic_class, stats in self.collector.classes.items():
+            name = traffic_class.value
+            class_latency[name] = StatsSummary.from_stats(stats.latency)
+            class_deliveries[name] = stats.deliveries
+            class_payload_flits[name] = stats.payload_flits
+        return RunSummary(
+            num_hosts=self.config.num_hosts,
+            cycles=self.cycles,
+            completed=self.completed,
+            operations=self.collector.operations_created,
+            op_last_latency=StatsSummary.from_stats(self.op_last_latency),
+            op_average_latency=StatsSummary.from_stats(
+                self.op_average_latency
+            ),
+            class_latency=class_latency,
+            class_deliveries=class_deliveries,
+            class_payload_flits=class_payload_flits,
+            extras=dict(extras),
+        )
+
     def report(self) -> str:
         """A human-readable multi-section run report.
 
@@ -139,6 +164,86 @@ class SimulationResult:
             )
             lines.append(ops.render())
         return "\n\n".join(lines)
+
+
+@dataclass(frozen=True)
+class StatsSummary:
+    """Picklable snapshot of a :class:`RunningStats` accumulator."""
+
+    count: int = 0
+    mean: float = 0.0
+    min: float = 0.0
+    max: float = 0.0
+
+    @classmethod
+    def from_stats(cls, stats: RunningStats) -> "StatsSummary":
+        """Freeze the headline numbers of one accumulator."""
+        if not stats.count:
+            return cls()
+        return cls(
+            count=stats.count, mean=stats.mean, min=stats.min, max=stats.max
+        )
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Everything the experiment reduce steps need from one run.
+
+    :class:`SimulationResult` holds the live metrics collector — cheap to
+    inspect in-process but needlessly heavy to ship between worker
+    processes.  This summary is a small frozen dataclass of plain floats
+    and dicts, safe to pickle across a ``multiprocessing`` pool, with the
+    same accessors the experiments already use (``unicast_latency``,
+    ``op_last_latency``, ``throughput``).  ``extras`` carries any
+    experiment-specific probe values (e.g. buffer occupancy by level).
+    """
+
+    num_hosts: int
+    cycles: int
+    completed: bool
+    operations: int
+    op_last_latency: StatsSummary
+    op_average_latency: StatsSummary
+    class_latency: Dict[str, StatsSummary]
+    class_deliveries: Dict[str, int]
+    class_payload_flits: Dict[str, int]
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def latency(self, traffic_class: Union[TrafficClass, str]) -> StatsSummary:
+        """Per-delivery latency summary for one traffic class."""
+        name = getattr(traffic_class, "value", traffic_class)
+        return self.class_latency.get(name, StatsSummary())
+
+    @property
+    def unicast_latency(self) -> StatsSummary:
+        """Per-delivery latency of background unicast messages."""
+        return self.latency(TrafficClass.UNICAST)
+
+    @property
+    def multicast_message_latency(self) -> StatsSummary:
+        """Per-delivery latency of hardware multicast messages."""
+        return self.latency(TrafficClass.MULTICAST)
+
+    def delivered_flits(
+        self, traffic_class: Union[TrafficClass, str]
+    ) -> int:
+        """In-window delivered payload flits for one class."""
+        name = getattr(traffic_class, "value", traffic_class)
+        return self.class_payload_flits.get(name, 0)
+
+    def throughput(
+        self,
+        traffic_class: Union[TrafficClass, str],
+        window_cycles: int,
+    ) -> float:
+        """Delivered payload flits per cycle per host over a window."""
+        if window_cycles <= 0:
+            return 0.0
+        return (
+            self.delivered_flits(traffic_class)
+            / window_cycles
+            / self.num_hosts
+        )
 
 
 def run_workload(

@@ -12,6 +12,22 @@ from repro.network.simulation import SimulationResult, run_workload
 from repro.traffic.base import Workload
 
 
+def pytest_addoption(parser):
+    """``--regenerate-golden`` rewrites the experiment snapshots.
+
+    Run ``PYTHONPATH=src python -m pytest tests/experiments/test_golden.py
+    --regenerate-golden`` after an *intended* numeric change, then commit
+    the updated ``tests/experiments/golden/*.json`` with the change that
+    caused it.
+    """
+    parser.addoption(
+        "--regenerate-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/experiments/golden/*.json from current results",
+    )
+
+
 def tiny_config(**overrides) -> SimulationConfig:
     """A 16-host central-buffer BMIN with internal checks on."""
     defaults = dict(num_hosts=16, self_check=True)
