@@ -4,13 +4,21 @@ Each benchmark regenerates one of the paper's tables/figures at a
 CI-friendly scale, prints the rows, and asserts the *shape* of the result
 (who wins, how gaps trend) rather than absolute numbers — our substrate
 is a simulator with reconstructed parameters, not the authors' testbed.
+
+Set ``REPRO_BENCH_OUT=<dir>`` to also write each result as
+``BENCH_<experiment>.json`` — the rows plus a
+:class:`repro.obs.manifest.RunManifest` (git SHA, python version, jobs,
+wall-time), so archived benchmark numbers carry their provenance.
 """
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 from repro.experiments.common import Scale
+from repro.obs.manifest import RunManifest
 
 #: benchmark scale: single seed, short windows — shapes remain stable
 BENCH = Scale(
@@ -27,10 +35,36 @@ BENCH = Scale(
 JOBS = max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
 
 
-def show(result) -> None:
-    """Print an experiment's table (pytest -s shows it; always in logs)."""
+def show(result, wall_seconds=None) -> None:
+    """Print an experiment's table (pytest -s shows it; always in logs).
+
+    With ``REPRO_BENCH_OUT`` set, also archive the rows with provenance
+    (see module docs).
+    """
     print()
     print(result.render())
+    out_dir = os.environ.get("REPRO_BENCH_OUT")
+    if out_dir:
+        write_bench_json(result, out_dir, wall_seconds=wall_seconds)
+
+
+def write_bench_json(result, out_dir, wall_seconds=None) -> Path:
+    """Write ``BENCH_<experiment>.json``: rows + table + run manifest."""
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{result.experiment}.json"
+    payload = {
+        "experiment": result.experiment,
+        "title": result.table.title,
+        "rows": result.rows,
+        "manifest": RunManifest.collect(
+            wall_seconds=wall_seconds, jobs=JOBS, scale=BENCH.name
+        ).to_dict(),
+    }
+    path.write_text(
+        json.dumps(payload, indent=1, default=repr) + "\n", encoding="utf-8"
+    )
+    return path
 
 
 def increasing(values, slack=1.0) -> bool:

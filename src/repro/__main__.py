@@ -5,6 +5,11 @@ schemes) on a small system and points at the experiment runner for the
 full evaluation.  For everything else use
 ``python -m repro.experiments.runner``.
 
+``python -m repro inspect FILE...`` summarises the observability
+artifacts (run manifests, metrics/trace JSONL) that the runner's
+``--metrics-out``/``--trace-out`` flags produce; see
+:mod:`repro.obs.inspect`.
+
 The three demo cases are independent simulations, so they run through
 the same :mod:`repro.experiments.parallel` plan machinery as the full
 experiment suite — ``--jobs 3`` fans them out over worker processes,
@@ -57,6 +62,11 @@ def _run_demo_case(architecture, scheme):
 
 def main(argv=None) -> int:
     """Run the demo and print pointers to the full harness."""
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "inspect":
+        from repro.obs.inspect import main as inspect_main
+
+        return inspect_main(argv[1:])
     parser = argparse.ArgumentParser(
         description="Demo: one multicast under all three schemes."
     )
@@ -96,6 +106,9 @@ def main(argv=None) -> int:
     print("Full evaluation:   python -m repro.experiments.runner --all")
     print("                   (add --jobs N to parallelize, --chart/--csv "
           "for extra output)")
+    print("Telemetry:         python -m repro.experiments.runner "
+          "--experiment e1 --metrics-out m.jsonl")
+    print("                   python -m repro inspect m.jsonl")
     print("Benchmarks:        pytest benchmarks/ --benchmark-only")
     print("Examples:          python examples/quickstart.py")
     return 0

@@ -172,15 +172,129 @@ def execute_plan(
     return resolve(run_outcomes(plan, jobs=jobs, progress=progress))
 
 
-def stderr_progress(name: str) -> ProgressFn:
-    """A progress printer for CLI use (stderr, one line per run)."""
+@dataclass(frozen=True)
+class TimingSummary:
+    """Where the wall-time of one executed plan went.
 
-    def report(outcome: RunOutcome, done: int, total: int) -> None:
-        label = "/".join(str(part) for part in outcome.key)
+    ``work_seconds`` is the sum of per-run wall times; with a pool the
+    plan's own ``wall_seconds`` should be roughly ``work / jobs``, and
+    ``utilisation`` (work / (wall x jobs)) says how close the pool got.
+    Low utilisation usually means *stragglers*: runs much longer than
+    the rest that leave workers idle at the tail of the plan.
+    """
+
+    runs: int
+    jobs: int
+    work_seconds: float
+    wall_seconds: float
+    mean_seconds: float
+    median_seconds: float
+    max_seconds: float
+    #: ``(label, seconds)`` of runs slower than 2x the median
+    stragglers: Tuple[Tuple[str, float], ...]
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of pool capacity spent doing work (0..1)."""
+        capacity = self.wall_seconds * self.jobs
+        if capacity <= 0:
+            return 0.0
+        return min(1.0, self.work_seconds / capacity)
+
+    def render(self) -> str:
+        """A short multi-line report for ``--progress`` output."""
+        lines = [
+            f"{self.runs} run(s): {self.work_seconds:.2f}s work in "
+            f"{self.wall_seconds:.2f}s wall on {self.jobs} job(s) "
+            f"(pool utilisation {self.utilisation:.0%})",
+            f"per-run wall: mean {self.mean_seconds:.2f}s, "
+            f"median {self.median_seconds:.2f}s, "
+            f"max {self.max_seconds:.2f}s",
+        ]
+        if self.stragglers:
+            worst = ", ".join(
+                f"{label} ({seconds:.2f}s)"
+                for label, seconds in self.stragglers
+            )
+            lines.append(f"stragglers (>2x median): {worst}")
+        return "\n".join(lines)
+
+
+def _key_label(key: Key) -> str:
+    return "/".join(str(part) for part in key)
+
+
+def summarize_timing(
+    outcomes: List[RunOutcome], jobs: int, wall_seconds: float
+) -> TimingSummary:
+    """Fold per-run wall times into a :class:`TimingSummary`."""
+    times = sorted(outcome.wall_seconds for outcome in outcomes)
+    if not times:
+        return TimingSummary(
+            runs=0, jobs=jobs, work_seconds=0.0,
+            wall_seconds=wall_seconds, mean_seconds=0.0,
+            median_seconds=0.0, max_seconds=0.0, stragglers=(),
+        )
+    half = len(times) // 2
+    median = (
+        times[half]
+        if len(times) % 2
+        else (times[half - 1] + times[half]) / 2
+    )
+    threshold = 2 * median
+    stragglers = tuple(
+        sorted(
+            (
+                (_key_label(o.key), o.wall_seconds)
+                for o in outcomes
+                if o.wall_seconds > threshold
+            ),
+            key=lambda pair: -pair[1],
+        )
+    )
+    return TimingSummary(
+        runs=len(times),
+        jobs=max(1, jobs),
+        work_seconds=sum(times),
+        wall_seconds=wall_seconds,
+        mean_seconds=sum(times) / len(times),
+        median_seconds=median,
+        max_seconds=times[-1],
+        stragglers=stragglers,
+    )
+
+
+class StderrProgress:
+    """A progress printer for CLI use (stderr, one line per run).
+
+    Instances are valid :data:`ProgressFn` callbacks that additionally
+    accumulate every outcome, so after ``execute_plan`` returns the
+    caller can ask for a :meth:`summary` of where the wall-time went.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.outcomes: List[RunOutcome] = []
+        self._started = time.perf_counter()
+
+    def __call__(self, outcome: RunOutcome, done: int, total: int) -> None:
+        self.outcomes.append(outcome)
         print(
-            f"[{name} {done}/{total}] {label} ({outcome.wall_seconds:.2f}s)",
+            f"[{self.name} {done}/{total}] {_key_label(outcome.key)} "
+            f"({outcome.wall_seconds:.2f}s)",
             file=sys.stderr,
             flush=True,
         )
 
-    return report
+    def summary(self, jobs: Optional[int] = None) -> TimingSummary:
+        """Timing summary over everything reported so far."""
+        return summarize_timing(
+            self.outcomes,
+            jobs=default_jobs() if jobs is None else max(1, int(jobs)),
+            wall_seconds=time.perf_counter() - self._started,
+        )
+
+
+def stderr_progress(name: str) -> StderrProgress:
+    """Back-compat factory for :class:`StderrProgress`."""
+    return StderrProgress(name)

@@ -21,10 +21,14 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import Callable, Dict
 
 from repro.experiments.common import PAPER, QUICK, ExperimentResult, Scale
 from repro.experiments.parallel import default_jobs, stderr_progress
+from repro.obs import runtime as obs_runtime
+from repro.obs.manifest import RunManifest
+from repro.obs.runtime import ObsOptions
 from repro.experiments.ablations import (
     run_cb_bandwidth_ablation,
     run_encoding_ablation,
@@ -119,28 +123,78 @@ def main(argv=None) -> int:
         "--chart", action="store_true",
         help="also print an ASCII chart for sweep experiments",
     )
+    obs_group = parser.add_argument_group(
+        "observability (off by default; tables are identical either way)"
+    )
+    obs_group.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="append sampled metrics and run headers as JSONL; a run "
+        "manifest is written next to it",
+    )
+    obs_group.add_argument(
+        "--trace-out", metavar="FILE",
+        help="stream per-flit trace events as JSONL (large!)",
+    )
+    obs_group.add_argument(
+        "--sample-every", type=int, default=0, metavar="CYCLES",
+        help="gauge sampling period in cycles "
+        f"(default {obs_runtime.DEFAULT_SAMPLE_EVERY} when recording)",
+    )
     args = parser.parse_args(argv)
 
     scale = QUICK if args.scale == "quick" else PAPER
     jobs = default_jobs() if args.jobs is None else max(1, args.jobs)
     names = sorted(EXPERIMENTS) if args.all else [args.experiment]
-    for name in names:
-        progress = stderr_progress(name) if args.progress else None
-        started = time.time()
-        result = EXPERIMENTS[name](scale, jobs=jobs, progress=progress)
-        elapsed = time.time() - started
-        print(result.render())
-        print(
-            f"[{name} finished in {elapsed:.1f}s at scale={scale.name}, "
-            f"jobs={jobs}]"
+
+    recording = bool(args.metrics_out or args.trace_out)
+    if args.sample_every and not recording:
+        parser.error("--sample-every needs --metrics-out or --trace-out")
+    if recording:
+        obs_runtime.configure(
+            ObsOptions(
+                metrics_out=args.metrics_out,
+                trace_out=args.trace_out,
+                sample_every=max(0, args.sample_every),
+            )
         )
-        if args.chart and name in CHARTS:
-            x_key, y_key, series_key = CHARTS[name]
+
+    overall_started = time.time()
+    try:
+        for name in names:
+            progress = stderr_progress(name) if args.progress else None
+            started = time.time()
+            result = EXPERIMENTS[name](scale, jobs=jobs, progress=progress)
+            elapsed = time.time() - started
+            print(result.render())
+            print(
+                f"[{name} finished in {elapsed:.1f}s at scale={scale.name}, "
+                f"jobs={jobs}]"
+            )
+            if progress is not None and progress.outcomes:
+                print(progress.summary(jobs).render(), file=sys.stderr)
+            if args.chart and name in CHARTS:
+                x_key, y_key, series_key = CHARTS[name]
+                print()
+                print(result.chart(x_key, y_key, series_key))
+            if args.csv:
+                print(result.table.to_csv())
             print()
-            print(result.chart(x_key, y_key, series_key))
-        if args.csv:
-            print(result.table.to_csv())
-        print()
+    finally:
+        obs_runtime.reset()
+
+    if recording:
+        anchor = args.metrics_out or args.trace_out
+        manifest_path = str(Path(anchor).with_suffix(".manifest.json"))
+        RunManifest.collect(
+            wall_seconds=round(time.time() - overall_started, 3),
+            jobs=jobs,
+            experiments=names,
+            scale=scale.name,
+            metrics_out=args.metrics_out,
+            trace_out=args.trace_out,
+            sample_every=args.sample_every,
+        ).write(manifest_path)
+        print(f"[run manifest: {manifest_path}]", file=sys.stderr)
     return 0
 
 

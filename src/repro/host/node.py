@@ -22,7 +22,11 @@ from repro.flits.worm import Worm
 from repro.host.interface import HostInterface
 from repro.host.software_multicast import SoftwareMulticastEngine
 from repro.metrics.collectors import MetricsCollector, Operation
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 from repro.sim.kernel import Simulator
+
+#: bucket upper edges (cycles) of the delivery-latency histogram
+LATENCY_BUCKETS = (50, 100, 200, 400, 800, 1600, 3200, 6400)
 
 
 @dataclass
@@ -61,6 +65,7 @@ class HostNode:
         collector: MetricsCollector,
         params: HostParams,
         sw_engine: SoftwareMulticastEngine,
+        metrics: MetricsRegistry = NULL_REGISTRY,
     ) -> None:
         params.validate()
         self.host_id = host_id
@@ -73,6 +78,14 @@ class HostNode:
         self.sw_engine = sw_engine
         self._cpu_ready = 0
         self._delivery_listeners = []
+        # observability: shared process-wide counters (no-ops unless an
+        # enabled registry was passed in)
+        self._obs = metrics.enabled
+        self._c_injected = metrics.counter("host.messages_injected")
+        self._c_delivered = metrics.counter("host.messages_delivered")
+        self._h_latency = metrics.histogram(
+            "host.delivery_latency_cycles", LATENCY_BUCKETS
+        )
         interface.on_delivery(self._on_packet_delivered)
 
     # ------------------------------------------------------------------
@@ -109,6 +122,8 @@ class HostNode:
             payload_flits / self.params.max_packet_payload_flits
         )
         self.collector.register_message(message, expected_packets)
+        if self._obs:
+            self._c_injected.inc()
         start = max(not_before if not_before is not None else now,
                     self._cpu_ready, now)
         self._cpu_ready = start + self.params.sw_send_overhead * expected_packets
@@ -195,6 +210,9 @@ class HostNode:
         message_done = self.collector.packet_delivered(packet, self.host_id, now)
         if not message_done:
             return
+        if self._obs:
+            self._c_delivered.inc()
+            self._h_latency.observe(now - packet.message.created_cycle)
         if (
             packet.traffic_class is TrafficClass.SW_MULTICAST
             and packet.message.op_id is not None
@@ -227,6 +245,7 @@ def allocate_nodes(
     encoding: HeaderEncoding,
     collector: MetricsCollector,
     params: HostParams,
+    metrics: MetricsRegistry = NULL_REGISTRY,
 ) -> List[HostNode]:
     """Build one node per interface, sharing a software multicast engine."""
     engine = SoftwareMulticastEngine()
@@ -241,6 +260,7 @@ def allocate_nodes(
             collector=collector,
             params=params,
             sw_engine=engine,
+            metrics=metrics,
         )
         for interface in interfaces
     ]

@@ -64,7 +64,7 @@ def link_utilisation(network: "Network", elapsed_cycles: int) -> Dict[str, float
     busy every cycle).  Counts include warm-up traffic; use long runs or
     treat these as relative indicators.
     """
-    if elapsed_cycles <= 0:
+    if elapsed_cycles <= 0 or not network.links:
         return {"mean": 0.0, "peak": 0.0}
     rates = [
         link.flits_sent / elapsed_cycles for link in network.links

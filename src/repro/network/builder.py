@@ -13,6 +13,7 @@ from repro.host.interface import HostInterface
 from repro.host.node import HostNode, allocate_nodes
 from repro.metrics.collectors import MetricsCollector
 from repro.network.config import SimulationConfig, TopologyKind
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 from repro.routing.reachability import tables_for_bmin, tables_for_umin
 from repro.routing.table import SwitchRoutingTable
 from repro.routing.updown import tables_for_irregular
@@ -45,6 +46,7 @@ class Network:
     collector: MetricsCollector
     encoding: HeaderEncoding
     links: List[Link] = field(default_factory=list)
+    metrics: MetricsRegistry = NULL_REGISTRY
 
     @property
     def num_hosts(self) -> int:
@@ -99,11 +101,19 @@ def _switch_class(architecture: SwitchArchitecture):
 
 
 def build_network(
-    config: SimulationConfig, tracer: Optional[Tracer] = None
+    config: SimulationConfig,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Network:
-    """Build every component of the configured system and wire it up."""
+    """Build every component of the configured system and wire it up.
+
+    ``metrics`` is an observability registry shared by every switch and
+    host; the default ``NULL_REGISTRY`` makes every instrumentation site
+    a no-op (see :mod:`repro.obs`).
+    """
     config.validate()
     tracer = tracer if tracer is not None else NULL_TRACER
+    metrics = metrics if metrics is not None else NULL_REGISTRY
     topology_object, topology, tables = _build_topology(config)
     sim = Simulator(seed=config.seed)
     encoding = config.build_encoding()
@@ -119,6 +129,7 @@ def build_network(
             num_ports=ports,
             settings=settings,
             tracer=tracer,
+            metrics=metrics,
         )
         sim.add_component(switch)
         switches.append(switch)
@@ -152,6 +163,7 @@ def build_network(
         encoding=encoding,
         collector=collector,
         params=config.host_params(),
+        metrics=metrics,
     )
     return Network(
         config=config,
@@ -165,4 +177,5 @@ def build_network(
         collector=collector,
         encoding=encoding,
         links=links,
+        metrics=metrics,
     )

@@ -10,6 +10,7 @@ from repro.flits.packet import TrafficClass
 from repro.metrics.collectors import MetricsCollector
 from repro.network.builder import Network, build_network
 from repro.network.config import SimulationConfig
+from repro.obs import runtime as obs_runtime
 from repro.sim.stats import RunningStats
 from repro.traffic.base import Workload
 
@@ -285,6 +286,16 @@ def run_simulation(
     workload: Workload,
     max_cycles: Optional[int] = None,
 ) -> SimulationResult:
-    """Build the configured network and run one workload on it."""
+    """Build the configured network and run one workload on it.
+
+    When observability has been configured process-wide (see
+    :mod:`repro.obs.runtime`), the run is routed through the
+    instrumented harness instead; results are identical either way.
+    """
+    options = obs_runtime.configured()
+    if options is not None:
+        from repro.obs.harness import run_instrumented
+
+        return run_instrumented(config, workload, max_cycles, options)
     network = build_network(config)
     return run_workload(network, workload, max_cycles=max_cycles)

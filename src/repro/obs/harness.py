@@ -1,0 +1,90 @@
+"""The instrumented run path behind ``run_simulation``.
+
+When :mod:`repro.obs.runtime` is configured, every simulation built
+through :func:`repro.network.simulation.run_simulation` comes through
+here instead of the plain build-and-run path: the network is built with
+an enabled :class:`~repro.obs.registry.MetricsRegistry` (so switches and
+hosts register their counters) and a streaming tracer, the standard
+network gauges are registered, a :class:`~repro.obs.sampler.CycleSampler`
+is attached, and the run is bracketed by ``repro.run/1`` start/end lines
+carrying the config fingerprint and the final counter snapshot.
+
+Instrumentation observes; it never steers.  The simulation result is
+bit-identical to the uninstrumented path (enforced by
+``tests/obs/test_zero_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.network.builder import build_network
+from repro.network.config import SimulationConfig, describe
+from repro.obs import runtime
+from repro.obs.manifest import config_sha256
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sampler import CycleSampler, register_network_gauges
+from repro.obs.sinks import JsonlTracer, MetricsSink
+from repro.traffic.base import Workload
+
+
+def run_instrumented(
+    config: SimulationConfig,
+    workload: Workload,
+    max_cycles: Optional[int],
+    options: runtime.ObsOptions,
+):
+    """Build, instrument, run and record one simulation."""
+    # lazy import: simulation.py imports us lazily for the same reason
+    from repro.network.simulation import run_workload
+
+    run_id = runtime.next_run_id()
+    fingerprint = describe(config)
+    registry = MetricsRegistry(enabled=True)
+
+    tracer = None
+    if options.trace_out:
+        tracer = JsonlTracer(options.trace_out, run=run_id)
+    sink = None
+    if options.metrics_out:
+        sink = MetricsSink(options.metrics_out)
+
+    network = build_network(config, tracer=tracer, metrics=registry)
+    register_network_gauges(network, registry)
+    sampler = CycleSampler(
+        registry,
+        every=options.effective_sample_every,
+        sink=sink,
+        run=run_id,
+    )
+    network.sim.add_component(sampler)
+
+    if sink is not None:
+        sink.write_run_event(
+            run_id,
+            "start",
+            config=fingerprint,
+            config_sha256=config_sha256(fingerprint),
+            seed=config.seed,
+            workload=type(workload).__name__,
+            sample_every=sampler.every,
+        )
+    started = time.perf_counter()
+    try:
+        result = run_workload(network, workload, max_cycles=max_cycles)
+    finally:
+        wall = time.perf_counter() - started
+        if sink is not None:
+            sink.write_run_event(
+                run_id,
+                "end",
+                cycles=network.sim.now,
+                wall_seconds=round(wall, 6),
+                samples=len(sampler.series),
+                **registry.snapshot(),
+            )
+            sink.close()
+        if tracer is not None:
+            tracer.close()
+    return result

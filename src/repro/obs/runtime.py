@@ -1,0 +1,93 @@
+"""Process-global observability options for experiment runs.
+
+Experiment grids execute their simulations inside module-level worker
+functions, often in forked pool processes, so instrumentation cannot be
+threaded through every experiment signature.  Instead the CLI (or a
+test) *configures* observability once in the parent process;
+:func:`repro.network.simulation.run_simulation` consults
+:func:`configured` and, when options are active, routes through the
+instrumented harness.  Forked workers inherit the configuration (the
+pool in :mod:`repro.experiments.parallel` uses the default ``fork``
+start method on Linux); on platforms without fork the serial fallback
+path still instruments every run.
+
+Nothing is configured by default, so the ordinary
+build-and-run path is untouched — same objects, same RNG draws, same
+golden outputs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+#: sampling period used when sampling is implied (e.g. ``--metrics-out``
+#: without ``--sample-every``)
+DEFAULT_SAMPLE_EVERY = 200
+
+
+@dataclass(frozen=True)
+class ObsOptions:
+    """What to record and where."""
+
+    #: JSONL file for run headers and sampled metrics (append mode)
+    metrics_out: Optional[str] = None
+    #: JSONL file for streamed trace events (append mode)
+    trace_out: Optional[str] = None
+    #: gauge sampling period in cycles; 0 means DEFAULT_SAMPLE_EVERY
+    sample_every: int = 0
+
+    @property
+    def effective_sample_every(self) -> int:
+        """The sampling period actually used."""
+        return self.sample_every if self.sample_every > 0 else (
+            DEFAULT_SAMPLE_EVERY
+        )
+
+
+_configured: Optional[ObsOptions] = None
+_run_sequence = itertools.count(1)
+
+
+def configure(options: Optional[ObsOptions]) -> None:
+    """Install (or, with ``None``, clear) the process-wide options."""
+    global _configured
+    _configured = options
+
+
+def configured() -> Optional[ObsOptions]:
+    """The active options, or ``None`` when observability is off."""
+    return _configured
+
+
+def reset() -> None:
+    """Clear the configuration (tests and CLI teardown)."""
+    configure(None)
+
+
+def next_run_id() -> str:
+    """A process-unique run tag for JSONL lines.
+
+    Includes the PID so runs from different pool workers appending to
+    one shared file never collide.
+    """
+    return f"{os.getpid()}-{next(_run_sequence)}"
+
+
+@contextmanager
+def enabled(**kwargs: object) -> Iterator[ObsOptions]:
+    """Scoped configuration for tests::
+
+        with runtime.enabled(metrics_out="m.jsonl", sample_every=50):
+            run_simulation(config, workload)
+    """
+    options = ObsOptions(**kwargs)  # type: ignore[arg-type]
+    previous = configured()
+    configure(options)
+    try:
+        yield options
+    finally:
+        configure(previous)

@@ -1,0 +1,121 @@
+"""Cycle-driven gauge sampling: occupancy and utilisation over time.
+
+The post-run probes in :mod:`repro.metrics.probe` answer "what was the
+mean and peak?"; the :class:`CycleSampler` answers "when?".  It is an
+ordinary simulation :class:`~repro.sim.component.Component`: register it
+with ``sim.add_component`` and every ``every`` cycles it evaluates the
+selected gauges of a :class:`~repro.obs.registry.MetricsRegistry` into
+an in-memory time series and (optionally) a streaming
+:class:`~repro.obs.sinks.MetricsSink`.
+
+Sampling is read-only — the sampler never touches RNG streams, never
+notes progress and never schedules events, so attaching one cannot
+change simulation behaviour (the zero-overhead regression test in
+``tests/obs/test_zero_overhead.py`` enforces this).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.sim.component import Component
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sinks import MetricsSink
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.network.builder import Network
+
+
+class CycleSampler(Component):
+    """Snapshots registry gauges every ``every`` cycles.
+
+    Parameters
+    ----------
+    registry:
+        The registry whose gauges are sampled.
+    every:
+        Sampling period in cycles (>= 1); cycle 0 is always sampled.
+    sink:
+        Optional streaming sink; each sample also becomes one
+        ``repro.metrics/1`` JSONL line.
+    gauges:
+        Gauge names to sample; default is every registered gauge.
+    run:
+        Run tag stamped on streamed lines (see :mod:`repro.obs.sinks`).
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        every: int,
+        sink: Optional[MetricsSink] = None,
+        gauges: Optional[Sequence[str]] = None,
+        run: str = "",
+        name: str = "obs.sampler",
+    ) -> None:
+        super().__init__(name)
+        if every < 1:
+            raise ValueError("sampling period must be >= 1 cycle")
+        self.registry = registry
+        self.every = every
+        self.sink = sink
+        self.gauge_names = list(gauges) if gauges is not None else None
+        self.run = run
+        #: the collected time series, oldest first
+        self.series: List[Tuple[int, Dict[str, float]]] = []
+
+    def tick(self, now: int) -> None:
+        if now % self.every:
+            return
+        values = self.registry.sample_gauges(self.gauge_names)
+        self.series.append((now, values))
+        if self.sink is not None:
+            self.sink.write_point(self.run, now, values)
+
+
+def register_network_gauges(
+    network: "Network", registry: MetricsRegistry
+) -> None:
+    """Register the standard time-series gauges over a built network.
+
+    ``cb.occupancy_chunks``
+        Chunks currently held across every central-buffer switch
+        (instantaneous, unlike the time-weighted post-run probe).
+    ``link.utilisation``
+        Mean flits-per-link-cycle since the previous reading — a
+        windowed rate whose window is the sampling period.
+    ``ni.injection_backlog``
+        Worms queued or mid-injection across every host interface.
+    """
+    pools = [
+        switch.pool
+        for switch in network.switches
+        if hasattr(switch, "pool")
+    ]
+    registry.gauge(
+        "cb.occupancy_chunks",
+        lambda: float(sum(pool.used_chunks for pool in pools)),
+    )
+
+    links = network.links
+    sim = network.sim
+    last = {"cycle": sim.now, "flits": sum(l.flits_sent for l in links)}
+
+    def _link_utilisation() -> float:
+        now = sim.now
+        total = sum(link.flits_sent for link in links)
+        elapsed = now - last["cycle"]
+        delta = total - last["flits"]
+        last["cycle"] = now
+        last["flits"] = total
+        if elapsed <= 0 or not links:
+            return 0.0
+        return delta / (elapsed * len(links))
+
+    registry.gauge("link.utilisation", _link_utilisation)
+
+    interfaces = network.interfaces
+    registry.gauge(
+        "ni.injection_backlog",
+        lambda: float(sum(ni.injection_backlog for ni in interfaces)),
+    )

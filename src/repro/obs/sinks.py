@@ -1,0 +1,214 @@
+"""Streaming JSONL sinks for traces and sampled metrics.
+
+Every emitted line is a self-describing JSON object carrying a
+``schema`` tag, so one file can interleave run headers, metric samples
+and trace events, and downstream tools (``python -m repro inspect``, the
+CI smoke job) can validate files without out-of-band context:
+
+``repro.run/1``
+    Run lifecycle: an ``event: "start"`` line with the config
+    fingerprint and seed, and an ``event: "end"`` line with cycles,
+    wall-time and the final counter/histogram snapshot.
+``repro.metrics/1``
+    One sampled gauge snapshot: ``{"run", "cycle", "values"}``.
+``repro.trace/1``
+    One traced simulator event: ``{"run", "cycle", "source", "event",
+    "details"}``.
+``repro.manifest/1``
+    A whole-file run manifest (see :mod:`repro.obs.manifest`).
+
+Writers open their file in append mode and emit each record as a single
+line-buffered write, so several worker processes of one experiment grid
+can share a file; lines from different runs are distinguished by their
+``run`` tag, never by position.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.sim.trace import Tracer
+
+SCHEMA_RUN = "repro.run/1"
+SCHEMA_METRICS = "repro.metrics/1"
+SCHEMA_TRACE = "repro.trace/1"
+SCHEMA_MANIFEST = "repro.manifest/1"
+
+KNOWN_SCHEMAS = (SCHEMA_RUN, SCHEMA_METRICS, SCHEMA_TRACE, SCHEMA_MANIFEST)
+
+
+def _dumps(obj: Dict[str, Any]) -> str:
+    """Canonical single-line JSON; non-JSON values fall back to repr."""
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), default=repr
+    )
+
+
+class JsonlWriter:
+    """An append-mode, line-buffered JSONL file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._file = open(self.path, "a", buffering=1, encoding="utf-8")
+        self.lines_written = 0
+
+    def write(self, obj: Dict[str, Any]) -> None:
+        """Emit one record as one line."""
+        self._file.write(_dumps(obj) + "\n")
+        self.lines_written += 1
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "JsonlWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class MetricsSink(JsonlWriter):
+    """Writes run headers and sampled metric points."""
+
+    def write_run_event(self, run: str, event: str, **fields: Any) -> None:
+        """Emit a ``repro.run/1`` lifecycle line (``start``/``end``)."""
+        self.write(
+            {"schema": SCHEMA_RUN, "run": run, "event": event, **fields}
+        )
+
+    def write_point(
+        self, run: str, cycle: int, values: Dict[str, float]
+    ) -> None:
+        """Emit one sampled gauge snapshot."""
+        self.write(
+            {
+                "schema": SCHEMA_METRICS,
+                "run": run,
+                "cycle": cycle,
+                "values": values,
+            }
+        )
+
+
+class JsonlTracer(Tracer):
+    """A :class:`~repro.sim.trace.Tracer` that streams to a JSONL file.
+
+    Unlike the in-memory tracer this is not memory-bound: records go
+    straight to disk and (by default) are **not** retained in the ring
+    buffer.  Pass ``keep_records=True`` to also retain them for the
+    in-process ``select``/``counts`` API, subject to ``limit``.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        run: str = "",
+        keep_records: bool = False,
+        limit: int = 1_000_000,
+    ) -> None:
+        super().__init__(enabled=True, limit=limit)
+        self.run = run
+        self.keep_records = keep_records
+        self._writer = JsonlWriter(path)
+
+    @property
+    def lines_written(self) -> int:
+        """Trace records streamed to disk so far."""
+        return self._writer.lines_written
+
+    def emit(self, cycle: int, source: str, event: str, **details: Any) -> None:
+        """Stream one event; optionally also retain it in memory."""
+        if not self.enabled:
+            return
+        self._writer.write(
+            {
+                "schema": SCHEMA_TRACE,
+                "run": self.run,
+                "cycle": cycle,
+                "source": source,
+                "event": event,
+                "details": details,
+            }
+        )
+        if self.keep_records:
+            super().emit(cycle, source, event, **details)
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        self._writer.close()
+
+
+# ----------------------------------------------------------------------
+# reading and validation
+# ----------------------------------------------------------------------
+def iter_jsonl(path: str) -> Iterator[Tuple[int, Any]]:
+    """Yield ``(line_number, parsed_object_or_exception)`` per line."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield number, json.loads(line)
+            except json.JSONDecodeError as error:
+                yield number, error
+
+
+def validate_record(obj: Any) -> Optional[str]:
+    """Return an error string for a malformed record, else ``None``."""
+    if not isinstance(obj, dict):
+        return "record is not a JSON object"
+    schema = obj.get("schema")
+    if schema not in KNOWN_SCHEMAS:
+        return f"unknown schema {schema!r}"
+    if schema == SCHEMA_METRICS:
+        if not isinstance(obj.get("cycle"), int) or obj["cycle"] < 0:
+            return "metrics point needs a non-negative integer 'cycle'"
+        values = obj.get("values")
+        if not isinstance(values, dict) or not all(
+            isinstance(v, (int, float)) for v in values.values()
+        ):
+            return "metrics point needs a numeric 'values' mapping"
+        if not isinstance(obj.get("run"), str):
+            return "metrics point needs a string 'run' tag"
+    elif schema == SCHEMA_TRACE:
+        if not isinstance(obj.get("cycle"), int):
+            return "trace record needs an integer 'cycle'"
+        for key in ("source", "event"):
+            if not isinstance(obj.get(key), str):
+                return f"trace record needs a string {key!r}"
+        if not isinstance(obj.get("details"), dict):
+            return "trace record needs a 'details' object"
+    elif schema == SCHEMA_RUN:
+        if not isinstance(obj.get("run"), str):
+            return "run record needs a string 'run' tag"
+        if obj.get("event") not in ("start", "end"):
+            return "run record 'event' must be 'start' or 'end'"
+    elif schema == SCHEMA_MANIFEST:
+        for key in ("python_version", "git_sha", "created_at"):
+            if not isinstance(obj.get(key), str):
+                return f"manifest needs a string {key!r}"
+    return None
+
+
+def validate_file(path: str) -> Tuple[int, List[str]]:
+    """Validate every line of a JSONL file.
+
+    Returns ``(valid_line_count, errors)`` where each error is a
+    ``"line N: reason"`` string.
+    """
+    valid = 0
+    errors: List[str] = []
+    for number, obj in iter_jsonl(path):
+        if isinstance(obj, Exception):
+            errors.append(f"line {number}: invalid JSON ({obj})")
+            continue
+        problem = validate_record(obj)
+        if problem is not None:
+            errors.append(f"line {number}: {problem}")
+        else:
+            valid += 1
+    return valid, errors

@@ -32,6 +32,14 @@ class TraceRecord:
 class Tracer:
     """Collects :class:`TraceRecord` entries when enabled.
 
+    The tracer is a *ring buffer*: it retains at most ``limit`` records,
+    and once full each new :meth:`emit` silently evicts the oldest
+    retained record (drop-oldest, keep-newest — the most recent events
+    are usually the ones a debugging session needs).  Evictions are
+    counted in :attr:`dropped_count`, so a consumer can tell a complete
+    trace from a truncated one.  For unbounded capture, stream to disk
+    with :class:`repro.obs.sinks.JsonlTracer` instead.
+
     Parameters
     ----------
     enabled:
@@ -44,6 +52,8 @@ class Tracer:
         self.enabled = enabled
         self.limit = limit
         self._records: List[TraceRecord] = []
+        #: records evicted so far to honour ``limit`` (see class docs)
+        self.dropped_count = 0
 
     def emit(self, cycle: int, source: str, event: str, **details: Any) -> None:
         """Record one event if tracing is enabled."""
@@ -53,7 +63,9 @@ class Tracer:
             TraceRecord(cycle, source, event, tuple(sorted(details.items())))
         )
         if len(self._records) > self.limit:
-            del self._records[: len(self._records) - self.limit]
+            excess = len(self._records) - self.limit
+            del self._records[:excess]
+            self.dropped_count += excess
 
     @property
     def records(self) -> List[TraceRecord]:
@@ -61,8 +73,9 @@ class Tracer:
         return self._records
 
     def clear(self) -> None:
-        """Drop all retained records."""
+        """Drop all retained records and reset :attr:`dropped_count`."""
         self._records.clear()
+        self.dropped_count = 0
 
     def select(
         self,

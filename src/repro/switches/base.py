@@ -14,6 +14,7 @@ from repro.routing.base import (
     UpPortPolicy,
     make_up_selector,
 )
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 from repro.routing.table import SwitchRoutingTable
 from repro.sim.component import Component
 from repro.sim.kernel import Simulator
@@ -108,6 +109,7 @@ class SwitchBase(Component):
         num_ports: int,
         settings: SwitchSettings,
         tracer: Tracer = NULL_TRACER,
+        metrics: MetricsRegistry = NULL_REGISTRY,
     ) -> None:
         super().__init__(name)
         settings.validate()
@@ -115,6 +117,7 @@ class SwitchBase(Component):
         self.num_ports = num_ports
         self.settings = settings
         self.tracer = tracer
+        self.metrics = metrics
         self.in_links: List[Optional[Link]] = [None] * num_ports
         self.out_links: List[Optional[Link]] = [None] * num_ports
         self._up_selector = None

@@ -33,6 +33,7 @@ from typing import Deque, List, Optional
 from repro.errors import ProtocolError
 from repro.flits.flit import Flit
 from repro.flits.worm import Worm
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 from repro.routing.table import SwitchRoutingTable
 from repro.sim.trace import NULL_TRACER, Tracer
 from repro.switches.arbiter import RoundRobinArbiter
@@ -104,8 +105,9 @@ class CentralBufferSwitch(SwitchBase):
         num_ports: int,
         settings: SwitchSettings,
         tracer: Tracer = NULL_TRACER,
+        metrics: MetricsRegistry = NULL_REGISTRY,
     ) -> None:
-        super().__init__(name, table, num_ports, settings, tracer)
+        super().__init__(name, table, num_ports, settings, tracer, metrics)
         quota_pool = CentralBufferPool(
             capacity_flits=settings.central_buffer_flits,
             chunk_flits=settings.chunk_flits,
@@ -130,6 +132,13 @@ class CentralBufferSwitch(SwitchBase):
         self._total_ingresses = 0
         self._outputs_busy = 0
         self._queued_branches = 0
+        # observability: shared process-wide counters (no-ops unless an
+        # enabled registry was passed in; `_obs` keeps the hot path to a
+        # single boolean test)
+        self._obs = metrics.enabled
+        self._c_forwarded = metrics.counter("switch.flits_forwarded")
+        self._c_replicated = metrics.counter("switch.chunks_replicated")
+        self._c_blocked = metrics.counter("switch.blocked_cycles")
 
     # ------------------------------------------------------------------
     # SwitchBase contract
@@ -237,8 +246,15 @@ class CentralBufferSwitch(SwitchBase):
         stored = ingress.stored
         assert stored is not None
         if not stored.try_admit(now):
+            if self._obs:
+                self._c_blocked.inc()
             return
         requests = self._pending_requests.pop(id(ingress))
+        if self._obs and len(requests) > 1:
+            self._c_replicated.inc(
+                self.pool.chunks_for(ingress.worm.size_flits)
+                * (len(requests) - 1)
+            )
         for request in requests:
             child = ingress.worm.branch(request.destinations, request.descending)
             cursor = stored.add_branch(child, request.port)
@@ -272,6 +288,8 @@ class CentralBufferSwitch(SwitchBase):
             stored = ingress.stored
             assert stored is not None
             if not stored.ensure_write_space(now):
+                if self._obs:
+                    self._c_blocked.inc()
                 continue  # central buffer full: stall this input
             stored.write_flit()
             self._consume_fifo_slot(port, ingress, now)
@@ -323,6 +341,8 @@ class CentralBufferSwitch(SwitchBase):
             flit = Flit(cursor.worm, cursor.read)
             link.send(now, flit)
             stored.branch_read(cursor, now)
+            if self._obs:
+                self._c_forwarded.inc()
             self.sim.note_progress()
             if cursor.read == stored.total_flits:
                 del self._stored_of_cursor[id(cursor)]
@@ -340,6 +360,8 @@ class CentralBufferSwitch(SwitchBase):
         flit = Flit(ingress.bypass_worm, ingress.consumed)
         link.send(now, flit)
         self._consume_fifo_slot(feed.input_port, ingress, now)
+        if self._obs:
+            self._c_forwarded.inc()
         self.sim.note_progress()
         if ingress.complete:
             self._out_current[port] = None

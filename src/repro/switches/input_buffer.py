@@ -25,6 +25,7 @@ from typing import Deque, Dict, List, Optional
 from repro.errors import ProtocolError
 from repro.flits.flit import Flit
 from repro.flits.worm import Worm
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 from repro.sim.trace import NULL_TRACER, Tracer
 from repro.routing.table import SwitchRoutingTable
 from repro.switches.arbiter import RoundRobinArbiter
@@ -85,8 +86,9 @@ class InputBufferSwitch(SwitchBase):
         num_ports: int,
         settings: SwitchSettings,
         tracer: Tracer = NULL_TRACER,
+        metrics: MetricsRegistry = NULL_REGISTRY,
     ) -> None:
-        super().__init__(name, table, num_ports, settings, tracer)
+        super().__init__(name, table, num_ports, settings, tracer, metrics)
         self._inflow: List[Deque[_Ingress]] = [deque() for _ in range(num_ports)]
         #: branches waiting for each output port, keyed by input port
         self._waiting: List[Dict[int, _Branch]] = [
@@ -104,6 +106,12 @@ class InputBufferSwitch(SwitchBase):
         #: hold-and-accumulate output ports, the deadlock-avoidance
         #: arbitration synchronous replication requires (ref [6])
         self._sync_queue: Deque[_Ingress] = deque()
+        # observability: shared process-wide counters (no-ops unless an
+        # enabled registry was passed in)
+        self._obs = metrics.enabled
+        self._c_forwarded = metrics.counter("switch.flits_forwarded")
+        self._c_replicated = metrics.counter("switch.branches_replicated")
+        self._c_blocked = metrics.counter("switch.blocked_cycles")
 
     # ------------------------------------------------------------------
     # SwitchBase contract
@@ -170,6 +178,8 @@ class InputBufferSwitch(SwitchBase):
                 )
                 branch = _Branch(child, request.port, port, ingress)
                 ingress.branches.append(branch)
+            if self._obs and len(ingress.branches) > 1:
+                self._c_replicated.inc(len(ingress.branches) - 1)
             if self._synchronous and len(ingress.branches) > 1:
                 self._sync_queue.append(ingress)
                 if self._sync_queue[0] is ingress:
@@ -214,9 +224,17 @@ class InputBufferSwitch(SwitchBase):
                     self._advance_lockstep(ingress, now)
                 continue
             if branch.read >= ingress.received or not link.can_send(now):
+                if (
+                    self._obs
+                    and branch.read < ingress.received
+                    and not link.can_send(now)
+                ):
+                    self._c_blocked.inc()
                 continue
             link.send(now, Flit(branch.worm, branch.read))
             branch.read += 1
+            if self._obs:
+                self._c_forwarded.inc()
             self.sim.note_progress()
             self._recycle_slots(branch.input_port, ingress, now)
             if branch.read == branch.worm.size_flits:
@@ -234,10 +252,14 @@ class InputBufferSwitch(SwitchBase):
             return
         links = [self.out_links[b.out_port] for b in branches]
         if any(link is None or not link.can_send(now) for link in links):
+            if self._obs:
+                self._c_blocked.inc()
             return  # one blocked branch stalls the whole worm
         for branch, link in zip(branches, links):
             link.send(now, Flit(branch.worm, branch.read))
             branch.read += 1
+        if self._obs:
+            self._c_forwarded.inc(len(branches))
         self.sim.note_progress()
         self._recycle_slots(branches[0].input_port, ingress, now)
         if branches[0].read == ingress.worm.size_flits:

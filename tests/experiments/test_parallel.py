@@ -35,12 +35,15 @@ from repro.experiments.multiple_multicast import (
 )
 from repro.experiments.parallel import (
     ExecutionPlan,
+    RunOutcome,
     RunSpec,
+    StderrProgress,
     default_jobs,
     execute_plan,
     resolve,
     run_outcomes,
     stderr_progress,
+    summarize_timing,
 )
 
 #: QUICK-shaped but smaller, so equivalence runs stay test-suite friendly
@@ -227,6 +230,90 @@ class TestOrderIndependentReduction:
         full = resolve(self.outcomes)
         for key, value in sub_results.items():
             assert value.op_last_latency == full[key].op_last_latency
+
+
+def _outcome(label, seconds):
+    return RunOutcome(key=(label,), value=None, wall_seconds=seconds)
+
+
+class TestTimingSummary:
+    def test_empty_outcomes(self):
+        summary = summarize_timing([], jobs=4, wall_seconds=1.0)
+        assert summary.runs == 0
+        assert summary.utilisation == 0.0
+        assert summary.stragglers == ()
+        assert "0 run(s)" in summary.render()
+
+    def test_medians_even_and_odd(self):
+        odd = summarize_timing(
+            [_outcome(c, t) for c, t in zip("abc", (1.0, 3.0, 2.0))],
+            jobs=1, wall_seconds=6.0,
+        )
+        assert odd.median_seconds == 2.0
+        even = summarize_timing(
+            [_outcome(c, t) for c, t in zip("abcd", (1.0, 2.0, 3.0, 4.0))],
+            jobs=1, wall_seconds=10.0,
+        )
+        assert even.median_seconds == 2.5
+        assert even.max_seconds == 4.0
+        assert even.mean_seconds == 2.5
+
+    def test_stragglers_exceed_twice_median_sorted_desc(self):
+        summary = summarize_timing(
+            [
+                _outcome("fast1", 1.0),
+                _outcome("fast2", 1.0),
+                _outcome("slow", 5.0),
+                _outcome("slower", 9.0),
+                _outcome("ok", 1.5),
+            ],
+            jobs=2,
+            wall_seconds=10.0,
+        )
+        assert summary.median_seconds == 1.5
+        assert [label for label, _ in summary.stragglers] == [
+            "slower", "slow"
+        ]
+        assert "stragglers (>2x median)" in summary.render()
+
+    def test_utilisation_capped_and_zero_guarded(self):
+        perfect = summarize_timing(
+            [_outcome("a", 4.0)], jobs=2, wall_seconds=1.0
+        )
+        assert perfect.utilisation == 1.0  # capped despite work > capacity
+        idle = summarize_timing(
+            [_outcome("a", 1.0)], jobs=2, wall_seconds=0.0
+        )
+        assert idle.utilisation == 0.0
+
+    def test_render_reports_pool_shape(self):
+        summary = summarize_timing(
+            [_outcome(c, 1.0) for c in "abcd"], jobs=4, wall_seconds=2.0
+        )
+        text = summary.render()
+        assert "4 run(s): 4.00s work in 2.00s wall on 4 job(s)" in text
+        assert "pool utilisation 50%" in text
+
+
+class TestStderrProgress:
+    def test_accumulates_outcomes_and_summarises(self, capsys):
+        plan = ExecutionPlan(
+            "acc",
+            [RunSpec(key=(i,), fn=_double, kwargs={"x": i}) for i in range(3)],
+        )
+        progress = StderrProgress("acc")
+        execute_plan(plan, jobs=1, progress=progress)
+        assert len(progress.outcomes) == 3
+        summary = progress.summary(jobs=1)
+        assert summary.runs == 3
+        assert summary.wall_seconds > 0
+        err = capsys.readouterr().err
+        assert "[acc 3/3]" in err
+
+    def test_factory_returns_accumulating_instance(self):
+        progress = stderr_progress("compat")
+        assert isinstance(progress, StderrProgress)
+        assert progress.outcomes == []
 
 
 class TestCrossTopologyPlanShape:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from types import SimpleNamespace
+
 import pytest
 
 from repro.core.schemes import MulticastScheme, SwitchArchitecture
@@ -65,6 +67,15 @@ class TestCentralBufferOccupancy:
         stats = central_buffer_occupancy(network)
         assert stats == {"mean_chunks": 0.0, "peak_chunks": 0.0}
 
+    def test_by_level_rejects_non_central_buffer_switches(self):
+        config = SimulationConfig(
+            num_hosts=16,
+            switch_architecture=SwitchArchitecture.INPUT_BUFFER,
+        )
+        network = build_network(config)
+        with pytest.raises(TypeError, match="central-buffer"):
+            central_buffer_occupancy_by_level(network)
+
 
 class TestLinkUtilisation:
     def test_idle_network(self):
@@ -82,3 +93,8 @@ class TestLinkUtilisation:
     def test_zero_elapsed(self):
         network = build_network(SimulationConfig(num_hosts=16))
         assert link_utilisation(network, 0) == {"mean": 0.0, "peak": 0.0}
+
+    def test_empty_network_has_no_links(self):
+        # a network with no links at all must not divide by zero
+        empty = SimpleNamespace(links=[])
+        assert link_utilisation(empty, 100) == {"mean": 0.0, "peak": 0.0}

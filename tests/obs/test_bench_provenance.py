@@ -1,0 +1,71 @@
+"""Benchmark archives carry provenance (satellite of the telemetry PR).
+
+``benchmarks/_benchlib.show`` archives ``BENCH_<experiment>.json`` when
+``REPRO_BENCH_OUT`` is set; each archive must embed a valid
+:class:`repro.obs.manifest.RunManifest` so a number found on disk months
+later can be traced to a commit, interpreter, and scale.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+from types import SimpleNamespace
+
+from repro.obs.sinks import SCHEMA_MANIFEST
+
+BENCHMARKS_DIR = Path(__file__).parent.parent.parent / "benchmarks"
+
+
+def _benchlib():
+    if "_benchlib" in sys.modules:
+        return sys.modules["_benchlib"]
+    spec = importlib.util.spec_from_file_location(
+        "_benchlib", BENCHMARKS_DIR / "_benchlib.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["_benchlib"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def _fake_result():
+    return SimpleNamespace(
+        experiment="e0_fake",
+        table=SimpleNamespace(title="Fake table"),
+        rows=[{"degree": 2, "latency": 10.0}],
+        render=lambda: "Fake table\nrow",
+    )
+
+
+class TestWriteBenchJson:
+    def test_archive_embeds_valid_manifest(self, tmp_path):
+        benchlib = _benchlib()
+        path = benchlib.write_bench_json(
+            _fake_result(), str(tmp_path), wall_seconds=2.5
+        )
+        assert path == tmp_path / "BENCH_e0_fake.json"
+        payload = json.loads(path.read_text())
+        assert payload["experiment"] == "e0_fake"
+        assert payload["title"] == "Fake table"
+        assert payload["rows"] == [{"degree": 2, "latency": 10.0}]
+        manifest = payload["manifest"]
+        assert manifest["schema"] == SCHEMA_MANIFEST
+        assert manifest["wall_seconds"] == 2.5
+        assert manifest["jobs"] == benchlib.JOBS
+        assert manifest["extras"]["scale"] == "bench"
+
+    def test_show_archives_only_when_env_set(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        benchlib = _benchlib()
+        monkeypatch.delenv("REPRO_BENCH_OUT", raising=False)
+        benchlib.show(_fake_result())
+        assert list(tmp_path.iterdir()) == []
+
+        monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path))
+        benchlib.show(_fake_result(), wall_seconds=0.1)
+        assert (tmp_path / "BENCH_e0_fake.json").exists()
+        assert "Fake table" in capsys.readouterr().out

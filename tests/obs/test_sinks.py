@@ -1,0 +1,143 @@
+"""JSONL sinks: writers, streaming tracer, schema validation."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.sinks import (
+    JsonlTracer,
+    JsonlWriter,
+    MetricsSink,
+    SCHEMA_METRICS,
+    SCHEMA_RUN,
+    SCHEMA_TRACE,
+    iter_jsonl,
+    validate_file,
+    validate_record,
+)
+
+
+class TestJsonlWriter:
+    def test_appends_one_line_per_record(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        with JsonlWriter(str(path)) as writer:
+            writer.write({"a": 1})
+            writer.write({"b": [1, 2]})
+            assert writer.lines_written == 2
+        with JsonlWriter(str(path)) as writer:  # append, not truncate
+            writer.write({"c": 3})
+        lines = path.read_text().strip().splitlines()
+        assert [json.loads(line) for line in lines] == [
+            {"a": 1}, {"b": [1, 2]}, {"c": 3}
+        ]
+
+    def test_non_json_values_fall_back_to_repr(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        with JsonlWriter(str(path)) as writer:
+            writer.write({"obj": object()})
+        (line,) = path.read_text().strip().splitlines()
+        assert "object object" in json.loads(line)["obj"]
+
+    def test_close_is_idempotent(self, tmp_path):
+        writer = JsonlWriter(str(tmp_path / "out.jsonl"))
+        writer.close()
+        writer.close()
+
+
+class TestMetricsSink:
+    def test_run_events_and_points(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        sink = MetricsSink(str(path))
+        sink.write_run_event("r1", "start", seed=7)
+        sink.write_point("r1", 100, {"g": 1.5})
+        sink.write_run_event("r1", "end", cycles=200)
+        sink.close()
+        records = [obj for _, obj in iter_jsonl(str(path))]
+        assert [r["schema"] for r in records] == [
+            SCHEMA_RUN, SCHEMA_METRICS, SCHEMA_RUN
+        ]
+        assert records[0]["seed"] == 7
+        assert records[1] == {
+            "schema": SCHEMA_METRICS, "run": "r1",
+            "cycle": 100, "values": {"g": 1.5},
+        }
+        assert validate_file(str(path)) == (3, [])
+
+
+class TestJsonlTracer:
+    def test_streams_without_retaining(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = JsonlTracer(str(path), run="r9")
+        tracer.emit(5, "sw0", "flit_in", port=2)
+        tracer.emit(6, "sw0", "flit_in", port=3)
+        tracer.close()
+        assert tracer.records == []  # not memory-bound
+        assert tracer.lines_written == 2
+        records = [obj for _, obj in iter_jsonl(str(path))]
+        assert records[0] == {
+            "schema": SCHEMA_TRACE, "run": "r9", "cycle": 5,
+            "source": "sw0", "event": "flit_in", "details": {"port": 2},
+        }
+        assert validate_file(str(path)) == (2, [])
+
+    def test_keep_records_also_fills_ring_buffer(self, tmp_path):
+        tracer = JsonlTracer(
+            str(tmp_path / "t.jsonl"), keep_records=True, limit=2
+        )
+        for i in range(4):
+            tracer.emit(i, "a", "e", i=i)
+        tracer.close()
+        assert tracer.lines_written == 4  # the stream is complete
+        assert [r.get("i") for r in tracer.records] == [2, 3]
+        assert tracer.dropped_count == 2
+
+
+class TestValidation:
+    def test_unknown_schema_rejected(self):
+        assert "unknown schema" in validate_record({"schema": "nope/9"})
+        assert validate_record([1, 2]) == "record is not a JSON object"
+
+    def test_metrics_record_requirements(self):
+        good = {
+            "schema": SCHEMA_METRICS, "run": "r", "cycle": 0, "values": {}
+        }
+        assert validate_record(good) is None
+        assert validate_record({**good, "cycle": -1}) is not None
+        assert validate_record({**good, "cycle": "0"}) is not None
+        assert validate_record({**good, "values": {"g": "high"}}) is not None
+        assert validate_record({**good, "run": 7}) is not None
+
+    def test_trace_record_requirements(self):
+        good = {
+            "schema": SCHEMA_TRACE, "cycle": 1, "source": "sw0",
+            "event": "flit_in", "details": {},
+        }
+        assert validate_record(good) is None
+        assert validate_record({**good, "details": None}) is not None
+        assert validate_record({**good, "source": 3}) is not None
+
+    def test_run_record_requirements(self):
+        good = {"schema": SCHEMA_RUN, "run": "r", "event": "start"}
+        assert validate_record(good) is None
+        assert validate_record({**good, "event": "middle"}) is not None
+
+    def test_validate_file_reports_line_numbers(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps(
+                {"schema": SCHEMA_RUN, "run": "r", "event": "start"}
+            )
+            + "\nnot json\n"
+            + json.dumps({"schema": "bogus/1"})
+            + "\n"
+        )
+        valid, errors = validate_file(str(path))
+        assert valid == 1
+        assert len(errors) == 2
+        assert errors[0].startswith("line 2:")
+        assert errors[1].startswith("line 3:")
+
+    def test_iter_jsonl_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "f.jsonl"
+        path.write_text('{"a":1}\n\n{"b":2}\n')
+        assert [n for n, _ in iter_jsonl(str(path))] == [1, 3]

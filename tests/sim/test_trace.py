@@ -43,11 +43,37 @@ class TestTracer:
             t.emit(i, "a", "e", i=i)
         assert [r.get("i") for r in t.records] == [2, 3, 4]
 
+    def test_dropped_count_tracks_evictions(self):
+        t = Tracer(enabled=True, limit=3)
+        for i in range(3):
+            t.emit(i, "a", "e", i=i)
+        assert t.dropped_count == 0  # exactly at the limit: nothing lost
+        for i in range(3, 5):
+            t.emit(i, "a", "e", i=i)
+        assert t.dropped_count == 2
+        assert len(t.records) == 3
+        # the retained window is always the newest records
+        assert [r.get("i") for r in t.records] == [2, 3, 4]
+
+    def test_dropped_count_ignores_disabled_emits(self):
+        t = Tracer(enabled=False, limit=1)
+        for i in range(5):
+            t.emit(i, "a", "e")
+        assert t.dropped_count == 0
+
     def test_clear(self):
         t = Tracer(enabled=True)
         t.emit(0, "a", "x")
         t.clear()
         assert t.records == []
+
+    def test_clear_resets_dropped_count(self):
+        t = Tracer(enabled=True, limit=1)
+        t.emit(0, "a", "x")
+        t.emit(1, "a", "x")
+        assert t.dropped_count == 1
+        t.clear()
+        assert t.dropped_count == 0
 
     def test_null_tracer_is_disabled(self):
         assert NULL_TRACER.enabled is False
