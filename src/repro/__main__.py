@@ -1,25 +1,43 @@
-"""``python -m repro``: a quick demonstration of the library.
+"""``python -m repro``: the package's command-line front door.
 
-Runs the paper's headline comparison (one multicast under all three
-schemes) on a small system and points at the experiment runner for the
-full evaluation.  For everything else use
-``python -m repro.experiments.runner``.
+Subcommands:
 
-``python -m repro inspect FILE...`` summarises the observability
-artifacts (run manifests, metrics/trace JSONL) that the runner's
-``--metrics-out``/``--trace-out`` flags produce; see
-:mod:`repro.obs.inspect`.
+``demo`` (the default)
+    The paper's headline comparison — one multicast under all three
+    schemes — on a small system.  The three cases are independent
+    simulations, so they run through the same
+    :mod:`repro.experiments.parallel` plan machinery as the full
+    experiment suite: ``--jobs 3`` fans them out over worker
+    processes, ``--jobs 1`` runs them serially; the table is identical
+    either way.
+``inspect FILE...``
+    Summarise observability artifacts (run manifests, metrics/trace
+    JSONL) produced by the runner's ``--metrics-out``/``--trace-out``
+    flags; see :mod:`repro.obs.inspect`.
+``lint [PATHS...]``
+    Run the reprolint static-analysis gate over the tree; see
+    :mod:`repro.analysis` and ``docs/static-analysis.md``.
 
-The three demo cases are independent simulations, so they run through
-the same :mod:`repro.experiments.parallel` plan machinery as the full
-experiment suite — ``--jobs 3`` fans them out over worker processes,
-``--jobs 1`` runs them serially; the table is identical either way.
+For the full evaluation use ``python -m repro.experiments.runner``.
+Unknown subcommands exit with status 2 and the usage summary below.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+USAGE = """\
+usage: python -m repro [COMMAND] [OPTIONS]
+
+commands:
+  demo     run the headline three-scheme multicast comparison (default)
+  inspect  summarise observability JSONL/manifest artifacts
+  lint     run the reprolint static-analysis gate
+
+`python -m repro COMMAND --help` shows each command's options.
+Full evaluation: python -m repro.experiments.runner --all
+"""
 
 from repro import (
     MulticastScheme,
@@ -61,12 +79,28 @@ def _run_demo_case(architecture, scheme):
 
 
 def main(argv=None) -> int:
-    """Run the demo and print pointers to the full harness."""
+    """Dispatch to a subcommand (default: the demo)."""
     argv = sys.argv[1:] if argv is None else list(argv)
-    if argv and argv[0] == "inspect":
-        from repro.obs.inspect import main as inspect_main
+    if argv and not argv[0].startswith("-"):
+        command, rest = argv[0], argv[1:]
+        if command == "inspect":
+            from repro.obs.inspect import main as inspect_main
 
-        return inspect_main(argv[1:])
+            return inspect_main(rest)
+        if command == "lint":
+            from repro.analysis.cli import main as lint_main
+
+            return lint_main(rest)
+        if command == "demo":
+            argv = rest
+        else:
+            print(f"python -m repro: unknown command {command!r}\n",
+                  file=sys.stderr)
+            print(USAGE, file=sys.stderr, end="")
+            return 2
+    if argv and argv[0] in ("-h", "--help"):
+        print(USAGE)
+        return 0
     parser = argparse.ArgumentParser(
         description="Demo: one multicast under all three schemes."
     )
@@ -109,6 +143,7 @@ def main(argv=None) -> int:
     print("Telemetry:         python -m repro.experiments.runner "
           "--experiment e1 --metrics-out m.jsonl")
     print("                   python -m repro inspect m.jsonl")
+    print("Static analysis:   python -m repro lint")
     print("Benchmarks:        pytest benchmarks/ --benchmark-only")
     print("Examples:          python examples/quickstart.py")
     return 0

@@ -1,0 +1,47 @@
+"""reprolint: AST-based static checks for the simulator's invariants.
+
+The reproduction's headline guarantees — bit-identical golden snapshots
+across ``--jobs`` levels, picklable experiment grids, zero-overhead
+telemetry — are *behavioural* contracts that a stray ``random.random()``
+or an unguarded metrics call silently violates until a golden test
+happens to catch it.  This package moves those contracts to lint time:
+
+* :mod:`repro.analysis.rules` — the REP001-REP006 rules and the
+  pluggable registry new rules hook into;
+* :mod:`repro.analysis.engine` — file walking, suppression and
+  baseline partitioning;
+* :mod:`repro.analysis.baseline` — the checked-in grandfather list;
+* :mod:`repro.analysis.cli` — the ``python -m repro lint`` gate.
+
+See ``docs/static-analysis.md`` for the rule catalogue, the
+suppression/baseline workflow, and how to add a rule.
+"""
+
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.cli import LINT_JSON_SCHEMA, LINT_SCHEMA, main
+from repro.analysis.engine import LintResult, lint_paths
+from repro.analysis.findings import Finding, scan_suppressions
+from repro.analysis.rules import (
+    KERNEL_PACKAGES,
+    Rule,
+    all_rules,
+    register,
+    rule_catalog,
+)
+
+__all__ = [
+    "Finding",
+    "KERNEL_PACKAGES",
+    "LINT_JSON_SCHEMA",
+    "LINT_SCHEMA",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "load_baseline",
+    "main",
+    "register",
+    "rule_catalog",
+    "scan_suppressions",
+    "write_baseline",
+]

@@ -1,0 +1,74 @@
+"""The checked-in baseline of grandfathered findings.
+
+A baseline lets the lint gate be adopted on a tree that is not yet
+clean: known findings are recorded by fingerprint (line-number
+independent, see :class:`repro.analysis.findings.Finding.fingerprint`)
+and stop failing the gate, while anything *new* still does.  The
+intended workflow is to shrink the baseline over time — fix a finding
+and re-run ``python -m repro lint --write-baseline`` — never to grow it
+as a suppression dump; new code should use inline suppressions with a
+reason instead.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence, Set
+
+from repro.analysis.findings import Finding
+
+#: schema tag stamped on the baseline file (REP006 applies to us too)
+BASELINE_SCHEMA = "repro.lint-baseline/1"
+
+#: default baseline location, relative to the lint working directory
+DEFAULT_BASELINE = ".reprolint-baseline.json"
+
+
+class BaselineError(ValueError):
+    """A baseline file that exists but cannot be used."""
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """Fingerprints recorded in ``path`` (empty set if absent)."""
+    if not path.exists():
+        return set()
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise BaselineError(f"{path}: unreadable baseline ({error})")
+    if not isinstance(data, dict) or data.get("schema") != BASELINE_SCHEMA:
+        raise BaselineError(
+            f"{path}: not a {BASELINE_SCHEMA} baseline "
+            f"(schema={data.get('schema') if isinstance(data, dict) else None!r})"
+        )
+    fingerprints = data.get("fingerprints")
+    if not isinstance(fingerprints, list) or not all(
+        isinstance(fp, str) for fp in fingerprints
+    ):
+        raise BaselineError(f"{path}: 'fingerprints' must be a string list")
+    return set(fingerprints)
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> int:
+    """Record ``findings`` as the new baseline; returns the count.
+
+    Fingerprints are stored sorted and de-duplicated so the file diffs
+    cleanly in review.
+    """
+    fingerprints: List[str] = sorted(
+        {finding.fingerprint for finding in findings}
+    )
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "comment": (
+            "grandfathered reprolint findings; regenerate with "
+            "`python -m repro lint --write-baseline`"
+        ),
+        "fingerprints": fingerprints,
+    }
+    path.write_text(
+        json.dumps(payload, indent=1, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )
+    return len(fingerprints)

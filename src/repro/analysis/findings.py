@@ -1,0 +1,135 @@
+"""Findings, fingerprints and per-line suppressions.
+
+A :class:`Finding` is one rule violation at one source location.  Two
+pieces of identity matter beyond the location itself:
+
+* the *fingerprint* — a line-number-independent hash used by the
+  baseline file (:mod:`repro.analysis.baseline`), so grandfathered
+  findings survive unrelated edits that shift line numbers;
+* the *suppression* — an inline ``# reprolint: ignore[REP00x] reason``
+  comment on the offending line, for the rare site where a rule's
+  invariant is deliberately waived.  Suppressions must name the code
+  they waive; a blanket ``ignore`` is not honoured.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+#: matches ``# reprolint: ignore[REP001]`` and
+#: ``# reprolint: ignore[REP001,REP003] reason text``
+_SUPPRESSION_RE = re.compile(
+    r"#\s*reprolint:\s*ignore\[([A-Z0-9,\s]+)\]\s*(.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is the path as given to the engine (normally relative to
+    the repository root), ``line``/``col`` are 1- and 0-based as in
+    :mod:`ast`, and ``line_text`` is the stripped source line, kept for
+    fingerprinting and text output.
+    """
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str
+    line_text: str = ""
+    #: disambiguates identical findings on identical line text (0-based)
+    occurrence: int = 0
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-independent identity for the baseline file."""
+        payload = "|".join(
+            (self.code, self.path, self.line_text, str(self.occurrence))
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def render(self) -> str:
+        """One-line text format: ``path:line:col: CODE message``."""
+        text = f"{self.path}:{self.line}:{self.col + 1}: {self.code} {self.message}"
+        if self.hint:
+            text += f" [hint: {self.hint}]"
+        return text
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly mapping for ``--format json`` output."""
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def assign_occurrences(findings: Sequence[Finding]) -> List[Finding]:
+    """Number findings that share (code, path, line text) 0, 1, 2, ...
+
+    The occurrence index makes fingerprints unique when the same
+    violation appears on several identical source lines of one file.
+    """
+    counts: Dict[str, int] = {}
+    out: List[Finding] = []
+    for finding in findings:
+        key = "|".join((finding.code, finding.path, finding.line_text))
+        occurrence = counts.get(key, 0)
+        counts[key] = occurrence + 1
+        out.append(
+            Finding(
+                code=finding.code,
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                message=finding.message,
+                hint=finding.hint,
+                line_text=finding.line_text,
+                occurrence=occurrence,
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """An inline waiver for one or more rule codes on one line."""
+
+    line: int
+    codes: Set[str] = field(default_factory=set)
+    reason: str = ""
+
+
+def scan_suppressions(source: str) -> Dict[int, Suppression]:
+    """Find every ``# reprolint: ignore[...]`` comment in ``source``.
+
+    Returns a mapping of 1-based line number to :class:`Suppression`.
+    The scan is line-based: a suppression waives findings reported on
+    its own line only.
+    """
+    suppressions: Dict[int, Suppression] = {}
+    for number, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESSION_RE.search(line)
+        if match is None:
+            continue
+        codes = {
+            code.strip()
+            for code in match.group(1).split(",")
+            if code.strip()
+        }
+        if not codes:
+            continue
+        suppressions[number] = Suppression(
+            line=number, codes=codes, reason=match.group(2).strip()
+        )
+    return suppressions

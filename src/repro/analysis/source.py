@@ -1,0 +1,149 @@
+"""Parsed source modules and the name-resolution helpers rules share.
+
+Every rule operates on a :class:`SourceModule`: the file's text, its
+:mod:`ast` tree, a child-to-parent node map (the standard library parses
+trees top-down only), and an :class:`ImportMap` that resolves names and
+attribute chains back to canonical dotted module paths — so
+``import numpy as np; np.random.rand()`` and
+``from numpy import random; random.rand()`` both resolve to
+``numpy.random.rand`` and one rule catches both spellings.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+
+class ImportMap:
+    """Maps names bound by imports to canonical dotted paths."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self._bindings: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        self._bindings[alias.asname] = alias.name
+                    else:
+                        # ``import a.b`` binds the name ``a``
+                        root = alias.name.split(".")[0]
+                        self._bindings[root] = root
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.level:
+                    continue  # relative imports stay package-local
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    self._bindings[bound] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> Optional[str]:
+        """Canonical dotted path of a Name/Attribute chain, if known.
+
+        Unresolvable expressions (calls, subscripts, locals shadowing
+        imports are not modelled) return ``None``.
+        """
+        if isinstance(node, ast.Name):
+            return self._bindings.get(node.id, node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+
+@dataclass
+class SourceModule:
+    """One parsed python file plus the context rules need."""
+
+    path: Path
+    display_path: str
+    module_name: str
+    text: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+    parents: Dict[ast.AST, ast.AST] = field(default_factory=dict)
+    imports: ImportMap = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.lines = self.text.splitlines()
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+        self.imports = ImportMap(self.tree)
+
+    @classmethod
+    def parse(
+        cls, path: Path, display_path: Optional[str] = None
+    ) -> "SourceModule":
+        """Read and parse ``path`` (raises :class:`SyntaxError`)."""
+        text = path.read_text(encoding="utf-8")
+        return cls(
+            path=path,
+            display_path=display_path or str(path),
+            module_name=dotted_module_name(path),
+            text=text,
+            tree=ast.parse(text, filename=str(path)),
+        )
+
+    # ------------------------------------------------------------------
+    # tree helpers
+    # ------------------------------------------------------------------
+    def line_text(self, line: int) -> str:
+        """Stripped source text of a 1-based line (``""`` out of range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def parent_chain(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Yield ``node``'s ancestors, innermost first."""
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> Optional[ast.AST]:
+        """Innermost function or lambda containing ``node``, if any."""
+        for ancestor in self.parent_chain(node):
+            if isinstance(
+                ancestor,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda),
+            ):
+                return ancestor
+        return None
+
+    # ------------------------------------------------------------------
+    # package scoping
+    # ------------------------------------------------------------------
+    def in_package(self, *packages: str) -> bool:
+        """True when this module lives in any of the dotted ``packages``."""
+        for package in packages:
+            if self.module_name == package:
+                return True
+            if self.module_name.startswith(package + "."):
+                return True
+        return False
+
+
+def dotted_module_name(path: Path) -> str:
+    """Best-effort dotted module path for a file.
+
+    Anchors on the last path component named ``repro`` (the package
+    root both in ``src/`` layouts and in test fixture trees); files
+    outside any ``repro`` tree fall back to their stem.
+    """
+    parts = list(path.parts)
+    anchor = None
+    for index, part in enumerate(parts):
+        if part == "repro":
+            anchor = index
+    if anchor is None:
+        return path.stem
+    dotted = parts[anchor:-1] + [path.stem]
+    if path.stem == "__init__":
+        dotted = parts[anchor:-1]
+    return ".".join(dotted)

@@ -20,15 +20,9 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
 from typing import Callable, Dict
 
-from repro.experiments.common import PAPER, QUICK, ExperimentResult, Scale
-from repro.experiments.parallel import default_jobs, stderr_progress
-from repro.obs import runtime as obs_runtime
-from repro.obs.manifest import RunManifest
-from repro.obs.runtime import ObsOptions
 from repro.experiments.ablations import (
     run_cb_bandwidth_ablation,
     run_encoding_ablation,
@@ -37,18 +31,27 @@ from repro.experiments.ablations import (
     run_routing_mode_ablation,
 )
 from repro.experiments.bimodal import run_bimodal
-from repro.experiments.degree_sweep import run_degree_sweep
-from repro.experiments.length_sweep import run_length_sweep
-from repro.experiments.multiple_multicast import run_multiple_multicast
-from repro.experiments.parameters import run_parameters
-from repro.experiments.system_size import run_system_size
-from repro.experiments.unicast_baseline import run_unicast_baseline
+from repro.experiments.common import PAPER, QUICK, ExperimentResult
 from repro.experiments.cross_topology import run_cross_topology
+from repro.experiments.degree_sweep import run_degree_sweep
 from repro.experiments.extensions import (
     run_barrier_scaling,
     run_buffer_occupancy,
     run_hotspot,
 )
+from repro.experiments.length_sweep import run_length_sweep
+from repro.experiments.multiple_multicast import run_multiple_multicast
+from repro.experiments.parallel import (
+    Stopwatch,
+    default_jobs,
+    stderr_progress,
+)
+from repro.experiments.parameters import run_parameters
+from repro.experiments.system_size import run_system_size
+from repro.experiments.unicast_baseline import run_unicast_baseline
+from repro.obs import runtime as obs_runtime
+from repro.obs.manifest import RunManifest
+from repro.obs.runtime import ObsOptions
 
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "e1": run_multiple_multicast,
@@ -158,13 +161,13 @@ def main(argv=None) -> int:
             )
         )
 
-    overall_started = time.time()
+    overall = Stopwatch()
     try:
         for name in names:
             progress = stderr_progress(name) if args.progress else None
-            started = time.time()
+            watch = Stopwatch()
             result = EXPERIMENTS[name](scale, jobs=jobs, progress=progress)
-            elapsed = time.time() - started
+            elapsed = watch.elapsed()
             print(result.render())
             print(
                 f"[{name} finished in {elapsed:.1f}s at scale={scale.name}, "
@@ -186,7 +189,7 @@ def main(argv=None) -> int:
         anchor = args.metrics_out or args.trace_out
         manifest_path = str(Path(anchor).with_suffix(".manifest.json"))
         RunManifest.collect(
-            wall_seconds=round(time.time() - overall_started, 3),
+            wall_seconds=round(overall.elapsed(), 3),
             jobs=jobs,
             experiments=names,
             scale=scale.name,

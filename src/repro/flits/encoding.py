@@ -149,7 +149,7 @@ class MultiportEncoding(HeaderEncoding):
         """Digits of ``host`` in base ``arity``, most significant first."""
         if not 0 <= host < self.num_hosts:
             raise ValueError(f"host {host} outside universe {self.num_hosts}")
-        out = []
+        out: List[int] = []
         for level in reversed(range(self.levels)):
             out.append(host // self.arity**level % self.arity)
         return tuple(out)

@@ -108,7 +108,7 @@ class Message:
         if max_payload_flits < 1:
             raise ValueError("max_payload_flits must be at least 1")
         count = math.ceil(self.payload_flits / max_payload_flits)
-        packets = []
+        packets: List[Packet] = []
         remaining = self.payload_flits
         for index in range(count):
             payload = min(max_payload_flits, remaining)

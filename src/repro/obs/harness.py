@@ -17,7 +17,7 @@ bit-identical to the uninstrumented path (enforced by
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.network.builder import build_network
 from repro.network.config import SimulationConfig, describe
@@ -28,13 +28,16 @@ from repro.obs.sampler import CycleSampler, register_network_gauges
 from repro.obs.sinks import JsonlTracer, MetricsSink
 from repro.traffic.base import Workload
 
+if TYPE_CHECKING:  # circular at runtime: simulation.py imports us lazily
+    from repro.network.simulation import SimulationResult
+
 
 def run_instrumented(
     config: SimulationConfig,
     workload: Workload,
     max_cycles: Optional[int],
     options: runtime.ObsOptions,
-):
+) -> "SimulationResult":
     """Build, instrument, run and record one simulation."""
     # lazy import: simulation.py imports us lazily for the same reason
     from repro.network.simulation import run_workload

@@ -16,7 +16,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.metrics.ascii_chart import render_chart
 from repro.metrics.report import Table
@@ -133,7 +133,7 @@ def _summarise_jsonl(path: str, chart: bool) -> str:
 def _summarise_run(run_id: str, entry: Dict[str, Any], chart: bool) -> str:
     meta = entry["meta"]
     points: List[Tuple[int, Dict[str, float]]] = sorted(entry["points"])
-    lines = []
+    lines: List[str] = []
     header = f"run {run_id}"
     if meta.get("seed") is not None:
         header += f" (seed={meta['seed']})"
@@ -212,7 +212,7 @@ def _check(paths: List[str]) -> int:
     return 1 if failures else 0
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``python -m repro inspect``."""
     parser = argparse.ArgumentParser(
         prog="python -m repro inspect",

@@ -16,11 +16,11 @@ change simulation behaviour (the zero-overhead regression test in
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
-from repro.sim.component import Component
 from repro.obs.registry import MetricsRegistry
 from repro.obs.sinks import MetricsSink
+from repro.sim.component import Component
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.network.builder import Network

@@ -146,7 +146,7 @@ class JsonlTracer(Tracer):
 # ----------------------------------------------------------------------
 def iter_jsonl(path: str) -> Iterator[Tuple[int, Any]]:
     """Yield ``(line_number, parsed_object_or_exception)`` per line."""
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         for number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:

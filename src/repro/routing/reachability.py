@@ -21,7 +21,9 @@ def tables_for_bmin(bmin: BidirectionalMin) -> List[SwitchRoutingTable]:
     """Per-switch routing tables for a bidirectional MIN, by switch id."""
     topo = bmin.topology
     subtree: Dict[int, int] = {}
-    tables: List[SwitchRoutingTable] = [None] * bmin.num_switches  # type: ignore[list-item]
+    tables: List[SwitchRoutingTable] = (
+        [None] * bmin.num_switches  # type: ignore[list-item]
+    )
     for level in range(bmin.levels):
         for index in range(bmin.switches_per_level):
             switch = bmin.switch_id(level, index)
@@ -60,7 +62,9 @@ def tables_for_umin(umin: UnidirectionalMin) -> List[SwitchRoutingTable]:
     """
     topo = umin.topology
     all_reach: Dict[int, int] = {}
-    tables: List[SwitchRoutingTable] = [None] * umin.num_switches  # type: ignore[list-item]
+    tables: List[SwitchRoutingTable] = (
+        [None] * umin.num_switches  # type: ignore[list-item]
+    )
     for stage in reversed(range(umin.stages)):
         for index in range(umin.switches_per_stage):
             switch = umin.switch_id(stage, index)

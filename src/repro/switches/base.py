@@ -8,13 +8,13 @@ from typing import List, Optional
 
 from repro.errors import ConfigurationError, ProtocolError
 from repro.flits.worm import Worm
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 from repro.routing.base import (
     MulticastRoutingMode,
     PortRequest,
     UpPortPolicy,
     make_up_selector,
 )
-from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 from repro.routing.table import SwitchRoutingTable
 from repro.sim.component import Component
 from repro.sim.kernel import Simulator

@@ -26,8 +26,8 @@ from repro.errors import ProtocolError
 from repro.flits.flit import Flit
 from repro.flits.worm import Worm
 from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
-from repro.sim.trace import NULL_TRACER, Tracer
 from repro.routing.table import SwitchRoutingTable
+from repro.sim.trace import NULL_TRACER, Tracer
 from repro.switches.arbiter import RoundRobinArbiter
 from repro.switches.base import ReplicationMode, SwitchBase, SwitchSettings
 

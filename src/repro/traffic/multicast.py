@@ -13,7 +13,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.network.builder import Network
 
 
-def _random_destinations(rng, universe: int, source: int, degree: int) -> DestinationSet:
+def _random_destinations(
+    rng, universe: int, source: int, degree: int
+) -> DestinationSet:
     """``degree`` distinct destinations, excluding the source."""
     if degree >= universe:
         raise ValueError(

@@ -1,0 +1,166 @@
+"""CLI behaviour: formats, exit codes, the JSON schema, the repo gate."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import LINT_JSON_SCHEMA, LINT_SCHEMA, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+DIRTY = textwrap.dedent(
+    """
+    import time
+
+    def stamp():
+        return time.time()
+    """
+)
+
+
+def _write(tmp_path: Path, rel: str, source: str) -> Path:
+    target = tmp_path / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source, encoding="utf-8")
+    return target
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        _write(tmp_path, "repro/sim/clean.py", "X = 1\n")
+        assert main([str(tmp_path), "--no-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        _write(tmp_path, "repro/sim/bad.py", DIRTY)
+        assert main([str(tmp_path), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "REP002" in out
+
+    def test_missing_path_exits_two(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main([str(tmp_path / "nope")])
+        assert excinfo.value.code == 2
+
+    def test_unknown_rule_code_exits_two(self, tmp_path):
+        _write(tmp_path, "repro/sim/clean.py", "X = 1\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main([str(tmp_path), "--select", "REP999"])
+        assert excinfo.value.code == 2
+
+    def test_select_runs_only_requested_rules(self, tmp_path, capsys):
+        _write(tmp_path, "repro/sim/bad.py", DIRTY)
+        assert main(
+            [str(tmp_path), "--select", "REP001", "--no-baseline"]
+        ) == 0
+        capsys.readouterr()
+
+    def test_list_rules_names_all_six(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in (
+            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006"
+        ):
+            assert code in out
+
+
+class TestJsonFormat:
+    def _lint_json(self, tmp_path, capsys, *extra):
+        code = main([str(tmp_path), "--no-baseline", "--format", "json",
+                     *extra])
+        payload = json.loads(capsys.readouterr().out)
+        return code, payload
+
+    def test_output_matches_documented_schema(self, tmp_path, capsys):
+        jsonschema = pytest.importorskip("jsonschema")
+        _write(tmp_path, "repro/sim/bad.py", DIRTY)
+        _write(tmp_path, "repro/sim/clean.py", "X = 1\n")
+        code, payload = self._lint_json(tmp_path, capsys)
+        assert code == 1
+        jsonschema.validate(payload, LINT_JSON_SCHEMA)
+        assert payload["schema"] == LINT_SCHEMA
+        assert payload["counts"]["new"] == 1
+        assert payload["findings"][0]["code"] == "REP002"
+
+    def test_clean_output_matches_schema_too(self, tmp_path, capsys):
+        jsonschema = pytest.importorskip("jsonschema")
+        _write(tmp_path, "repro/sim/clean.py", "X = 1\n")
+        code, payload = self._lint_json(tmp_path, capsys)
+        assert code == 0
+        jsonschema.validate(payload, LINT_JSON_SCHEMA)
+        assert payload["findings"] == []
+
+    def test_finding_paths_are_relative_to_cwd(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        _write(tmp_path, "repro/sim/bad.py", DIRTY)
+        monkeypatch.chdir(tmp_path)
+        code, payload = self._lint_json(Path("repro"), capsys)
+        assert code == 1
+        assert payload["findings"][0]["path"] == "repro/sim/bad.py"
+
+
+class TestBaselineWorkflow:
+    def test_write_then_respect_baseline(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        _write(tmp_path, "repro/sim/bad.py", DIRTY)
+        monkeypatch.chdir(tmp_path)
+        assert main(["repro", "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert (tmp_path / ".reprolint-baseline.json").exists()
+
+        assert main(["repro"]) == 0
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+
+        assert main(["repro", "--no-baseline"]) == 1
+        capsys.readouterr()
+
+
+class TestRepoGate:
+    def test_repository_lints_clean(self, capsys, monkeypatch):
+        """The regression gate: the tree must satisfy its own linter."""
+        monkeypatch.chdir(REPO_ROOT)
+        exit_code = main(["src"])
+        out = capsys.readouterr().out
+        assert exit_code == 0, f"reprolint found new violations:\n{out}"
+
+    def test_checked_in_baseline_loads(self):
+        from repro.analysis.baseline import load_baseline
+
+        fingerprints = load_baseline(
+            REPO_ROOT / ".reprolint-baseline.json"
+        )
+        assert isinstance(fingerprints, set)
+
+
+class TestMainDispatch:
+    def test_unknown_subcommand_exits_two_with_usage(self, capsys):
+        from repro.__main__ import main as repro_main
+
+        assert repro_main(["frobnicate"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown command 'frobnicate'" in err
+        for command in ("demo", "inspect", "lint"):
+            assert command in err
+
+    def test_top_level_help_lists_all_subcommands(self, capsys):
+        from repro.__main__ import main as repro_main
+
+        assert repro_main(["--help"]) == 0
+        out = capsys.readouterr().out
+        for command in ("demo", "inspect", "lint"):
+            assert command in out
+
+    def test_lint_subcommand_dispatches(self, capsys, monkeypatch):
+        from repro.__main__ import main as repro_main
+
+        monkeypatch.chdir(REPO_ROOT)
+        assert repro_main(["lint", "src/repro/sim"]) == 0
+        assert "file(s) checked" in capsys.readouterr().out

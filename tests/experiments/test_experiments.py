@@ -9,6 +9,12 @@ from __future__ import annotations
 
 import pytest
 
+from repro.experiments.ablations import (
+    run_cb_bandwidth_ablation,
+    run_encoding_ablation,
+    run_routing_mode_ablation,
+)
+from repro.experiments.bimodal import run_bimodal
 from repro.experiments.common import (
     PAPER,
     QUICK,
@@ -18,12 +24,6 @@ from repro.experiments.common import (
     base_config,
     mean,
 )
-from repro.experiments.ablations import (
-    run_cb_bandwidth_ablation,
-    run_encoding_ablation,
-    run_routing_mode_ablation,
-)
-from repro.experiments.bimodal import run_bimodal
 from repro.experiments.degree_sweep import run_degree_sweep
 from repro.experiments.length_sweep import run_length_sweep
 from repro.experiments.multiple_multicast import run_multiple_multicast

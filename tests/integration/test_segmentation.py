@@ -8,7 +8,6 @@ correct regardless.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.schemes import MulticastScheme, SwitchArchitecture

@@ -7,7 +7,7 @@ import pytest
 from repro.errors import ProtocolError
 from repro.flits.destset import DestinationSet
 from repro.flits.packet import Message, Packet, TrafficClass
-from repro.metrics.collectors import MetricsCollector, Operation
+from repro.metrics.collectors import MetricsCollector
 
 
 def make_message(collector, source, dest_ids, payload=8, created=0,

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.schemes import MulticastScheme
 from repro.flits.packet import TrafficClass
 from repro.network.config import SimulationConfig

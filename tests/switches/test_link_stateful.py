@@ -9,13 +9,13 @@ let the sender overrun the receiver's declared buffer.
 from __future__ import annotations
 
 from hypothesis import settings
+from hypothesis import strategies as st
 from hypothesis.stateful import (
     RuleBasedStateMachine,
     invariant,
     precondition,
     rule,
 )
-import hypothesis.strategies as st
 
 from repro.flits.destset import DestinationSet
 from repro.flits.flit import Flit

@@ -4,8 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.schemes import SwitchArchitecture
-from repro.flits.packet import TrafficClass
 from repro.network.builder import build_network
 from repro.network.config import SimulationConfig
 from repro.network.simulation import run_simulation, run_workload
