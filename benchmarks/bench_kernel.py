@@ -1,0 +1,45 @@
+"""Kernel benchmark: active-set vs dense wall-time on the smoke set.
+
+Unlike the experiment benchmarks (which regenerate paper tables), this
+one times the simulator itself: every scenario runs on both kernels,
+asserts bit-identical results, and checks the active-set speedup has
+not regressed past the tolerance recorded next to the checked-in
+baseline ``BENCH_kernel.json``.  The full scenario set (and the JSON
+artifact) is driven by ``python -m repro bench`` — see
+``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench.kernel import (
+    DEFAULT_TOLERANCE,
+    check_against_baseline,
+    render_table,
+    run_scenarios,
+)
+
+BASELINE = Path(__file__).parent / "BENCH_kernel.json"
+
+
+def run():
+    return run_scenarios(smoke=True)
+
+
+def test_kernel_speedup(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(results))
+
+    # the headline low-load scenario keeps a real active-set advantage
+    by_name = {result.scenario: result for result in results}
+    assert by_name["e5-low-load-smoke"].speedup > 2.0
+
+    # and nothing regressed past tolerance vs the recorded baseline
+    baseline = json.loads(BASELINE.read_text(encoding="utf-8"))
+    failures = check_against_baseline(
+        results, baseline, tolerance=DEFAULT_TOLERANCE
+    )
+    assert not failures, "\n".join(failures)

@@ -17,6 +17,10 @@ Subcommands:
 ``lint [PATHS...]``
     Run the reprolint static-analysis gate over the tree; see
     :mod:`repro.analysis` and ``docs/static-analysis.md``.
+``bench [--smoke] [--check [BASELINE]]``
+    Benchmark the active-set kernel against the dense reference and
+    gate on the recorded speedup baseline; see :mod:`repro.bench` and
+    ``docs/performance.md``.
 
 For the full evaluation use ``python -m repro.experiments.runner``.
 Unknown subcommands exit with status 2 and the usage summary below.
@@ -34,6 +38,7 @@ commands:
   demo     run the headline three-scheme multicast comparison (default)
   inspect  summarise observability JSONL/manifest artifacts
   lint     run the reprolint static-analysis gate
+  bench    benchmark the active-set kernel vs the dense reference
 
 `python -m repro COMMAND --help` shows each command's options.
 Full evaluation: python -m repro.experiments.runner --all
@@ -91,6 +96,10 @@ def main(argv=None) -> int:
             from repro.analysis.cli import main as lint_main
 
             return lint_main(rest)
+        if command == "bench":
+            from repro.bench.kernel import main as bench_main
+
+            return bench_main(rest)
         if command == "demo":
             argv = rest
         else:
@@ -144,6 +153,7 @@ def main(argv=None) -> int:
           "--experiment e1 --metrics-out m.jsonl")
     print("                   python -m repro inspect m.jsonl")
     print("Static analysis:   python -m repro lint")
+    print("Kernel benchmark:  python -m repro bench --smoke")
     print("Benchmarks:        pytest benchmarks/ --benchmark-only")
     print("Examples:          python examples/quickstart.py")
     return 0

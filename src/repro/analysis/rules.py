@@ -1,4 +1,4 @@
-"""The reprolint rule registry and the REP001-REP006 invariant rules.
+"""The reprolint rule registry and the REP001-REP007 invariant rules.
 
 Each rule guards one contract the reproduction's results depend on but
 that nothing else enforces at rest (see ``docs/static-analysis.md``):
@@ -10,6 +10,7 @@ REP003   no ordering-sensitive iteration over unordered collections
 REP004   pool-submitted callables are module-level (picklable)
 REP005   metric calls stay behind a captured ``metrics.enabled`` guard
 REP006   records handed to JSONL sink writers carry a ``schema`` tag
+REP007   tick-path link drains stay behind a cheap emptiness guard
 =======  ==========================================================
 
 A rule is a class with a ``code``, a one-line ``summary``, a ``hint``
@@ -50,6 +51,10 @@ WALLCLOCK_ALLOWED: Tuple[str, ...] = (
 
 #: the one module allowed to touch python's ``random`` machinery (REP001)
 RNG_HOME = "repro.sim.rng"
+
+#: the link implementation itself is exempt from REP007 (its methods
+#: *are* the drain primitives the rule protects)
+LINK_HOME = "repro.switches.link"
 
 
 class Rule(ABC):
@@ -713,3 +718,160 @@ class SinkRecordsCarrySchema(Rule):
                 node,
                 "record written to a JSONL sink without a 'schema' key",
             )
+
+
+def _mentions_any(test: ast.expr, names: Sequence[str]) -> bool:
+    """True when ``test`` references any of ``names`` (even under ``not``:
+    ``if not link.pending_arrival(now): continue`` *is* the guard)."""
+    for node in ast.walk(test):
+        identifier = None
+        if isinstance(node, ast.Attribute):
+            identifier = node.attr
+        elif isinstance(node, ast.Name):
+            identifier = node.id
+        if identifier in names:
+            return True
+    return False
+
+
+@register
+class LinkDrainsBehindGuard(Rule):
+    """REP007 — tick-path link drains stay behind a cheap emptiness guard.
+
+    The active-set kernel (PR 4) makes idle cycles nearly free, but a
+    *woken* component still runs its whole ``tick``.  ``Link.receive()``
+    / ``Link.receive_into()`` walk the in-flight pipeline and
+    ``Link.credits()`` drains the matured credit returns — per-port,
+    per-cycle work that dominates busy ticks when called unconditionally.
+    Each has a cheap O(1) pre-check: ``pending_arrival(now)`` before a
+    receive, ``can_send(now)`` (which short-circuits the credit drain)
+    before transmit-side credit inspection, or ``credits_in_return()``
+    emptiness.  The rule flags receive/credits calls lexically reachable
+    from a ``tick`` method (following ``self.<method>()`` calls within
+    the class) that are neither inside an ``if``/``while`` whose test
+    mentions one of the guards nor after a preceding
+    ``if <guard-test>: continue/return`` in an enclosing body.  The link
+    implementation itself is exempt.
+    """
+
+    code = "REP007"
+    summary = (
+        "tick-path link receive()/receive_into()/credits() without a "
+        "cheap guard"
+    )
+    hint = (
+        "test link.pending_arrival(now) / link.can_send(now) / "
+        "link.credits_in_return() before draining in a tick path"
+    )
+
+    #: the drain calls that must be guarded
+    DRAINS = frozenset({"receive", "receive_into", "credits"})
+    #: identifiers any of which makes an enclosing/preceding test a guard
+    GUARDS = ("pending_arrival", "can_send", "credits_in_return")
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if not module.in_package(*KERNEL_PACKAGES):
+            return
+        if module.module_name == LINK_HOME:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods: Dict[str, ast.AST] = {
+                statement.name: statement
+                for statement in node.body
+                if isinstance(
+                    statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+                )
+            }
+            if "tick" not in methods:
+                continue
+            for name in self._reachable_from_tick(methods):
+                yield from self._check_method(module, methods[name])
+
+    @staticmethod
+    def _reachable_from_tick(methods: Dict[str, ast.AST]) -> Set[str]:
+        """Method names reachable from ``tick`` via ``self.<m>()`` calls."""
+        seen = {"tick"}
+        frontier = ["tick"]
+        while frontier:
+            for node in ast.walk(methods[frontier.pop()]):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "self"
+                    and node.func.attr in methods
+                    and node.func.attr not in seen
+                ):
+                    seen.add(node.func.attr)
+                    frontier.append(node.func.attr)
+        return seen
+
+    def _check_method(
+        self, module: SourceModule, method: ast.AST
+    ) -> Iterator[Finding]:
+        for node in ast.walk(method):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self.DRAINS
+                # self.credits(...) etc. is a method of the class under
+                # scrutiny, not a link drain
+                and not (
+                    isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "self"
+                )
+            ):
+                continue
+            if not self._is_guarded(module, node, method):
+                yield self.finding(
+                    module,
+                    node,
+                    f"link .{node.func.attr}() in a tick path without a "
+                    "cheap emptiness guard",
+                )
+
+    def _is_guarded(
+        self, module: SourceModule, node: ast.AST, method: ast.AST
+    ) -> bool:
+        previous: ast.AST = node
+        for ancestor in module.parent_chain(node):
+            if isinstance(ancestor, (ast.If, ast.While)) and any(
+                previous is statement for statement in ancestor.body
+            ):
+                if _mentions_any(ancestor.test, self.GUARDS):
+                    return True
+            # scan only the statement list actually containing `previous`
+            # (a guard inside a sibling branch protects nothing)
+            for attr in ("body", "orelse", "finalbody"):
+                body = getattr(ancestor, attr, None)
+                if isinstance(body, list) and any(
+                    previous is statement for statement in body
+                ):
+                    if self._preceding_guard(body, previous):
+                        return True
+                    break
+            if ancestor is method:
+                break
+            previous = ancestor
+        return False
+
+    def _preceding_guard(
+        self, body: List[ast.stmt], upto: ast.AST
+    ) -> bool:
+        """A ``if <guard>: continue/return/raise`` before ``upto``."""
+        for statement in body:
+            if statement is upto:
+                return False
+            if (
+                isinstance(statement, ast.If)
+                and _mentions_any(statement.test, self.GUARDS)
+                and statement.body
+                and isinstance(
+                    statement.body[-1],
+                    (ast.Return, ast.Raise, ast.Continue, ast.Break),
+                )
+            ):
+                return True
+        return False

@@ -1,0 +1,24 @@
+"""Kernel performance benchmarks and the perf-regression gate.
+
+``python -m repro bench`` runs each scenario on both kernels — dense
+(tick everything, every cycle) and active-set (wake calendar plus
+idle-cycle fast-forward) — asserts the results are bit-identical, and
+reports cycles/sec and the active/dense speedup.  See
+``docs/performance.md`` for how to read and regenerate the numbers.
+"""
+
+from repro.bench.kernel import (
+    SCENARIOS,
+    BenchResult,
+    check_against_baseline,
+    main,
+    run_scenarios,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "BenchResult",
+    "check_against_baseline",
+    "main",
+    "run_scenarios",
+]

@@ -1,0 +1,412 @@
+"""Active-set vs dense kernel benchmark (``python -m repro bench``).
+
+Each scenario is run twice from identical configs — once on the dense
+kernel (``dense_kernel=True``: every component ticked every cycle) and
+once on the active-set kernel — and the two results are asserted
+bit-identical before any timing is reported, so a benchmark run doubles
+as a differential correctness check.
+
+What is timed is :func:`repro.network.simulation.run_workload` only
+(network construction excluded); ``cycles/sec`` is simulated cycles per
+wall second.  Raw cycles/sec is machine-dependent, so the regression
+gate (``--check``) compares the *speedup ratio* — active over dense on
+the same machine in the same process — against the checked-in baseline
+``benchmarks/BENCH_kernel.json``: a kernel change that erodes the
+active-set advantage fails the gate no matter how fast the CI host is.
+
+Scenario set (names are stable; the baseline is keyed on them):
+
+``e5-low-load`` / ``e5-low-load-smoke``
+    The paper's E5 system-size setting (256 hosts, central-buffer
+    switches) under low-rate background unicast — long idle gaps, the
+    active-set kernel's home turf and the headline >=3x target.
+``e5-mcast-stream``
+    Low-rate 256-host hardware-multicast stream (E5's traffic class).
+``e5-broadcast`` / ``e5-quarter``
+    One-shot E5 multicast latency scenarios (255 simulated cycles;
+    dominated by busy ticks, so speedups are modest).
+``saturation``
+    64 hosts at 0.9 offered load — the worst case for an active-set
+    kernel, since nearly every component is awake nearly every cycle.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.schemes import MulticastScheme
+from repro.errors import ReproError
+from repro.experiments.parallel import Stopwatch
+from repro.network.builder import build_network
+from repro.network.config import SimulationConfig
+from repro.network.simulation import run_workload
+from repro.obs.manifest import RunManifest
+from repro.traffic.base import Workload
+from repro.traffic.multicast import RandomMulticastStream, SingleMulticast
+from repro.traffic.unicast import UniformRandomUnicast
+
+#: JSON schema tag of the benchmark artifact
+BENCH_SCHEMA = "repro.bench.kernel/1"
+
+#: default baseline path and regression tolerance for ``--check``
+DEFAULT_BASELINE = "benchmarks/BENCH_kernel.json"
+DEFAULT_TOLERANCE = 0.2
+
+
+class BenchmarkError(ReproError):
+    """A benchmark invariant failed (divergence or perf regression)."""
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One benchmark case: a config/workload pair run on both kernels."""
+
+    name: str
+    description: str
+    num_hosts: int
+    make_workload: Callable[[], Workload]
+    #: part of the fast CI subset (``--smoke``)
+    smoke: bool = False
+
+    def make_config(self, dense: bool) -> SimulationConfig:
+        config = SimulationConfig(num_hosts=self.num_hosts, seed=1)
+        config.dense_kernel = dense
+        return config
+
+
+def _low_load_unicast(measure_cycles: int) -> Callable[[], Workload]:
+    def make() -> Workload:
+        return UniformRandomUnicast(
+            load=0.005,
+            payload_flits=16,
+            warmup_cycles=1_000,
+            measure_cycles=measure_cycles,
+        )
+    return make
+
+
+def _mcast_stream() -> Workload:
+    return RandomMulticastStream(
+        ops_per_host_per_kilocycle=0.01,
+        degree=32,
+        payload_flits=64,
+        scheme=MulticastScheme.HARDWARE,
+        warmup_cycles=1_000,
+        measure_cycles=8_000,
+    )
+
+
+def _broadcast() -> Workload:
+    return SingleMulticast(
+        source=0, degree=255, payload_flits=64,
+        scheme=MulticastScheme.HARDWARE,
+    )
+
+
+def _quarter() -> Workload:
+    return SingleMulticast(
+        source=0, degree=64, payload_flits=64,
+        scheme=MulticastScheme.HARDWARE,
+    )
+
+
+def _saturation() -> Workload:
+    return UniformRandomUnicast(
+        load=0.9,
+        payload_flits=16,
+        warmup_cycles=500,
+        measure_cycles=2_000,
+    )
+
+
+SCENARIOS: Tuple[Scenario, ...] = (
+    Scenario(
+        name="e5-low-load",
+        description="256 hosts, background unicast at 0.005 load",
+        num_hosts=256,
+        make_workload=_low_load_unicast(10_000),
+    ),
+    Scenario(
+        name="e5-low-load-smoke",
+        description="e5-low-load at CI scale (4k measured cycles)",
+        num_hosts=256,
+        make_workload=_low_load_unicast(4_000),
+        smoke=True,
+    ),
+    Scenario(
+        name="e5-mcast-stream",
+        description="256 hosts, degree-32 multicast stream, low rate",
+        num_hosts=256,
+        make_workload=_mcast_stream,
+    ),
+    Scenario(
+        name="e5-broadcast",
+        description="one 255-destination broadcast on 256 hosts",
+        num_hosts=256,
+        make_workload=_broadcast,
+        smoke=True,
+    ),
+    Scenario(
+        name="e5-quarter",
+        description="one 64-destination multicast on 256 hosts",
+        num_hosts=256,
+        make_workload=_quarter,
+        smoke=True,
+    ),
+    Scenario(
+        name="saturation",
+        description="64 hosts, background unicast at 0.9 load",
+        num_hosts=64,
+        make_workload=_saturation,
+    ),
+)
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Timing of one scenario on both kernels (results bit-identical)."""
+
+    scenario: str
+    num_hosts: int
+    cycles: int
+    dense_seconds: float
+    active_seconds: float
+    smoke: bool
+
+    @property
+    def speedup(self) -> float:
+        """Active-set wall-time advantage over the dense kernel."""
+        return self.dense_seconds / self.active_seconds
+
+    @property
+    def dense_cycles_per_sec(self) -> float:
+        return self.cycles / self.dense_seconds
+
+    @property
+    def active_cycles_per_sec(self) -> float:
+        return self.cycles / self.active_seconds
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "num_hosts": self.num_hosts,
+            "cycles": self.cycles,
+            "dense_seconds": round(self.dense_seconds, 4),
+            "active_seconds": round(self.active_seconds, 4),
+            "dense_cycles_per_sec": round(self.dense_cycles_per_sec, 1),
+            "active_cycles_per_sec": round(self.active_cycles_per_sec, 1),
+            "speedup": round(self.speedup, 3),
+            "smoke": self.smoke,
+        }
+
+
+def _run_one(scenario: Scenario, dense: bool) -> Tuple[dict, int, float]:
+    """Build and run one kernel flavour; returns (summary, cycles, wall)."""
+    network = build_network(scenario.make_config(dense))
+    workload = scenario.make_workload()
+    watch = Stopwatch()
+    result = run_workload(network, workload)
+    wall = watch.elapsed()
+    return result.summary(), result.cycles, wall
+
+
+def run_scenario(scenario: Scenario) -> BenchResult:
+    """Time one scenario on both kernels; raise on any divergence."""
+    dense_summary, dense_cycles, dense_wall = _run_one(scenario, dense=True)
+    active_summary, active_cycles, active_wall = _run_one(
+        scenario, dense=False
+    )
+    if dense_summary != active_summary or dense_cycles != active_cycles:
+        raise BenchmarkError(
+            f"scenario {scenario.name!r}: active-set result diverged from "
+            f"dense reference\n  dense : cycles={dense_cycles} "
+            f"{dense_summary}\n  active: cycles={active_cycles} "
+            f"{active_summary}"
+        )
+    return BenchResult(
+        scenario=scenario.name,
+        num_hosts=scenario.num_hosts,
+        cycles=active_cycles,
+        dense_seconds=dense_wall,
+        active_seconds=active_wall,
+        smoke=scenario.smoke,
+    )
+
+
+def run_scenarios(
+    smoke: bool = False,
+    names: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[BenchResult]:
+    """Run the selected scenarios (all, the smoke subset, or by name)."""
+    selected = list(SCENARIOS)
+    if names:
+        known = {scenario.name for scenario in SCENARIOS}
+        unknown = [name for name in names if name not in known]
+        if unknown:
+            raise BenchmarkError(
+                f"unknown scenario(s) {unknown}; known: {sorted(known)}"
+            )
+        selected = [s for s in selected if s.name in set(names)]
+    elif smoke:
+        selected = [s for s in selected if s.smoke]
+    results = []
+    for scenario in selected:
+        if progress is not None:
+            progress(f"{scenario.name}: {scenario.description} ...")
+        results.append(run_scenario(scenario))
+    return results
+
+
+def check_against_baseline(
+    results: Sequence[BenchResult],
+    baseline: Dict[str, object],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[str]:
+    """Speedup-ratio regressions of ``results`` vs a baseline artifact.
+
+    Returns one message per scenario whose fresh speedup fell more than
+    ``tolerance`` (fractionally) below the baseline speedup.  Scenarios
+    absent from the baseline are ignored, so the scenario set can grow
+    without invalidating old baselines.
+    """
+    recorded = {
+        str(row["scenario"]): float(row["speedup"])  # type: ignore[index]
+        for row in baseline.get("scenarios", [])  # type: ignore[union-attr]
+    }
+    failures = []
+    for result in results:
+        expected = recorded.get(result.scenario)
+        if expected is None:
+            continue
+        floor = expected * (1.0 - tolerance)
+        if result.speedup < floor:
+            failures.append(
+                f"{result.scenario}: speedup {result.speedup:.2f}x fell "
+                f"below {floor:.2f}x (baseline {expected:.2f}x "
+                f"- {tolerance:.0%} tolerance)"
+            )
+    return failures
+
+
+def render_table(results: Sequence[BenchResult]) -> str:
+    """A plain-text table of the benchmark rows."""
+    header = (
+        f"{'scenario':<20} {'hosts':>5} {'cycles':>8} "
+        f"{'dense c/s':>10} {'active c/s':>11} {'speedup':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for result in results:
+        lines.append(
+            f"{result.scenario:<20} {result.num_hosts:>5} "
+            f"{result.cycles:>8} {result.dense_cycles_per_sec:>10.0f} "
+            f"{result.active_cycles_per_sec:>11.0f} "
+            f"{result.speedup:>7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def to_artifact(
+    results: Sequence[BenchResult], wall_seconds: float
+) -> Dict[str, object]:
+    """The JSON artifact: rows plus a provenance manifest."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "scenarios": [result.to_dict() for result in results],
+        "manifest": RunManifest.collect(
+            wall_seconds=wall_seconds, bench="kernel"
+        ).to_dict(),
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro bench`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description=(
+            "Benchmark the active-set kernel against the dense reference "
+            "(results are asserted bit-identical) and optionally gate on "
+            "a recorded speedup baseline."
+        ),
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run only the fast CI subset",
+    )
+    parser.add_argument(
+        "--scenario", action="append", metavar="NAME",
+        help="run only the named scenario (repeatable)",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH",
+        help="write the benchmark JSON artifact here",
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE", nargs="?",
+        const=DEFAULT_BASELINE,
+        help=(
+            "fail when any scenario's speedup regresses past --tolerance "
+            f"vs this baseline JSON (default: {DEFAULT_BASELINE})"
+        ),
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        metavar="FRACTION",
+        help=(
+            "allowed fractional speedup regression for --check "
+            f"(default: {DEFAULT_TOLERANCE})"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    watch = Stopwatch()
+    try:
+        results = run_scenarios(
+            smoke=args.smoke,
+            names=args.scenario,
+            progress=lambda text: print(text, file=sys.stderr),
+        )
+    except BenchmarkError as error:
+        print(f"bench: {error}", file=sys.stderr)
+        return 1
+    wall = watch.elapsed()
+
+    print(render_table(results))
+    print(f"\n{len(results)} scenario(s), every active-set result "
+          f"bit-identical to its dense reference, {wall:.1f}s total")
+
+    if args.out:
+        artifact = to_artifact(results, wall_seconds=wall)
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(artifact, indent=1) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {path}")
+
+    if args.check:
+        baseline_path = Path(args.check)
+        if not baseline_path.exists():
+            print(f"bench: baseline {baseline_path} not found",
+                  file=sys.stderr)
+            return 1
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        failures = check_against_baseline(
+            results, baseline, tolerance=args.tolerance
+        )
+        if failures:
+            for failure in failures:
+                print(f"bench: REGRESSION {failure}", file=sys.stderr)
+            return 1
+        print(f"speedup gate passed vs {baseline_path} "
+              f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,7 @@ reception bandwidth at the destination NI is not the bottleneck.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Optional
+from typing import Callable, Deque, List, Optional
 
 from repro.errors import ProtocolError
 from repro.flits.flit import Flit
@@ -52,6 +52,8 @@ class HostInterface(Component):
         self.in_link: Optional[Link] = None
         self._inject: Deque[Worm] = deque()
         self._inject_cursor = 0
+        #: reused drain buffer — the per-cycle eject loop is allocation-free
+        self._rx_scratch: List[Flit] = []
         self._rx_worm: Optional[Worm] = None
         self._rx_count = 0
         self._on_delivery: Optional[DeliveryCallback] = None
@@ -63,17 +65,24 @@ class HostInterface(Component):
     # wiring
     # ------------------------------------------------------------------
     def connect_out(self, link: Link) -> None:
-        """Wire the injection link toward the switch."""
+        """Wire the injection link toward the switch and register this NI
+        as its credit waker (a maturing credit schedules a tick)."""
         if self.out_link is not None:
             raise ProtocolError(f"{self.name}: out link already wired")
         self.out_link = link
+        link.on_credit(self.wake_at)
 
     def connect_in(self, link: Link) -> None:
-        """Wire the ejection link from the switch and declare our depth."""
+        """Wire the ejection link from the switch and declare our depth.
+
+        Also registers this NI as the link's arrival waker, so ejection
+        needs no polling: the NI ticks exactly on cycles a flit arrives.
+        """
         if self.in_link is not None:
             raise ProtocolError(f"{self.name}: in link already wired")
         self.in_link = link
         link.set_credits(self.rx_depth)
+        link.on_arrival(self.wake_at)
 
     def on_delivery(self, callback: DeliveryCallback) -> None:
         """Register the node's packet-delivery handler."""
@@ -83,8 +92,14 @@ class HostInterface(Component):
     # node-facing API
     # ------------------------------------------------------------------
     def enqueue(self, worm: Worm) -> None:
-        """Queue a root worm for injection (FIFO)."""
+        """Queue a root worm for injection (FIFO).
+
+        Wakes the NI for the current cycle: enqueues happen from host
+        calendar events, which the kernel runs before ticks, so injection
+        starts this very cycle — exactly as under the dense kernel.
+        """
         self._inject.append(worm)
+        self.wake_now()
 
     @property
     def injection_backlog(self) -> int:
@@ -96,13 +111,24 @@ class HostInterface(Component):
     # ------------------------------------------------------------------
     def tick(self, now: int) -> None:
         self._eject(now)
-        self._inject_one(now)
+        sent = self._inject_one(now)
+        # active-set re-arm: keep ticking while flits are flowing out.  A
+        # credit-blocked NI sleeps instead — the out-link's credit hook
+        # wakes it exactly when the next credit matures.  Ejection is
+        # purely arrival-driven — the in-link's arrival hook wakes us per
+        # flit — so a half-reassembled worm alone needs no polling.
+        if self._inject and sent:
+            self.wake_at(now + 1)
 
     def _eject(self, now: int) -> None:
-        if self.in_link is None or not self.in_link.pending_arrival(now):
+        link = self.in_link
+        if link is None or not link.pending_arrival(now):
             return
-        for flit in self.in_link.receive(now):
-            self.in_link.return_credit(now)
+        scratch = self._rx_scratch
+        del scratch[:]
+        link.receive_into(now, scratch)
+        for flit in scratch:
+            link.return_credit(now)
             self._absorb(flit, now)
 
     def _absorb(self, flit: Flit, now: int) -> None:
@@ -139,12 +165,13 @@ class HostInterface(Component):
             if self._on_delivery is not None:
                 self._on_delivery(worm, now)
 
-    def _inject_one(self, now: int) -> None:
+    def _inject_one(self, now: int) -> bool:
+        """Push the next flit out; True when one was sent."""
         if self.out_link is None or not self._inject:
-            return
+            return False
         worm = self._inject[0]
         if not self.out_link.can_send(now):
-            return
+            return False
         if self._inject_cursor == 0 and worm.packet.injected_cycle is None:
             worm.packet.injected_cycle = now
         self.out_link.send(now, Flit(worm, self._inject_cursor))
@@ -154,6 +181,7 @@ class HostInterface(Component):
         if self._inject_cursor == worm.size_flits:
             self._inject.popleft()
             self._inject_cursor = 0
+        return True
 
     # ------------------------------------------------------------------
     # introspection

@@ -115,7 +115,7 @@ def build_network(
     tracer = tracer if tracer is not None else NULL_TRACER
     metrics = metrics if metrics is not None else NULL_REGISTRY
     topology_object, topology, tables = _build_topology(config)
-    sim = Simulator(seed=config.seed)
+    sim = Simulator(seed=config.seed, dense=config.dense_kernel)
     encoding = config.build_encoding()
     collector = MetricsCollector(config.num_hosts)
     settings = config.switch_settings()

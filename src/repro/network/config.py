@@ -96,6 +96,11 @@ class SimulationConfig:
     # determinism and checking
     seed: int = 1
     self_check: bool = False
+    #: run on the dense (tick-everything) kernel instead of the
+    #: active-set kernel.  Results are bit-identical either way — this
+    #: knob exists for differential testing and benchmarking, so it is
+    #: deliberately excluded from :func:`describe` fingerprints
+    dense_kernel: bool = False
 
     # ------------------------------------------------------------------
     # derived values

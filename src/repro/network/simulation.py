@@ -262,6 +262,8 @@ def run_workload(
     """
     budget = max_cycles if max_cycles is not None else workload.max_cycles_hint()
     workload.start(network)
+    for mark in workload.time_marks(network):
+        network.sim.mark_time(mark)
     completed = True
     try:
         network.sim.run_until(

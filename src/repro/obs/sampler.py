@@ -65,6 +65,10 @@ class CycleSampler(Component):
         self.series: List[Tuple[int, Dict[str, float]]] = []
 
     def tick(self, now: int) -> None:
+        # self-arming: the sampler is its own wake source, so an otherwise
+        # quiescent simulation still gets sampled on schedule (no-op on
+        # the dense kernel, which ticks everything anyway)
+        self.wake_at(now - now % self.every + self.every)
         if now % self.every:
             return
         values = self.registry.sample_gauges(self.gauge_names)

@@ -1,15 +1,29 @@
-"""Base class for everything the kernel ticks once per cycle."""
+"""Base class for everything the kernel can tick.
+
+The active-set kernel (see :mod:`repro.sim.kernel`) only ticks a
+component on cycles the component — or a peer, through a link wake
+hook — asked for.  The wake contract for component authors is
+documented in ``docs/performance.md``; in short:
+
+* registration schedules one initial wake, so every component ticks at
+  least once and can inspect pre-run state (e.g. worms enqueued before
+  ``run`` was called);
+* a component that still holds work at the end of ``tick`` must re-arm
+  itself with ``self.wake_at(now + 1)``;
+* a component may go fully dormant while idle — arrivals wake it again
+  through the link-level wake hooks wired by ``connect_in``.
+"""
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Set
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.kernel import Simulator
 
 
 class Component:
-    """A named simulation component ticked once per cycle.
+    """A named simulation component ticked by the kernel.
 
     Subclasses implement :meth:`tick`.  Because all inter-component traffic
     crosses links with latency >= 1, a component may only *send* state that
@@ -20,6 +34,13 @@ class Component:
     def __init__(self, name: str) -> None:
         self.name = name
         self._sim: "Simulator | None" = None
+        # active-set bookkeeping, owned by the kernel: registration index
+        # (tick order within a cycle), the set of far cycles this component
+        # is already scheduled to wake at (heap-push dedupe), and the
+        # next-cycle bucket marker (fast-path dedupe — see Simulator.wake).
+        self._index = -1
+        self._wake_cycles: Set[int] = set()
+        self._wake_marker = -1
 
     @property
     def sim(self) -> "Simulator":
@@ -33,6 +54,25 @@ class Component:
     def attach(self, sim: "Simulator") -> None:
         """Called by :meth:`Simulator.add_component`; do not call directly."""
         self._sim = sim
+
+    # ------------------------------------------------------------------
+    # wake API (the active-set contract)
+    # ------------------------------------------------------------------
+    def wake_at(self, cycle: int) -> None:
+        """Request a tick at ``cycle`` (idempotent per cycle).
+
+        Requests for a cycle already in the past are clamped to the
+        current cycle.  Before attachment this is a no-op: attachment
+        itself schedules an initial wake, so no pre-attach state is ever
+        missed.
+        """
+        if self._sim is not None:
+            self._sim.wake(self, cycle)
+
+    def wake_now(self) -> None:
+        """Request a tick in the current cycle (idempotent)."""
+        if self._sim is not None:
+            self._sim.wake(self, self._sim.now)
 
     def tick(self, now: int) -> None:
         """Advance this component by one cycle.  ``now`` is the cycle index."""

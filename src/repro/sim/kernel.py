@@ -1,9 +1,22 @@
-"""The cycle-driven simulation kernel.
+"""The active-set simulation kernel.
 
 One :class:`Simulator` owns the clock, an event calendar for future
-callbacks, and the ordered list of components to tick each cycle.  The
-kernel deliberately has no knowledge of networks, flits, or switches — it
-only advances time.
+callbacks, and the registry of components.  The kernel deliberately has
+no knowledge of networks, flits, or switches — it only advances time.
+
+Components are not ticked unconditionally every cycle: they register
+*wake-ups* (:meth:`~repro.sim.component.Component.wake_at` /
+:meth:`~repro.sim.component.Component.wake_now`) and the kernel keeps a
+wake calendar keyed by ``(cycle, registration index)``, so ticks within
+one cycle still run in registration order.  When nothing — no calendar
+event, no wake — is due, :meth:`run` and :meth:`run_until` fast-forward
+``now`` directly to the next scheduled activity instead of spinning
+through idle cycles.  Stall detection counts those *simulated* idle
+cycles exactly as if they had been stepped one by one, so results,
+error cycles and messages are bit-identical to the dense reference
+kernel (``Simulator(dense=True)``), which still ticks every component
+every cycle and exists for differential testing (see
+``tests/sim/test_active_set.py`` and ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -27,6 +40,11 @@ class Simulator:
     seed:
         Root seed for :attr:`rng`; all component randomness should be drawn
         from named streams of this factory.
+    dense:
+        When true, disable the active set entirely: every component is
+        ticked every cycle and fast-forwarding never happens.  The dense
+        kernel is the behavioural reference the active-set kernel is
+        differentially tested against; results are bit-identical.
 
     Notes
     -----
@@ -37,21 +55,43 @@ class Simulator:
     understand what progress means.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, dense: bool = False) -> None:
         self.now = 0
         self.rng = RngStreams(seed)
         self.progress = 0
+        self.dense = dense
         self._components: List[Component] = []
         self._calendar: List[Tuple[int, int, Event]] = []
         self._sequence = itertools.count()
+        #: far pending wake-ups as ``(cycle, registration index)`` heap
+        #: keys; per-component cycle sets make pushes idempotent
+        self._wakes: List[Tuple[int, int]] = []
+        #: fast path for the overwhelmingly common wake target (the next
+        #: cycle — re-arms and latency-1 link hooks): a flat list of
+        #: component indices due at ``_bucket_cycle``, deduplicated by a
+        #: per-component marker instead of heap + set machinery
+        self._bucket: List[int] = []
+        self._bucket_cycle = 0
+        #: cycles where a time-dependent ``run_until`` predicate may flip
+        #: (see :meth:`mark_time`)
+        self._time_marks: List[int] = []
 
     # ------------------------------------------------------------------
     # registration
     # ------------------------------------------------------------------
     def add_component(self, component: Component) -> Component:
-        """Register ``component`` to be ticked every cycle; returns it."""
+        """Register ``component`` with the kernel; returns it.
+
+        Registration schedules one initial wake at the current cycle, so
+        every component ticks at least once and can observe state queued
+        before the run started.  After that it is ticked only on cycles
+        it (or a link wake hook) asked for — unless the kernel is
+        ``dense``, in which case it is ticked every cycle.
+        """
+        component._index = len(self._components)
         component.attach(self)
         self._components.append(component)
+        self.wake(component, self.now)
         return component
 
     @property
@@ -60,7 +100,65 @@ class Simulator:
         return self._components
 
     # ------------------------------------------------------------------
-    # calendar
+    # wake calendar
+    # ------------------------------------------------------------------
+    def wake(self, component: Component, cycle: int) -> None:
+        """Schedule a tick of ``component`` at ``cycle`` (idempotent).
+
+        Cycles in the past are clamped to ``now`` (useful when a test
+        drives ticks by hand).  In dense mode this is a no-op — every
+        component is ticked every cycle anyway.
+        """
+        if self.dense:
+            return
+        if cycle < self.now:
+            cycle = self.now
+        if cycle == self._bucket_cycle:
+            if component._wake_marker != cycle:
+                component._wake_marker = cycle
+                self._bucket.append(component._index)
+            return
+        if cycle in component._wake_cycles:
+            return
+        component._wake_cycles.add(cycle)
+        heapq.heappush(self._wakes, (cycle, component._index))
+
+    def next_wake_cycle(self) -> Optional[int]:
+        """Cycle of the earliest pending wake-up, or ``None``."""
+        if self._bucket:
+            if self._wakes:
+                return min(self._bucket_cycle, self._wakes[0][0])
+            return self._bucket_cycle
+        if not self._wakes:
+            return None
+        return self._wakes[0][0]
+
+    def mark_time(self, cycle: int) -> None:
+        """Declare that a ``run_until`` predicate may flip at ``cycle``.
+
+        Fast-forwarding assumes the predicate is constant across a gap
+        with no events and no wakes — true for predicates that only read
+        component state, but not for ones that also compare ``sim.now``
+        against a threshold (e.g. "generation window over").  A time mark
+        caps every fast-forward jump at ``cycle`` so the predicate is
+        re-checked there.  Marks are *not* calendar events: they do not
+        tick anything, reset stall accounting, or count as pending work.
+        Workloads declare theirs via
+        :meth:`repro.traffic.base.Workload.time_marks`.
+        """
+        if self.dense or cycle <= self.now:
+            return
+        heapq.heappush(self._time_marks, cycle)
+
+    def _next_time_mark(self) -> Optional[int]:
+        """Earliest future time mark, discarding stale ones."""
+        marks = self._time_marks
+        while marks and marks[0] <= self.now:
+            heapq.heappop(marks)
+        return marks[0] if marks else None
+
+    # ------------------------------------------------------------------
+    # event calendar
     # ------------------------------------------------------------------
     def schedule(self, delay: int, event: Event) -> None:
         """Run ``event`` ``delay`` cycles from now (``delay`` >= 0).
@@ -103,20 +201,78 @@ class Simulator:
     # execution
     # ------------------------------------------------------------------
     def step(self) -> None:
-        """Execute one cycle: calendar events for ``now``, then all ticks."""
-        while self._calendar and self._calendar[0][0] == self.now:
-            _, _, event = heapq.heappop(self._calendar)
-            event()
+        """Execute one cycle: calendar events for ``now``, then due ticks.
+
+        In dense mode every component ticks; otherwise only components
+        with a wake-up due this cycle tick, in registration order (the
+        wake heap is keyed ``(cycle, registration index)``).  An event
+        may wake a component for the current cycle — events run first,
+        so the wake is honoured this very cycle.
+        """
         now = self.now
-        for component in self._components:
-            component.tick(now)
+        calendar = self._calendar
+        while calendar and calendar[0][0] == now:
+            heapq.heappop(calendar)[2]()
+        if self.dense:
+            for component in self._components:
+                component.tick(now)
+        else:
+            components = self._components
+            if self._bucket_cycle == now:
+                due = self._bucket
+                # fresh bucket for the re-arms the ticks below will issue
+                self._bucket = []
+                self._bucket_cycle = now + 1
+            else:
+                if self._bucket_cycle < now:
+                    # stale empty bucket (fast-forward jumped past it);
+                    # retarget so re-arms take the fast path again
+                    self._bucket_cycle = now + 1
+                due = []
+            wakes = self._wakes
+            while wakes and wakes[0][0] <= now:
+                cycle, index = heapq.heappop(wakes)
+                components[index]._wake_cycles.discard(cycle)
+                due.append(index)
+            if due:
+                due.sort()
+                last = -1
+                for index in due:
+                    if index == last:
+                        continue  # at most one tick per component per cycle
+                    last = index
+                    components[index].tick(now)
         self.now = now + 1
 
+    def _next_activity_cycle(self) -> Optional[int]:
+        """Earliest cycle with a calendar event or a wake-up, or ``None``."""
+        best = self._calendar[0][0] if self._calendar else None
+        if self._wakes and (best is None or self._wakes[0][0] < best):
+            best = self._wakes[0][0]
+        if self._bucket and (best is None or self._bucket_cycle < best):
+            best = self._bucket_cycle
+        return best
+
     def run(self, cycles: int) -> None:
-        """Advance the clock by ``cycles`` cycles."""
+        """Advance the clock by ``cycles`` cycles.
+
+        The active-set kernel fast-forwards over spans with no scheduled
+        activity; the clock still ends exactly ``cycles`` later.
+        """
         if cycles < 0:
             raise ValueError("cycles must be non-negative")
-        for _ in range(cycles):
+        if self.dense:
+            for _ in range(cycles):
+                self.step()
+            return
+        target = self.now + cycles
+        while self.now < target:
+            upcoming = self._next_activity_cycle()
+            if upcoming is None or upcoming >= target:
+                self.now = target
+                return
+            if upcoming > self.now:
+                self.now = upcoming
             self.step()
 
     def run_until(
@@ -131,6 +287,10 @@ class Simulator:
         ----------
         predicate:
             Checked before each cycle; the run stops as soon as it holds.
+            Fast-forwarding re-checks it at every cycle with scheduled
+            activity and at every :meth:`mark_time` cycle; a predicate
+            that can flip on ``sim.now`` alone must have its threshold
+            declared as a time mark.
         max_cycles:
             Hard bound on cycles to execute; exceeding it raises
             :class:`~repro.errors.SimulationError`.
@@ -138,7 +298,12 @@ class Simulator:
             If given, raise :class:`~repro.errors.SimulationError` when no
             component reports progress *and* no calendar event fires for
             this many consecutive cycles while the predicate is false —
-            the signature of a deadlocked network.
+            the signature of a deadlocked network.  Idle cycles spent
+            waiting for a *pending* calendar event are excused — they
+            never trip the detector — but they no longer reset the
+            counter either, so a far-future no-op event merely defers
+            detection until ``stall_limit`` idle cycles after it fires.
+            Skipped idle gaps count exactly as if they had been stepped.
         """
         executed = 0
         last_progress = self.progress
@@ -148,29 +313,72 @@ class Simulator:
                 raise SimulationError(
                     f"predicate still false after {max_cycles} cycles"
                 )
+            if not self.dense:
+                skipped = self._fast_forward(
+                    max_cycles - executed, stalled, stall_limit
+                )
+                if skipped:
+                    executed += skipped
+                    stalled += skipped
+                    continue
             event_this_cycle = (
-                self._calendar and self._calendar[0][0] == self.now
+                bool(self._calendar) and self._calendar[0][0] == self.now
             )
             self.step()
             executed += 1
             if self.progress != last_progress or event_this_cycle:
                 last_progress = self.progress
                 stalled = 0
-            else:
-                stalled += 1
-                if stall_limit is not None and stalled >= stall_limit:
-                    next_cycle = self.next_event_cycle()
-                    if next_cycle is not None:
-                        # Idle gap before a scheduled event: fast-forward
-                        # is unnecessary (we still step), but it is not a
-                        # deadlock because future work exists.
-                        stalled = 0
-                        continue
-                    raise SimulationError(
-                        f"no progress for {stalled} cycles at cycle "
-                        f"{self.now}; suspected deadlock"
-                    )
+                continue
+            stalled += 1
+            if stall_limit is not None and stalled >= stall_limit:
+                if self.next_event_cycle() is not None:
+                    # Idle gap before a scheduled event: not a deadlock —
+                    # future work exists.  The counter keeps growing (it
+                    # is *not* reset), so once the calendar drains the
+                    # detector trips after at most stall_limit further
+                    # idle cycles.
+                    continue
+                raise SimulationError(
+                    f"no progress for {stalled} cycles at cycle "
+                    f"{self.now}; suspected deadlock"
+                )
         return executed
+
+    def _fast_forward(
+        self,
+        budget_left: int,
+        stalled: int,
+        stall_limit: Optional[int],
+    ) -> int:
+        """Skip idle cycles; return how many were skipped (0: step instead).
+
+        The jump is capped at the next calendar event or wake-up, the
+        next time mark, the cycle budget, and — when the calendar is
+        empty — the cycle where the stall detector would trip, which is
+        raised here with the exact cycle and message the dense kernel
+        would produce.
+        """
+        upcoming = self._next_activity_cycle()
+        if upcoming is not None and upcoming <= self.now:
+            return 0
+        if upcoming is None:
+            jump = budget_left
+        else:
+            jump = min(upcoming - self.now, budget_left)
+        mark = self._next_time_mark()
+        if mark is not None and mark - self.now < jump:
+            jump = mark - self.now
+        if stall_limit is not None and not self._calendar:
+            trip = stall_limit - stalled
+            if trip <= jump:
+                self.now += trip
+                raise SimulationError(
+                    f"no progress for {stall_limit} cycles at cycle "
+                    f"{self.now}; suspected deadlock"
+                )
+        self.now += jump
+        return jump
 
     def __repr__(self) -> str:
         return (

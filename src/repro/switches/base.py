@@ -130,17 +130,25 @@ class SwitchBase(Component):
         raise NotImplementedError
 
     def connect_in(self, port: int, link: Link) -> None:
-        """Wire an incoming link and declare our buffer depth on it."""
+        """Wire an incoming link and declare our buffer depth on it.
+
+        Also registers this switch as the link's arrival waker: a send
+        on the link schedules a tick at the delivery cycle, so an idle
+        switch needs no polling to notice new worms.
+        """
         if self.in_links[port] is not None:
             raise ProtocolError(f"{self.name}: input port {port} already wired")
         self.in_links[port] = link
         link.set_credits(self.input_credit_depth(port))
+        link.on_arrival(self.wake_at)
 
     def connect_out(self, port: int, link: Link) -> None:
-        """Wire an outgoing link."""
+        """Wire an outgoing link and register this switch as its credit
+        waker (a returned credit schedules a tick when it matures)."""
         if self.out_links[port] is not None:
             raise ProtocolError(f"{self.name}: output port {port} already wired")
         self.out_links[port] = link
+        link.on_credit(self.wake_at)
 
     # ------------------------------------------------------------------
     # routing

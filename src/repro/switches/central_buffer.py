@@ -128,10 +128,17 @@ class CentralBufferSwitch(SwitchBase):
         #: routing decisions parked while a reservation waits
         self._pending_requests: dict = {}
         # hot-path activity counters: skip whole phases when nothing is
-        # inside the switch
+        # inside the switch (and, on the active-set kernel, decide
+        # whether to re-arm at all)
         self._total_ingresses = 0
         self._outputs_busy = 0
         self._queued_branches = 0
+        # set whenever a tick changes any switch state (flit accepted,
+        # route/admit decision, write, activation, send); a blocked tick
+        # that stays False may sleep instead of re-arming — see tick()
+        self._stirred = False
+        #: reused drain buffer — the per-cycle receive loop is allocation-free
+        self._rx_scratch: List[Flit] = []
         # observability: shared process-wide counters (no-ops unless an
         # enabled registry was passed in; `_obs` keeps the hot path to a
         # single boolean test)
@@ -150,19 +157,63 @@ class CentralBufferSwitch(SwitchBase):
     # per-cycle behaviour
     # ------------------------------------------------------------------
     def tick(self, now: int) -> None:
+        self._stirred = False
         self._receive(now)
         if self._total_ingresses:
             self._route_and_admit(now)
             self._write_central_buffer(now)
         if self._outputs_busy or self._queued_branches:
             self._drive_outputs(now)
+        # active-set re-arm: ingresses cover arriving/routing/admission-
+        # waiting worms; busy outputs and queued branches cover everything
+        # held in the central buffer (a stored packet always has at least
+        # one live branch cursor until fully drained).  A fully idle
+        # switch is woken again by its in-links' arrival hooks.
+        #
+        # Blocked-sleep: a non-empty switch whose tick changed *nothing*
+        # can only be unblocked by an arrival (in-link hook), a maturing
+        # credit (out-link hook), its own routing delay expiring (exact
+        # wake computed below), or chunk space freed by its own reads —
+        # which are sends, hence stirring.  So an un-stirred tick may skip
+        # the re-arm entirely.  Exception: with metrics enabled the
+        # blocked-cycles counter must increment every blocked cycle, as it
+        # does on the dense kernel, so observed runs keep polling.
+        if self._total_ingresses or self._outputs_busy or self._queued_branches:
+            if self._stirred or self._obs:
+                self.wake_at(now + 1)
+            else:
+                wake = self._blocked_wake()
+                if wake is not None:
+                    self.wake_at(wake)
+
+    def _blocked_wake(self) -> Optional[int]:
+        """Earliest routing-delay expiry among blocked FIFO-head worms.
+
+        The only *time*-driven transition a sleeping switch could miss:
+        every other unblocking event fires a link wake hook.
+        """
+        delay = self.settings.routing_delay
+        best: Optional[int] = None
+        for inflow in self._inflow:
+            if not inflow:
+                continue
+            ingress = inflow[0]
+            if ingress.state is _IngressState.ROUTE_WAIT:
+                assert ingress.header_done_cycle is not None
+                cycle = ingress.header_done_cycle + delay
+                if best is None or cycle < best:
+                    best = cycle
+        return best
 
     # -- phase 1: absorb link arrivals into the input FIFOs -------------
     def _receive(self, now: int) -> None:
+        scratch = self._rx_scratch
         for port, link in enumerate(self.in_links):
             if link is None or not link.pending_arrival(now):
                 continue
-            for flit in link.receive(now):
+            del scratch[:]
+            link.receive_into(now, scratch)
+            for flit in scratch:
                 self._accept_flit(port, flit, now)
 
     def _accept_flit(self, port: int, flit: Flit, now: int) -> None:
@@ -182,6 +233,7 @@ class CentralBufferSwitch(SwitchBase):
                 f"(expected index {ingress.received} of {ingress.worm!r})"
             )
         ingress.received += 1
+        self._stirred = True
         if ingress.received == ingress.worm.header_flits:
             ingress.header_done_cycle = now
             if ingress.state is _IngressState.ARRIVING:
@@ -207,6 +259,7 @@ class CentralBufferSwitch(SwitchBase):
         assert ingress.header_done_cycle is not None
         if now < ingress.header_done_cycle + self.settings.routing_delay:
             return
+        self._stirred = True
         requests = self.compute_requests(ingress.worm)
         if ingress.worm.is_multidestination:
             ingress.stored = StoredPacket(
@@ -249,6 +302,7 @@ class CentralBufferSwitch(SwitchBase):
             if self._obs:
                 self._c_blocked.inc()
             return
+        self._stirred = True
         requests = self._pending_requests.pop(id(ingress))
         if self._obs and len(requests) > 1:
             self._c_replicated.inc(
@@ -290,8 +344,14 @@ class CentralBufferSwitch(SwitchBase):
             if not stored.ensure_write_space(now):
                 if self._obs:
                     self._c_blocked.inc()
+                # when more inputs competed than the write bandwidth
+                # admits, next cycle's rotated grant may reach an input
+                # whose own quota still has room — keep polling
+                if len(candidates) > self.settings.cb_write_bandwidth:
+                    self._stirred = True
                 continue  # central buffer full: stall this input
             stored.write_flit()
+            self._stirred = True
             self._consume_fifo_slot(port, ingress, now)
             self.sim.note_progress()
 
@@ -312,6 +372,7 @@ class CentralBufferSwitch(SwitchBase):
                 self._out_current[port] = self._out_queue[port].popleft()
                 self._queued_branches -= 1
                 self._outputs_busy += 1
+                self._stirred = True
         # bypass feeds move independently of central-buffer bandwidth
         read_candidates = []
         for port in range(self.num_ports):
@@ -340,6 +401,7 @@ class CentralBufferSwitch(SwitchBase):
             assert link is not None
             flit = Flit(cursor.worm, cursor.read)
             link.send(now, flit)
+            self._stirred = True
             stored.branch_read(cursor, now)
             if self._obs:
                 self._c_forwarded.inc()
@@ -359,6 +421,7 @@ class CentralBufferSwitch(SwitchBase):
         assert ingress.bypass_worm is not None
         flit = Flit(ingress.bypass_worm, ingress.consumed)
         link.send(now, flit)
+        self._stirred = True
         self._consume_fifo_slot(feed.input_port, ingress, now)
         if self._obs:
             self._c_forwarded.inc()

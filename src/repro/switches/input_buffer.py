@@ -98,9 +98,16 @@ class InputBufferSwitch(SwitchBase):
         self._grant_arbiters = [
             RoundRobinArbiter(num_ports) for _ in range(num_ports)
         ]
-        # hot-path activity counters: skip whole phases when idle
+        # hot-path activity counters: skip whole phases when idle (and,
+        # on the active-set kernel, decide whether to re-arm at all)
         self._total_ingresses = 0
         self._active = 0  # granted branches plus waiting requests
+        # set whenever a tick changes any switch state (flit accepted,
+        # routing decision, output grant, send); a blocked tick that
+        # stays False may sleep instead of re-arming — see tick()
+        self._stirred = False
+        #: reused drain buffer — the per-cycle receive loop is allocation-free
+        self._rx_scratch: List[Flit] = []
         #: FIFO of multidestination worms awaiting the replication token
         #: (synchronous mode only): at most one worm per switch may
         #: hold-and-accumulate output ports, the deadlock-avoidance
@@ -123,18 +130,59 @@ class InputBufferSwitch(SwitchBase):
     # per-cycle behaviour
     # ------------------------------------------------------------------
     def tick(self, now: int) -> None:
+        self._stirred = False
         self._receive(now)
         if self._total_ingresses:
             self._route_heads(now)
         if self._active:
             self._drive_outputs(now)
+        # active-set re-arm: any worm anywhere inside the switch (inflow,
+        # waiting, granted, or parked in the sync queue — sync entries are
+        # always inflow worms) needs the next cycle too; a fully idle
+        # switch is woken again by its in-links' arrival hooks.
+        #
+        # Blocked-sleep: a non-empty switch whose tick changed *nothing*
+        # can only be unblocked by an arrival (in-link hook), a maturing
+        # credit (out-link hook), or its own routing delay expiring (exact
+        # wake computed below) — so an un-stirred tick may skip the
+        # re-arm.  Exception: with metrics enabled the blocked-cycles
+        # counter must increment every blocked cycle, as it does on the
+        # dense kernel, so observed runs keep polling.
+        if self._total_ingresses or self._active:
+            if self._stirred or self._obs:
+                self.wake_at(now + 1)
+            else:
+                wake = self._blocked_wake()
+                if wake is not None:
+                    self.wake_at(wake)
+
+    def _blocked_wake(self) -> Optional[int]:
+        """Earliest routing-delay expiry among unrouted buffer-head worms.
+
+        The only *time*-driven transition a sleeping switch could miss:
+        every other unblocking event fires a link wake hook.
+        """
+        delay = self.settings.routing_delay
+        best: Optional[int] = None
+        for inflow in self._inflow:
+            if not inflow:
+                continue
+            ingress = inflow[0]
+            if not ingress.routed and ingress.header_done_cycle is not None:
+                cycle = ingress.header_done_cycle + delay
+                if best is None or cycle < best:
+                    best = cycle
+        return best
 
     # -- phase 1: absorb link arrivals ------------------------------------
     def _receive(self, now: int) -> None:
+        scratch = self._rx_scratch
         for port, link in enumerate(self.in_links):
             if link is None or not link.pending_arrival(now):
                 continue
-            for flit in link.receive(now):
+            del scratch[:]
+            link.receive_into(now, scratch)
+            for flit in scratch:
                 self._accept_flit(port, flit, now)
 
     def _accept_flit(self, port: int, flit: Flit, now: int) -> None:
@@ -154,6 +202,7 @@ class InputBufferSwitch(SwitchBase):
                 f"(expected index {ingress.received} of {ingress.worm!r})"
             )
         ingress.received += 1
+        self._stirred = True
         if ingress.received == ingress.worm.header_flits:
             ingress.header_done_cycle = now
         if self.tracer.enabled:
@@ -172,6 +221,7 @@ class InputBufferSwitch(SwitchBase):
                 continue
             if now < ingress.header_done_cycle + self.settings.routing_delay:
                 continue
+            self._stirred = True
             for request in self.compute_requests(ingress.worm):
                 child = ingress.worm.branch(
                     request.destinations, request.descending
@@ -208,6 +258,7 @@ class InputBufferSwitch(SwitchBase):
                 winner = self._grant_arbiters[port].grant(self._waiting[port])
                 if winner is not None:
                     self._current[port] = self._waiting[port].pop(winner)
+                    self._stirred = True
         lockstep_done = set()
         for port in range(self.num_ports):
             branch = self._current[port]
@@ -233,6 +284,7 @@ class InputBufferSwitch(SwitchBase):
                 continue
             link.send(now, Flit(branch.worm, branch.read))
             branch.read += 1
+            self._stirred = True
             if self._obs:
                 self._c_forwarded.inc()
             self.sim.note_progress()
@@ -255,6 +307,7 @@ class InputBufferSwitch(SwitchBase):
             if self._obs:
                 self._c_blocked.inc()
             return  # one blocked branch stalls the whole worm
+        self._stirred = True
         for branch, link in zip(branches, links):
             link.send(now, Flit(branch.worm, branch.read))
             branch.read += 1

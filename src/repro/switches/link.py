@@ -8,18 +8,28 @@ a worm blocks in place — the essential wormhole behaviour.
 
 The link is passive (not a :class:`~repro.sim.component.Component`): the
 sender asks :meth:`can_send`/:meth:`send` during its tick and the receiver
-drains :meth:`receive` during its own, with the pipeline queues keyed by
-arrival cycle.  Because latency is at least one cycle, behaviour is
-independent of which side ticks first.
+drains :meth:`receive`/:meth:`receive_into` during its own, with the
+pipeline queues keyed by arrival cycle.  Because latency is at least one
+cycle, behaviour is independent of which side ticks first.
+
+For the active-set kernel the link carries two *wake hooks*: the
+receiving component registers :meth:`on_arrival` (wired by
+``connect_in``) so a send wakes it at the delivery cycle, and the
+sending component registers :meth:`on_credit` (wired by ``connect_out``)
+so a credit return wakes it when the credit matures.  Both hooks are
+optional — a bare link in a unit test works exactly as before.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Callable, Deque, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, ProtocolError
 from repro.flits.flit import Flit
+
+#: a wake hook receives the absolute cycle the wake is requested for
+WakeHook = Callable[[int], None]
 
 
 class Link:
@@ -42,8 +52,29 @@ class Link:
         self._credit_returns: Deque[Tuple[int, int]] = deque()
         self._credits: Optional[int] = None
         self._last_send_cycle = -1
+        self._arrival_hook: Optional[WakeHook] = None
+        self._credit_hook: Optional[WakeHook] = None
         #: total flits ever sent (utilisation statistics)
         self.flits_sent = 0
+
+    # ------------------------------------------------------------------
+    # wake hooks (wired once, by whoever owns each end)
+    # ------------------------------------------------------------------
+    def on_arrival(self, hook: WakeHook) -> None:
+        """Register the receiver's wake hook; called per send with the
+        arrival cycle, so an idle receiver is ticked exactly when the
+        flit becomes receivable."""
+        if self._arrival_hook is not None:
+            raise ProtocolError(f"link {self.name}: arrival hook already set")
+        self._arrival_hook = hook
+
+    def on_credit(self, hook: WakeHook) -> None:
+        """Register the sender's wake hook; called per credit return with
+        the cycle the credit matures, so a credit-starved sender can go
+        dormant instead of polling."""
+        if self._credit_hook is not None:
+            raise ProtocolError(f"link {self.name}: credit hook already set")
+        self._credit_hook = hook
 
     # ------------------------------------------------------------------
     # receiver side
@@ -60,33 +91,57 @@ class Link:
         """True when :meth:`receive` would deliver at least one flit.
 
         A cheap guard for the per-cycle hot path: components poll every
-        input link every cycle, and most are silent most cycles.
+        input link every cycle they are awake, and most are silent most
+        cycles (enforced by reprolint rule REP007).
         """
         return bool(self._in_flight) and self._in_flight[0][0] <= now
 
     def receive(self, now: int) -> List[Flit]:
-        """Pop every flit that has arrived by cycle ``now``, in order."""
+        """Pop every flit that has arrived by cycle ``now``, in order.
+
+        Allocates a fresh list per call; the per-cycle drain loops use
+        :meth:`receive_into` with a reused scratch buffer instead.
+        """
         out: List[Flit] = []
-        while self._in_flight and self._in_flight[0][0] <= now:
-            out.append(self._in_flight.popleft()[1])
+        self.receive_into(now, out)
         return out
+
+    def receive_into(self, now: int, buf: List[Flit]) -> int:
+        """Append every flit arrived by ``now`` to ``buf``; return count.
+
+        The allocation-free variant of :meth:`receive` for hot drain
+        loops: the caller owns (and reuses) ``buf``.
+        """
+        in_flight = self._in_flight
+        count = 0
+        while in_flight and in_flight[0][0] <= now:
+            buf.append(in_flight.popleft()[1])
+            count += 1
+        return count
 
     def return_credit(self, now: int, count: int = 1) -> None:
         """Receiver freed ``count`` buffer slots; sender sees them later."""
         if count < 1:
             raise ValueError("count must be positive")
-        self._credit_returns.append((now + self.credit_latency, count))
+        mature = now + self.credit_latency
+        self._credit_returns.append((mature, count))
+        if self._credit_hook is not None:
+            self._credit_hook(mature)
 
     # ------------------------------------------------------------------
     # sender side
     # ------------------------------------------------------------------
     def credits(self, now: int) -> int:
         """Credits usable by the sender at cycle ``now``."""
-        if self._credits is None:
+        credits = self._credits
+        if credits is None:
             raise ProtocolError(f"link {self.name}: receiver never set credits")
-        while self._credit_returns and self._credit_returns[0][0] <= now:
-            self._credits += self._credit_returns.popleft()[1]
-        return self._credits
+        returns = self._credit_returns
+        if returns:  # skip the drain loop entirely on the idle path
+            while returns and returns[0][0] <= now:
+                credits += returns.popleft()[1]
+            self._credits = credits
+        return credits
 
     def can_send(self, now: int) -> bool:
         """True when a credit is available and this cycle's slot is free."""
@@ -104,8 +159,11 @@ class Link:
             )
         self._credits -= 1  # type: ignore[operator]
         self._last_send_cycle = now
-        self._in_flight.append((now + self.latency, flit))
+        arrival = now + self.latency
+        self._in_flight.append((arrival, flit))
         self.flits_sent += 1
+        if self._arrival_hook is not None:
+            self._arrival_hook(arrival)
 
     # ------------------------------------------------------------------
     # introspection (tests and invariant checks)

@@ -9,7 +9,7 @@ application software would.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.network.builder import Network
@@ -37,3 +37,19 @@ class Workload(ABC):
     def max_cycles_hint(self) -> int:
         """A generous upper bound on run length, for runaway protection."""
         return 10_000_000
+
+    def time_marks(self, network: "Network") -> Tuple[int, ...]:
+        """Cycles at which :meth:`finished` may change value *by time
+        alone* (no component activity, no calendar event).
+
+        The active-set kernel fast-forwards across idle gaps and only
+        re-evaluates the finish predicate at cycles where something is
+        due.  A workload whose predicate compares ``sim.now`` against a
+        threshold (e.g. "stop generating after the measurement window")
+        must declare those thresholds here so
+        :func:`repro.network.simulation.run_workload` can register them
+        as time marks (:meth:`repro.sim.kernel.Simulator.mark_time`) and
+        the fast-forward never jumps past a decision point.  Purely
+        delivery-driven predicates need no marks.
+        """
+        return ()

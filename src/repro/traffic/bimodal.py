@@ -10,7 +10,7 @@ worm — the effect this workload exposes.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Tuple
 
 from repro.core.schemes import MulticastScheme
 from repro.traffic.base import Workload
@@ -108,3 +108,7 @@ class BimodalTraffic(Workload):
 
     def max_cycles_hint(self) -> int:
         return self._stop_generation * 30 + 500_000
+
+    def time_marks(self, network: "Network") -> Tuple[int, ...]:
+        # finished() flips on sim.now reaching the generation stop
+        return (self._stop_generation,)

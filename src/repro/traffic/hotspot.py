@@ -10,7 +10,7 @@ partitioned input buffers.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Tuple
 
 from repro.traffic.base import Workload
 from repro.traffic.schedules import PoissonArrivals, mean_gap_for_load
@@ -101,3 +101,7 @@ class HotspotTraffic(Workload):
 
     def max_cycles_hint(self) -> int:
         return self._stop_generation * 40 + 500_000
+
+    def time_marks(self, network: "Network") -> Tuple[int, ...]:
+        # finished() flips on sim.now reaching the generation stop
+        return (self._stop_generation,)

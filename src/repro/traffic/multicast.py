@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 from repro.core.schemes import MulticastScheme
 from repro.flits.destset import DestinationSet
@@ -84,6 +84,10 @@ class SingleMulticast(Workload):
     def max_cycles_hint(self) -> int:
         return 2_000_000
 
+    def time_marks(self, network: "Network") -> Tuple[int, ...]:
+        # finished() needs now to pass the posting cycle
+        return (self.start_cycle + 1,)
+
 
 class MultipleMulticastBurst(Workload):
     """*m* simultaneous multicasts from distinct random sources (E1).
@@ -148,6 +152,10 @@ class MultipleMulticastBurst(Workload):
     def max_cycles_hint(self) -> int:
         return 5_000_000
 
+    def time_marks(self, network: "Network") -> Tuple[int, ...]:
+        # finished() needs now to pass the posting cycle
+        return (self.start_cycle + 1,)
+
 
 class RandomMulticastStream(Workload):
     """Open-loop stream of multicasts at a per-host operation rate.
@@ -210,3 +218,7 @@ class RandomMulticastStream(Workload):
 
     def max_cycles_hint(self) -> int:
         return self._stop_generation * 20 + 500_000
+
+    def time_marks(self, network: "Network") -> Tuple[int, ...]:
+        # finished() flips on sim.now reaching the generation stop
+        return (self._stop_generation,)

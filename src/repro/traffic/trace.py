@@ -146,3 +146,7 @@ class TraceWorkload(Workload):
 
     def max_cycles_hint(self) -> int:
         return self.records[-1].cycle + 2_000_000
+
+    def time_marks(self, network) -> Tuple[int, ...]:
+        # finished() needs now to pass the last record's injection cycle
+        return (self.records[-1].cycle + 1,)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.traffic.base import Workload
 from repro.traffic.schedules import PoissonArrivals, mean_gap_for_load
@@ -75,6 +75,10 @@ class UniformRandomUnicast(Workload):
     def max_cycles_hint(self) -> int:
         return self._stop_generation * 20 + 200_000
 
+    def time_marks(self, network: "Network") -> Tuple[int, ...]:
+        # finished() flips on sim.now reaching the generation stop
+        return (self._stop_generation,)
+
 
 class PermutationTraffic(Workload):
     """Each host sends one message to a fixed permutation partner.
@@ -126,3 +130,7 @@ class PermutationTraffic(Workload):
 
     def max_cycles_hint(self) -> int:
         return 1_000_000
+
+    def time_marks(self, network: "Network") -> Tuple[int, ...]:
+        # finished() needs now to pass the injection cycle
+        return (self.start_cycle + 1,)

@@ -30,6 +30,7 @@ class Mover(Component):
     def tick(self, now: int) -> None:
         if now < self.active_cycles:
             self.sim.note_progress()
+            self.wake_at(now + 1)
 
 
 class TestClockAndComponents:
@@ -39,9 +40,29 @@ class TestClockAndComponents:
         sim.step()
         assert sim.now == 1
 
-    def test_run_executes_exact_cycle_count(self):
+    def test_dense_run_ticks_every_cycle(self):
+        sim = Simulator(dense=True)
+        rec = sim.add_component(Recorder())
+        sim.run(5)
+        assert rec.ticks == [0, 1, 2, 3, 4]
+
+    def test_active_run_ticks_only_registration_wake(self):
+        # a component that never re-arms is ticked once (the wake placed
+        # at registration) and then left dormant
         sim = Simulator()
         rec = sim.add_component(Recorder())
+        sim.run(5)
+        assert rec.ticks == [0]
+        assert sim.now == 5
+
+    def test_self_arming_component_ticks_every_cycle(self):
+        class Polling(Recorder):
+            def tick(self, now):
+                super().tick(now)
+                self.wake_at(now + 1)
+
+        sim = Simulator()
+        rec = sim.add_component(Polling())
         sim.run(5)
         assert rec.ticks == [0, 1, 2, 3, 4]
 
@@ -83,6 +104,7 @@ class TestCalendar:
         class Logger(Component):
             def tick(self, now):
                 log.append(("tick", now))
+                self.wake_at(now + 1)
 
         sim.add_component(Logger("l"))
         sim.schedule(2, lambda: log.append(("event", sim.now)))
