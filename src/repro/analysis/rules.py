@@ -1,4 +1,4 @@
-"""The reprolint rule registry and the REP001-REP007 invariant rules.
+"""The reprolint rule registry and the REP001-REP008 invariant rules.
 
 Each rule guards one contract the reproduction's results depend on but
 that nothing else enforces at rest (see ``docs/static-analysis.md``):
@@ -11,6 +11,7 @@ REP004   pool-submitted callables are module-level (picklable)
 REP005   metric calls stay behind a captured ``metrics.enabled`` guard
 REP006   records handed to JSONL sink writers carry a ``schema`` tag
 REP007   tick-path link drains stay behind a cheap emptiness guard
+REP008   packed-path modules never construct ``Flit`` objects
 =======  ==========================================================
 
 A rule is a class with a ``code``, a one-line ``summary``, a ``hint``
@@ -55,6 +56,14 @@ RNG_HOME = "repro.sim.rng"
 #: the link implementation itself is exempt from REP007 (its methods
 #: *are* the drain primitives the rule protects)
 LINK_HOME = "repro.switches.link"
+
+#: modules that must stay ``Flit``-object-free (REP008): the packed
+#: data plane's hot path moves flit coordinates, never flit objects
+PACKED_MODULES: Tuple[str, ...] = (
+    "repro.switches.packed_central",
+    "repro.switches.packed_input",
+    "repro.host.packed_interface",
+)
 
 
 class Rule(ABC):
@@ -740,7 +749,8 @@ class LinkDrainsBehindGuard(Rule):
 
     The active-set kernel (PR 4) makes idle cycles nearly free, but a
     *woken* component still runs its whole ``tick``.  ``Link.receive()``
-    / ``Link.receive_into()`` walk the in-flight pipeline and
+    / ``Link.receive_into()`` / ``Link.receive_span()`` walk the
+    in-flight pipeline and
     ``Link.credits()`` drains the matured credit returns — per-port,
     per-cycle work that dominates busy ticks when called unconditionally.
     Each has a cheap O(1) pre-check: ``pending_arrival(now)`` before a
@@ -756,16 +766,19 @@ class LinkDrainsBehindGuard(Rule):
 
     code = "REP007"
     summary = (
-        "tick-path link receive()/receive_into()/credits() without a "
-        "cheap guard"
+        "tick-path link receive()/receive_into()/receive_span()/"
+        "credits() without a cheap guard"
     )
     hint = (
         "test link.pending_arrival(now) / link.can_send(now) / "
         "link.credits_in_return() before draining in a tick path"
     )
 
-    #: the drain calls that must be guarded
-    DRAINS = frozenset({"receive", "receive_into", "credits"})
+    #: the drain calls that must be guarded (``receive_span`` is the
+    #: packed plane's bulk drain — same walk, same guard)
+    DRAINS = frozenset(
+        {"receive", "receive_into", "receive_span", "credits"}
+    )
     #: identifiers any of which makes an enclosing/preceding test a guard
     GUARDS = ("pending_arrival", "can_send", "credits_in_return")
 
@@ -875,3 +888,64 @@ class LinkDrainsBehindGuard(Rule):
             ):
                 return True
         return False
+
+
+@register
+class PackedPathBuildsNoFlits(Rule):
+    """REP008 — packed-path modules never construct ``Flit`` objects.
+
+    The packed data plane's entire value is that the hot path moves flit
+    *coordinates* — ``(worm, index)`` ints and ``(worm, start, count)``
+    spans — instead of allocating one object per flit per hop.  A
+    ``Flit(...)`` construction (or a ``worm.flit(...)`` /
+    ``span_flits(...)`` materialisation) inside
+    ``repro.switches.packed_central``, ``repro.switches.packed_input``
+    or ``repro.host.packed_interface`` quietly reintroduces the
+    allocation churn the plane exists to remove — every behavioural test
+    still passes, only the benchmark gate would eventually notice.
+    Conversion back to the object world stays at the sanctioned
+    boundary: :func:`repro.flits.packed.flit_repr` for byte-identical
+    trace strings, and the :class:`~repro.flits.packed.WormTable` /
+    ``span_flits`` helpers for telemetry and the object reference path,
+    which live outside the packed modules.
+    """
+
+    code = "REP008"
+    summary = "Flit object construction inside a packed-path module"
+    hint = (
+        "move flits as (worm, index) coordinates or spans; for trace "
+        "strings use repro.flits.packed.flit_repr, and keep object "
+        "conversion outside the packed modules"
+    )
+
+    #: canonical callables that materialise Flit objects
+    MATERIALISERS = frozenset(
+        {
+            "repro.flits.flit.Flit",
+            "repro.flits.packed.span_flits",
+        }
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if module.module_name not in PACKED_MODULES:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = module.imports.resolve(node.func)
+            if canonical in self.MATERIALISERS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{canonical.rsplit('.', 1)[1]}() materialises flit "
+                    "objects in a packed-path module",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "flit"
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    ".flit() materialises a Flit in a packed-path module",
+                )

@@ -1,18 +1,23 @@
-"""Active-set vs dense kernel benchmark (``python -m repro bench``).
+"""Optimised vs reference data/kernel-plane benchmark (``python -m repro bench``).
 
-Each scenario is run twice from identical configs — once on the dense
-kernel (``dense_kernel=True``: every component ticked every cycle) and
-once on the active-set kernel — and the two results are asserted
-bit-identical before any timing is reported, so a benchmark run doubles
-as a differential correctness check.
+Each scenario is run twice from identical configs — once as the
+*reference* flavour (``dense_kernel=True, packed=False``: every
+component ticked every cycle, per-flit ``Flit`` objects) and once as the
+*fast* flavour (active-set kernel plus the packed data plane,
+``packed=True``, the production default) — and the two results are
+asserted bit-identical before any timing is reported, so a benchmark
+run doubles as a differential correctness check of both optimisation
+layers at once.
 
 What is timed is :func:`repro.network.simulation.run_workload` only
 (network construction excluded); ``cycles/sec`` is simulated cycles per
 wall second.  Raw cycles/sec is machine-dependent, so the regression
-gate (``--check``) compares the *speedup ratio* — active over dense on
+gate (``--check``) compares the *speedup ratio* — fast over reference on
 the same machine in the same process — against the checked-in baseline
-``benchmarks/BENCH_kernel.json``: a kernel change that erodes the
-active-set advantage fails the gate no matter how fast the CI host is.
+``benchmarks/BENCH_kernel.json``: a change that erodes the optimised
+flavour's advantage fails the gate no matter how fast the CI host is.
+(The artifact keys keep their historical names: ``dense_*`` is the
+reference flavour, ``active_*`` the fast flavour.)
 
 Scenario set (names are stable; the baseline is keyed on them):
 
@@ -27,7 +32,24 @@ Scenario set (names are stable; the baseline is keyed on them):
     dominated by busy ticks, so speedups are modest).
 ``saturation``
     64 hosts at 0.9 offered load — the worst case for an active-set
-    kernel, since nearly every component is awake nearly every cycle.
+    kernel, since nearly every component is awake nearly every cycle;
+    the packed data plane is what keeps this ahead of the reference.
+``saturation-stream``
+    The same saturated system moving long (64-flit) packets, so flit
+    movement dominates routing: the packed data plane's home turf.
+``saturation-hotspot``
+    64 hosts driven past the saturation point of one hot destination
+    (tree saturation): the bottleneck link runs at 100% while the
+    backpressured rest of the system sits credit-blocked.  The fast
+    flavour moves the bottleneck traffic as packed spans and lets every
+    blocked component sleep; the dense reference ticks all of them every
+    cycle.  This is the >=2x speedup gate added with the packed plane.
+
+Wall-clock noise on shared machines can swamp a single run, so
+``--repeats N`` times each flavour N times (bit-identity asserted on
+every run) and keeps the fastest wall time per flavour; the checked-in
+baseline is recorded with repeats so its speedups are minima over a
+stable measurement, not one lucky sample.
 """
 
 from __future__ import annotations
@@ -47,6 +69,7 @@ from repro.network.config import SimulationConfig
 from repro.network.simulation import run_workload
 from repro.obs.manifest import RunManifest
 from repro.traffic.base import Workload
+from repro.traffic.hotspot import HotspotTraffic
 from repro.traffic.multicast import RandomMulticastStream, SingleMulticast
 from repro.traffic.unicast import UniformRandomUnicast
 
@@ -64,7 +87,7 @@ class BenchmarkError(ReproError):
 
 @dataclass(frozen=True)
 class Scenario:
-    """One benchmark case: a config/workload pair run on both kernels."""
+    """One benchmark case: a config/workload pair run on both flavours."""
 
     name: str
     description: str
@@ -73,9 +96,11 @@ class Scenario:
     #: part of the fast CI subset (``--smoke``)
     smoke: bool = False
 
-    def make_config(self, dense: bool) -> SimulationConfig:
+    def make_config(self, reference: bool) -> SimulationConfig:
+        """Reference: dense kernel + object flits; fast: active + packed."""
         config = SimulationConfig(num_hosts=self.num_hosts, seed=1)
-        config.dense_kernel = dense
+        config.dense_kernel = reference
+        config.packed = not reference
         return config
 
 
@@ -124,6 +149,28 @@ def _saturation() -> Workload:
     )
 
 
+def _saturation_stream() -> Workload:
+    return UniformRandomUnicast(
+        load=0.9,
+        payload_flits=64,
+        warmup_cycles=500,
+        measure_cycles=2_000,
+    )
+
+
+def _saturation_hotspot() -> Workload:
+    # 25 hosts' worth of offered traffic funnelled at one destination:
+    # far past the hot link's saturation point, so the run ends with a
+    # long tree-saturated drain at exactly 1 flit/cycle
+    return HotspotTraffic(
+        load=0.5,
+        hotspot_fraction=0.4,
+        payload_flits=32,
+        warmup_cycles=500,
+        measure_cycles=1_000,
+    )
+
+
 SCENARIOS: Tuple[Scenario, ...] = (
     Scenario(
         name="e5-low-load",
@@ -164,12 +211,31 @@ SCENARIOS: Tuple[Scenario, ...] = (
         num_hosts=64,
         make_workload=_saturation,
     ),
+    Scenario(
+        name="saturation-stream",
+        description="64 hosts, 64-flit unicast streams at 0.9 load",
+        num_hosts=64,
+        make_workload=_saturation_stream,
+        smoke=True,
+    ),
+    Scenario(
+        name="saturation-hotspot",
+        description="64 hosts tree-saturating one hot destination",
+        num_hosts=64,
+        make_workload=_saturation_hotspot,
+        smoke=True,
+    ),
 )
 
 
 @dataclass(frozen=True)
 class BenchResult:
-    """Timing of one scenario on both kernels (results bit-identical)."""
+    """Timing of one scenario on both flavours (results bit-identical).
+
+    Field names are historical: ``dense_*`` is the reference flavour
+    (dense kernel, object flits) and ``active_*`` the fast flavour
+    (active-set kernel, packed data plane).
+    """
 
     scenario: str
     num_hosts: int
@@ -180,7 +246,7 @@ class BenchResult:
 
     @property
     def speedup(self) -> float:
-        """Active-set wall-time advantage over the dense kernel."""
+        """Fast-flavour wall-time advantage over the reference."""
         return self.dense_seconds / self.active_seconds
 
     @property
@@ -205,9 +271,9 @@ class BenchResult:
         }
 
 
-def _run_one(scenario: Scenario, dense: bool) -> Tuple[dict, int, float]:
-    """Build and run one kernel flavour; returns (summary, cycles, wall)."""
-    network = build_network(scenario.make_config(dense))
+def _run_one(scenario: Scenario, reference: bool) -> Tuple[dict, int, float]:
+    """Build and run one flavour; returns (summary, cycles, wall)."""
+    network = build_network(scenario.make_config(reference))
     workload = scenario.make_workload()
     watch = Stopwatch()
     result = run_workload(network, workload)
@@ -215,25 +281,36 @@ def _run_one(scenario: Scenario, dense: bool) -> Tuple[dict, int, float]:
     return result.summary(), result.cycles, wall
 
 
-def run_scenario(scenario: Scenario) -> BenchResult:
-    """Time one scenario on both kernels; raise on any divergence."""
-    dense_summary, dense_cycles, dense_wall = _run_one(scenario, dense=True)
-    active_summary, active_cycles, active_wall = _run_one(
-        scenario, dense=False
-    )
-    if dense_summary != active_summary or dense_cycles != active_cycles:
-        raise BenchmarkError(
-            f"scenario {scenario.name!r}: active-set result diverged from "
-            f"dense reference\n  dense : cycles={dense_cycles} "
-            f"{dense_summary}\n  active: cycles={active_cycles} "
-            f"{active_summary}"
+def run_scenario(scenario: Scenario, repeats: int = 1) -> BenchResult:
+    """Time one scenario on both flavours; raise on any divergence.
+
+    With ``repeats > 1`` each flavour runs that many times and the
+    fastest wall time per flavour is kept, damping scheduler noise;
+    bit-identity is asserted on every repeat, not just the fastest.
+    """
+    if repeats < 1:
+        raise BenchmarkError("repeats must be >= 1")
+    ref_wall = fast_wall = float("inf")
+    for _ in range(repeats):
+        ref_summary, ref_cycles, wall = _run_one(scenario, reference=True)
+        ref_wall = min(ref_wall, wall)
+        fast_summary, fast_cycles, wall = _run_one(
+            scenario, reference=False
         )
+        fast_wall = min(fast_wall, wall)
+        if ref_summary != fast_summary or ref_cycles != fast_cycles:
+            raise BenchmarkError(
+                f"scenario {scenario.name!r}: fast-flavour result diverged "
+                f"from the reference\n  reference: cycles={ref_cycles} "
+                f"{ref_summary}\n  fast     : cycles={fast_cycles} "
+                f"{fast_summary}"
+            )
     return BenchResult(
         scenario=scenario.name,
         num_hosts=scenario.num_hosts,
-        cycles=active_cycles,
-        dense_seconds=dense_wall,
-        active_seconds=active_wall,
+        cycles=fast_cycles,
+        dense_seconds=ref_wall,
+        active_seconds=fast_wall,
         smoke=scenario.smoke,
     )
 
@@ -242,6 +319,7 @@ def run_scenarios(
     smoke: bool = False,
     names: Optional[Sequence[str]] = None,
     progress: Optional[Callable[[str], None]] = None,
+    repeats: int = 1,
 ) -> List[BenchResult]:
     """Run the selected scenarios (all, the smoke subset, or by name)."""
     selected = list(SCENARIOS)
@@ -259,7 +337,7 @@ def run_scenarios(
     for scenario in selected:
         if progress is not None:
             progress(f"{scenario.name}: {scenario.description} ...")
-        results.append(run_scenario(scenario))
+        results.append(run_scenario(scenario, repeats=repeats))
     return results
 
 
@@ -329,9 +407,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro bench",
         description=(
-            "Benchmark the active-set kernel against the dense reference "
-            "(results are asserted bit-identical) and optionally gate on "
-            "a recorded speedup baseline."
+            "Benchmark the fast flavour (active-set kernel, packed data "
+            "plane) against the dense/object reference (results are "
+            "asserted bit-identical) and optionally gate on a recorded "
+            "speedup baseline."
         ),
     )
     parser.add_argument(
@@ -362,6 +441,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"(default: {DEFAULT_TOLERANCE})"
         ),
     )
+    parser.add_argument(
+        "--repeats", type=int, default=1, metavar="N",
+        help=(
+            "time each flavour N times and keep the fastest wall time "
+            "(bit-identity asserted on every repeat; default: 1)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     watch = Stopwatch()
@@ -370,6 +456,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             smoke=args.smoke,
             names=args.scenario,
             progress=lambda text: print(text, file=sys.stderr),
+            repeats=args.repeats,
         )
     except BenchmarkError as error:
         print(f"bench: {error}", file=sys.stderr)
@@ -377,8 +464,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     wall = watch.elapsed()
 
     print(render_table(results))
-    print(f"\n{len(results)} scenario(s), every active-set result "
-          f"bit-identical to its dense reference, {wall:.1f}s total")
+    print(f"\n{len(results)} scenario(s), every fast-flavour result "
+          f"bit-identical to its dense/object reference, {wall:.1f}s total")
 
     if args.out:
         artifact = to_artifact(results, wall_seconds=wall)

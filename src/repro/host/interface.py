@@ -70,7 +70,7 @@ class HostInterface(Component):
         if self.out_link is not None:
             raise ProtocolError(f"{self.name}: out link already wired")
         self.out_link = link
-        link.on_credit(self.wake_at)
+        link.wake_on_credit(self)
 
     def connect_in(self, link: Link) -> None:
         """Wire the ejection link from the switch and declare our depth.
@@ -82,7 +82,7 @@ class HostInterface(Component):
             raise ProtocolError(f"{self.name}: in link already wired")
         self.in_link = link
         link.set_credits(self.rx_depth)
-        link.on_arrival(self.wake_at)
+        link.wake_on_arrival(self)
 
     def on_delivery(self, callback: DeliveryCallback) -> None:
         """Register the node's packet-delivery handler."""

@@ -1,0 +1,152 @@
+"""Packed-data-plane variant of the host network interface.
+
+Same injection/ejection engine as
+:class:`~repro.host.interface.HostInterface`, but moving spans instead
+of flit objects: injection stages up to ``min(credits, remaining)``
+flits of the head worm in one :meth:`~repro.switches.link.Link.send_span`
+call (wire-identical to the same flits sent one per cycle), and ejection
+drains :meth:`~repro.switches.link.Link.receive_span` spans, returning
+the freed credits in one batch.  No :class:`~repro.flits.flit.Flit`
+object is ever constructed here (enforced by reprolint rule REP008).
+
+Staging a whole span up front means the head worm leaves the injection
+queue *at the staging cycle* rather than at the tail's nominal send
+cycle.  Everything that observes injection state —
+:meth:`HostNode.idle`, :meth:`Network.quiescent`, the
+``ni.injection_backlog`` telemetry gauge — must still see the object
+path's timeline, so :attr:`_tx_end` records the staged span's last
+nominal send slot and :meth:`idle` / :attr:`injection_backlog` count the
+worm as busy through that cycle.  Events and ``run_until`` predicates
+run before ticks, so the object path's pop (inside the tick at the
+tail-send cycle ``t_end``) becomes visible to them at ``t_end + 1`` —
+exactly when ``now > _tx_end`` first holds.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError
+from repro.flits.packed import flit_repr
+from repro.flits.worm import Worm
+from repro.host.interface import HostInterface
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+class PackedHostInterface(HostInterface):
+    """One host's injection/ejection engine on the packed data plane."""
+
+    def __init__(
+        self,
+        host_id: int,
+        tracer: Tracer = NULL_TRACER,
+        rx_depth: int = HostInterface.RX_DEPTH,
+    ) -> None:
+        super().__init__(host_id, tracer=tracer, rx_depth=rx_depth)
+        #: last nominal send-slot cycle of the most recently staged span
+        self._tx_end = -1
+
+    # ------------------------------------------------------------------
+    # per-cycle behaviour
+    # ------------------------------------------------------------------
+    def tick(self, now: int) -> None:
+        self._eject_spans(now)
+        sent = self._inject_span(now)
+        # the staged span occupies send slots now .. now+sent-1, so the
+        # next send opportunity is now+sent — wake there unconditionally:
+        # a worm enqueued mid-span must start at exactly the cycle the
+        # one-flit-per-tick reference would reach it (when the queue
+        # stays empty the extra tick is a no-op and changes nothing)
+        if sent:
+            self.wake_at(now + sent)
+
+    def _eject_spans(self, now: int) -> None:
+        link = self.in_link
+        if link is None or not link.pending_arrival(now):
+            return
+        while True:
+            span = link.receive_span(now)
+            if span is None:
+                break
+            worm, start, count = span
+            link.return_credit(now, count)
+            self._absorb_span(worm, start, count, now)
+
+    def _absorb_span(self, worm: Worm, start: int, count: int, now: int) -> None:
+        if self._rx_worm is None:
+            if start != 0:
+                raise ProtocolError(
+                    f"{self.name}: body flit {flit_repr(worm, start)} "
+                    "without head"
+                )
+            if not worm.destinations.is_singleton() or (
+                self.host_id not in worm.destinations
+            ):
+                raise ProtocolError(
+                    f"{self.name}: received worm addressed to "
+                    f"{worm.destinations!r}"
+                )
+            self._rx_worm = worm
+            self._rx_count = 0
+        if worm is not self._rx_worm or start != self._rx_count:
+            raise ProtocolError(
+                f"{self.name}: out-of-order flit {flit_repr(worm, start)} "
+                f"(expected index {self._rx_count})"
+            )
+        self._rx_count = start + count
+        self.flits_ejected += count
+        self.sim.progress += count  # note_progress(), once per member flit
+        if self._rx_count == worm.size_flits:
+            self._rx_worm = None
+            self.tracer.emit(
+                now, self.name, "packet_delivered",
+                packet=worm.packet.packet_id,
+            )
+            if self._on_delivery is not None:
+                self._on_delivery(worm, now)
+
+    def _inject_span(self, now: int) -> int:
+        """Stage the next span out; returns the flits staged (0: blocked)."""
+        link = self.out_link
+        if link is None or not self._inject:
+            return 0
+        window = link.sendable_span(now)
+        if window <= 0:
+            return 0
+        worm = self._inject[0]
+        cursor = self._inject_cursor
+        count = worm.size_flits - cursor
+        if count > window:
+            count = window
+        if cursor == 0 and worm.packet.injected_cycle is None:
+            worm.packet.injected_cycle = now
+        link.send_span(now, worm, cursor, count)
+        cursor += count
+        self.flits_injected += count
+        self.sim.progress += count  # note_progress(), once per member flit
+        self._tx_end = now + count - 1
+        if cursor == worm.size_flits:
+            self._inject.popleft()
+            self._inject_cursor = 0
+        else:
+            self._inject_cursor = cursor
+        return count
+
+    # ------------------------------------------------------------------
+    # introspection: the object path's timeline (see module docstring)
+    # ------------------------------------------------------------------
+    @property
+    def injection_backlog(self) -> int:
+        """Worms queued or with send slots still nominally occupied."""
+        backlog = len(self._inject)
+        if self._sim is not None and self._sim.now <= self._tx_end and (
+            self._inject_cursor == 0
+        ):
+            backlog += 1
+        return backlog
+
+    def idle(self) -> bool:
+        """True when nothing is being injected, staged, or reassembled."""
+        return (
+            not self._inject
+            and self._rx_worm is None
+            and (self._sim is None or self._sim.now > self._tx_end)
+        )

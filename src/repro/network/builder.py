@@ -11,6 +11,7 @@ from repro.flits.destset import DestinationSet
 from repro.flits.encoding import HeaderEncoding
 from repro.host.interface import HostInterface
 from repro.host.node import HostNode, allocate_nodes
+from repro.host.packed_interface import PackedHostInterface
 from repro.metrics.collectors import MetricsCollector
 from repro.network.config import SimulationConfig, TopologyKind
 from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
@@ -23,6 +24,8 @@ from repro.switches.base import SwitchBase
 from repro.switches.central_buffer import CentralBufferSwitch
 from repro.switches.input_buffer import InputBufferSwitch
 from repro.switches.link import Link
+from repro.switches.packed_central import PackedCentralBufferSwitch
+from repro.switches.packed_input import PackedInputBufferSwitch
 from repro.topology.bmin import BidirectionalMin
 from repro.topology.graph import NodeKind, Topology
 from repro.topology.irregular import IrregularNetwork
@@ -92,11 +95,11 @@ def _build_topology(config: SimulationConfig):
     raise ConfigurationError(f"unknown topology kind {config.topology!r}")
 
 
-def _switch_class(architecture: SwitchArchitecture):
+def _switch_class(architecture: SwitchArchitecture, packed: bool):
     if architecture is SwitchArchitecture.CENTRAL_BUFFER:
-        return CentralBufferSwitch
+        return PackedCentralBufferSwitch if packed else CentralBufferSwitch
     if architecture is SwitchArchitecture.INPUT_BUFFER:
-        return InputBufferSwitch
+        return PackedInputBufferSwitch if packed else InputBufferSwitch
     raise ConfigurationError(f"unknown architecture {architecture!r}")
 
 
@@ -119,7 +122,8 @@ def build_network(
     encoding = config.build_encoding()
     collector = MetricsCollector(config.num_hosts)
     settings = config.switch_settings()
-    switch_class = _switch_class(config.switch_architecture)
+    switch_class = _switch_class(config.switch_architecture, config.packed)
+    interface_class = PackedHostInterface if config.packed else HostInterface
 
     switches: List[SwitchBase] = []
     for switch_id, ports in enumerate(topology.switch_ports):
@@ -136,7 +140,7 @@ def build_network(
 
     interfaces: List[HostInterface] = []
     for host in range(config.num_hosts):
-        interface = HostInterface(
+        interface = interface_class(
             host, tracer=tracer, rx_depth=config.ni_rx_depth
         )
         sim.add_component(interface)

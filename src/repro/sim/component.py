@@ -16,6 +16,7 @@ documented in ``docs/performance.md``; in short:
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Set
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -37,10 +38,15 @@ class Component:
         # active-set bookkeeping, owned by the kernel: registration index
         # (tick order within a cycle), the set of far cycles this component
         # is already scheduled to wake at (heap-push dedupe), and the
-        # next-cycle bucket marker (fast-path dedupe — see Simulator.wake).
+        # next-cycle bucket marker (fast-path dedupe — see Simulator.wake;
+        # Link's send/credit paths also read the marker to skip redundant
+        # wake calls inline).
         self._index = -1
         self._wake_cycles: Set[int] = set()
         self._wake_marker = -1
+        # cycle this component was last marked due (the kernel's
+        # scan-based dedup for busy cycles — see Simulator.step)
+        self._due_marker = -1
 
     @property
     def sim(self) -> "Simulator":
@@ -65,9 +71,25 @@ class Component:
         current cycle.  Before attachment this is a no-op: attachment
         itself schedules an initial wake, so no pre-attach state is ever
         missed.
+
+        This inlines :meth:`Simulator.wake` (kept in sync with it):
+        every flit movement fires at least one wake through the link
+        hooks, making this the single most-called function in a run.
         """
-        if self._sim is not None:
-            self._sim.wake(self, cycle)
+        sim = self._sim
+        if sim is None or sim.dense:
+            return
+        if cycle < sim.now:
+            cycle = sim.now
+        if cycle == sim._bucket_cycle:
+            if self._wake_marker != cycle:
+                self._wake_marker = cycle
+                sim._bucket.append(self._index)
+            return
+        if cycle in self._wake_cycles:
+            return
+        self._wake_cycles.add(cycle)
+        heappush(sim._wakes, (cycle, self._index))
 
     def wake_now(self) -> None:
         """Request a tick in the current cycle (idempotent)."""

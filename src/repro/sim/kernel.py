@@ -108,6 +108,9 @@ class Simulator:
         Cycles in the past are clamped to ``now`` (useful when a test
         drives ticks by hand).  In dense mode this is a no-op — every
         component is ticked every cycle anyway.
+
+        :meth:`Component.wake_at` inlines this logic as its fast path;
+        any change here must be mirrored there.
         """
         if self.dense:
             return
@@ -235,13 +238,23 @@ class Simulator:
                 components[index]._wake_cycles.discard(cycle)
                 due.append(index)
             if due:
-                due.sort()
-                last = -1
-                for index in due:
-                    if index == last:
-                        continue  # at most one tick per component per cycle
-                    last = index
-                    components[index].tick(now)
+                if 2 * len(due) >= len(components):
+                    # busy cycle: most components are due, so mark and
+                    # scan registration order instead of sorting — same
+                    # ascending tick order, same at-most-once dedup
+                    for index in due:
+                        components[index]._due_marker = now
+                    for component in components:
+                        if component._due_marker == now:
+                            component.tick(now)
+                else:
+                    due.sort()
+                    last = -1
+                    for index in due:
+                        if index == last:
+                            continue  # at most one tick per component per cycle
+                        last = index
+                        components[index].tick(now)
         self.now = now + 1
 
     def _next_activity_cycle(self) -> Optional[int]:

@@ -8,7 +8,7 @@ paper's switch designs.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional
 
 
 class RoundRobinArbiter:
@@ -31,6 +31,10 @@ class RoundRobinArbiter:
         candidates = set(requesters)
         if not candidates:
             return None
+        if len(candidates) == 1:
+            (index,) = candidates  # deterministic: a one-element set
+            self._next = (index + 1) % self.num_requesters
+            return index
         for offset in range(self.num_requesters):
             index = (self._next + offset) % self.num_requesters
             if index in candidates:
@@ -56,8 +60,39 @@ class RoundRobinArbiter:
             granted.append(winner)
         return granted
 
+    def grant_batch(self, requesters: List[int], limit: int) -> List[int]:
+        """Identical grants to :meth:`grant_up_to` in one rotation.
 
-def rotate_from(items: Sequence[int], start: int) -> List[int]:
+        ``requesters`` must be distinct indices in ascending order (the
+        per-cycle candidate scans produce exactly that).  Repeated
+        :meth:`grant` calls each rescan all offsets from the pointer;
+        since every grant moves the pointer one past its winner, the
+        winners of a whole cycle are simply the first ``limit``
+        candidates in pointer-rotated order — computed here with one
+        list split instead of ``limit`` modulo scans.  Winners, order,
+        and the final pointer position match :meth:`grant_up_to` exactly
+        (property-tested in ``tests/switches/test_arbiter.py``).
+        """
+        if limit < 0:
+            raise ValueError("limit must be non-negative")
+        if not requesters:
+            return []
+        start = self._next
+        if len(requesters) == 1:
+            winners = requesters if limit else []
+        else:
+            pivot = 0
+            for position, value in enumerate(requesters):
+                if value >= start:
+                    pivot = position
+                    break
+            winners = (requesters[pivot:] + requesters[:pivot])[:limit]
+        if winners:
+            self._next = (winners[-1] + 1) % self.num_requesters
+        return winners
+
+
+def rotate_from(items: Iterable[int], start: int) -> List[int]:
     """Return ``items`` rotated so scanning starts at value ``start``.
 
     Helper for per-cycle fair iteration orders over port indices.

@@ -140,7 +140,7 @@ class SwitchBase(Component):
             raise ProtocolError(f"{self.name}: input port {port} already wired")
         self.in_links[port] = link
         link.set_credits(self.input_credit_depth(port))
-        link.on_arrival(self.wake_at)
+        link.wake_on_arrival(self)
 
     def connect_out(self, port: int, link: Link) -> None:
         """Wire an outgoing link and register this switch as its credit
@@ -148,7 +148,7 @@ class SwitchBase(Component):
         if self.out_links[port] is not None:
             raise ProtocolError(f"{self.name}: output port {port} already wired")
         self.out_links[port] = link
-        link.on_credit(self.wake_at)
+        link.wake_on_credit(self)
 
     # ------------------------------------------------------------------
     # routing

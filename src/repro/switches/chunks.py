@@ -84,6 +84,9 @@ class CentralBufferPool:
             )
         self.free_shared = self.capacity_chunks - num_inputs * quota_chunks
         self.free_quota: List[int] = [quota_chunks] * num_inputs
+        # running count of held chunks, kept in lockstep with the free
+        # counters so per-chunk bookkeeping never sums the quota list
+        self._used_chunks = 0
         self.occupancy = TimeWeightedAverage()
 
     # ------------------------------------------------------------------
@@ -113,7 +116,8 @@ class CentralBufferPool:
             return None
         self.free_shared -= from_shared
         self.free_quota[input_port] -= from_quota
-        self._note(now)
+        self._used_chunks += chunks
+        self.occupancy.update(now, self._used_chunks)
         return ChunkCharge(input_port, from_shared, from_quota)
 
     def give_back(self, charge: "ChunkCharge", chunks: int, now: int) -> None:
@@ -130,14 +134,12 @@ class CentralBufferPool:
         charge.shared -= to_shared
         self.free_quota[charge.input_port] += to_quota
         self.free_shared += to_shared
-        if self.used_chunks < 0 or (
+        self._used_chunks -= chunks
+        if self._used_chunks < 0 or (
             self.free_quota[charge.input_port] > self.quota_chunks
         ):
             raise BufferError_("central buffer accounting corrupted")
-        self._note(now)
-
-    def _note(self, now: int) -> None:
-        self.occupancy.update(now, self.used_chunks)
+        self.occupancy.update(now, self._used_chunks)
 
     # ------------------------------------------------------------------
     # introspection
@@ -150,7 +152,7 @@ class CentralBufferPool:
     @property
     def used_chunks(self) -> int:
         """Chunks currently held by stored packets."""
-        return self.capacity_chunks - self.free_chunks
+        return self._used_chunks
 
     def __repr__(self) -> str:
         return (
@@ -307,7 +309,11 @@ class StoredPacket:
     def _release_consumed(self, now: int) -> None:
         if self.charge is None:
             return
-        min_read = min(cursor.read for cursor in self.branches)
+        branches = self.branches
+        if len(branches) == 1:  # unicast: no generator over one cursor
+            min_read = branches[0].read
+        else:
+            min_read = min(cursor.read for cursor in branches)
         if min_read >= self.total_flits and self.fully_written:
             target = self.charge.total + self._chunks_released
         else:

@@ -12,12 +12,38 @@ drains :meth:`receive`/:meth:`receive_into` during its own, with the
 pipeline queues keyed by arrival cycle.  Because latency is at least one
 cycle, behaviour is independent of which side ticks first.
 
+In-flight flits are stored packed — as int spans in a preallocated
+:class:`~repro.flits.packed.SpanQueue`, never as per-flit objects.  Both
+data planes share this storage:
+
+* the object plane sends one :class:`~repro.flits.flit.Flit` per cycle
+  (:meth:`send`) and materialises flit objects on :meth:`receive`;
+* the packed plane sends flit *coordinates* (:meth:`send_packed`) or a
+  whole contiguous span in one call (:meth:`send_span`, which reserves
+  one send slot and one credit per member flit, exactly as the same
+  flits sent one per cycle would) and drains spans with
+  :meth:`receive_span`, which moves up to ``min(credits, pending)``
+  flits per wake as slice arithmetic on the span records.
+
+The wire protocol is identical either way: a span sent at cycle *t*
+occupies send slots *t .. t+count-1* and delivers one flit per cycle —
+so credits, arrival cycles and every downstream observable match the
+one-flit-per-tick reference bit for bit (see
+``tests/sim/test_packed_differential.py``).
+
 For the active-set kernel the link carries two *wake hooks*: the
 receiving component registers :meth:`on_arrival` (wired by
 ``connect_in``) so a send wakes it at the delivery cycle, and the
 sending component registers :meth:`on_credit` (wired by ``connect_out``)
 so a credit return wakes it when the credit matures.  Both hooks are
 optional — a bare link in a unit test works exactly as before.
+
+The arrival hook fires once per :meth:`send` and once per
+:meth:`send_span` — at the span's *first* arrival cycle, not once per
+member flit.  A receiver that drains a span partially therefore owns its
+own re-arm for the remaining members; every switch satisfies this for
+free, because accepting a flit stirs it and a stirred non-empty switch
+always re-arms for the next cycle.
 """
 
 from __future__ import annotations
@@ -27,6 +53,9 @@ from typing import Callable, Deque, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, ProtocolError
 from repro.flits.flit import Flit
+from repro.flits.packed import SpanQueue
+from repro.flits.worm import Worm
+from repro.sim.component import Component
 
 #: a wake hook receives the absolute cycle the wake is requested for
 WakeHook = Callable[[int], None]
@@ -48,12 +77,35 @@ class Link:
         self.credit_latency = credit_latency if credit_latency is not None else latency
         if self.credit_latency < 1:
             raise ConfigurationError("credit latency must be at least 1 cycle")
-        self._in_flight: Deque[Tuple[int, Flit]] = deque()
+        in_flight = SpanQueue()
+        self._in_flight = in_flight
+        # receiver-side hot aliases: both drains below are pure wrappers
+        # around the span store, and both run once (or more) per busy
+        # input port per cycle — binding the store's methods directly
+        # saves a Python call on every poll.  Semantics are documented
+        # on SpanQueue.has_arrived / SpanQueue.take.
+        #: True when :meth:`receive_span` would deliver at least one flit
+        #: at the given cycle (the REP007 guard for the drains below).
+        self.pending_arrival = in_flight.has_arrived
+        #: pop the longest arrived span as ``(worm, start, count)`` —
+        #: up to ``min(limit, pending)`` flits of one worm, ``None`` when
+        #: nothing has arrived.  The packed-plane drain: call repeatedly
+        #: until ``None``; a span is never split across worms.
+        self.receive_span = in_flight.take
         self._credit_returns: Deque[Tuple[int, int]] = deque()
         self._credits: Optional[int] = None
+        #: last cycle with a reserved send slot; a span send at cycle t
+        #: reserves slots t .. t+count-1 in one call
         self._last_send_cycle = -1
         self._arrival_hook: Optional[WakeHook] = None
         self._credit_hook: Optional[WakeHook] = None
+        # component wakers (the fast form of the hooks above): storing
+        # the component itself lets the send/credit paths test its
+        # next-cycle wake marker inline and skip the wake call entirely
+        # when the target is already scheduled — the overwhelmingly
+        # common case in a busy network
+        self._arrival_comp: Optional[Component] = None
+        self._credit_comp: Optional[Component] = None
         #: total flits ever sent (utilisation statistics)
         self.flits_sent = 0
 
@@ -64,7 +116,7 @@ class Link:
         """Register the receiver's wake hook; called per send with the
         arrival cycle, so an idle receiver is ticked exactly when the
         flit becomes receivable."""
-        if self._arrival_hook is not None:
+        if self._arrival_hook is not None or self._arrival_comp is not None:
             raise ProtocolError(f"link {self.name}: arrival hook already set")
         self._arrival_hook = hook
 
@@ -72,9 +124,27 @@ class Link:
         """Register the sender's wake hook; called per credit return with
         the cycle the credit matures, so a credit-starved sender can go
         dormant instead of polling."""
-        if self._credit_hook is not None:
+        if self._credit_hook is not None or self._credit_comp is not None:
             raise ProtocolError(f"link {self.name}: credit hook already set")
         self._credit_hook = hook
+
+    def wake_on_arrival(self, component: Component) -> None:
+        """Register the receiving component itself as the arrival waker.
+
+        Equivalent to ``on_arrival(component.wake_at)`` but lets the
+        send paths dedup against the component's next-cycle wake marker
+        without a call; the standard network wiring uses this form.
+        """
+        if self._arrival_hook is not None or self._arrival_comp is not None:
+            raise ProtocolError(f"link {self.name}: arrival hook already set")
+        self._arrival_comp = component
+
+    def wake_on_credit(self, component: Component) -> None:
+        """Register the sending component itself as the credit waker
+        (the fast form of ``on_credit(component.wake_at)``)."""
+        if self._credit_hook is not None or self._credit_comp is not None:
+            raise ProtocolError(f"link {self.name}: credit hook already set")
+        self._credit_comp = component
 
     # ------------------------------------------------------------------
     # receiver side
@@ -86,15 +156,6 @@ class Link:
         if depth < 1:
             raise ConfigurationError("credit depth must be at least 1")
         self._credits = depth
-
-    def pending_arrival(self, now: int) -> bool:
-        """True when :meth:`receive` would deliver at least one flit.
-
-        A cheap guard for the per-cycle hot path: components poll every
-        input link every cycle they are awake, and most are silent most
-        cycles (enforced by reprolint rule REP007).
-        """
-        return bool(self._in_flight) and self._in_flight[0][0] <= now
 
     def receive(self, now: int) -> List[Flit]:
         """Pop every flit that has arrived by cycle ``now``, in order.
@@ -109,14 +170,19 @@ class Link:
     def receive_into(self, now: int, buf: List[Flit]) -> int:
         """Append every flit arrived by ``now`` to ``buf``; return count.
 
-        The allocation-free variant of :meth:`receive` for hot drain
-        loops: the caller owns (and reuses) ``buf``.
+        The object-plane drain: materialises one :class:`Flit` per
+        arrived member of the packed span records.
         """
         in_flight = self._in_flight
         count = 0
-        while in_flight and in_flight[0][0] <= now:
-            buf.append(in_flight.popleft()[1])
-            count += 1
+        while True:
+            span = in_flight.take(now)
+            if span is None:
+                break
+            worm, start, taken = span
+            for index in range(start, start + taken):
+                buf.append(Flit(worm, index))
+            count += taken
         return count
 
     def return_credit(self, now: int, count: int = 1) -> None:
@@ -125,7 +191,14 @@ class Link:
             raise ValueError("count must be positive")
         mature = now + self.credit_latency
         self._credit_returns.append((mature, count))
-        if self._credit_hook is not None:
+        comp = self._credit_comp
+        if comp is not None:
+            # inline wake dedup: the marker equals `mature` only when the
+            # component is already in the kernel's next-cycle bucket for
+            # exactly that cycle (markers never run ahead of the bucket)
+            if comp._wake_marker != mature:
+                comp.wake_at(mature)
+        elif self._credit_hook is not None:
             self._credit_hook(mature)
 
     # ------------------------------------------------------------------
@@ -145,24 +218,114 @@ class Link:
 
     def can_send(self, now: int) -> bool:
         """True when a credit is available and this cycle's slot is free."""
-        return self._last_send_cycle != now and self.credits(now) > 0
+        if self._last_send_cycle >= now:
+            return False
+        # inlined credits(now): this runs once per busy output per cycle
+        credits = self._credits
+        if credits is None:
+            raise ProtocolError(f"link {self.name}: receiver never set credits")
+        returns = self._credit_returns
+        if returns and returns[0][0] <= now:
+            while returns and returns[0][0] <= now:
+                credits += returns.popleft()[1]
+            self._credits = credits
+        return credits > 0
+
+    def sendable_span(self, now: int) -> int:
+        """Largest span :meth:`send_span` would accept at cycle ``now``."""
+        if self._last_send_cycle >= now:
+            return 0
+        return self.credits(now)
 
     def send(self, now: int, flit: Flit) -> None:
         """Transmit one flit; requires :meth:`can_send`."""
-        if self._last_send_cycle == now:
+        self.send_packed(now, flit.worm, flit.index)
+
+    def send_packed(self, now: int, worm: Worm, index: int) -> None:
+        """Transmit flit ``(worm, index)`` without materialising it."""
+        if self._last_send_cycle >= now:
             raise ProtocolError(
                 f"link {self.name}: second send in cycle {now}"
             )
-        if self.credits(now) <= 0:
+        # inlined credits(now): this is the hottest call in the simulator
+        credits = self._credits
+        if credits is None:
+            raise ProtocolError(f"link {self.name}: receiver never set credits")
+        returns = self._credit_returns
+        if returns and returns[0][0] <= now:
+            while returns and returns[0][0] <= now:
+                credits += returns.popleft()[1]
+        if credits <= 0:
+            self._credits = credits
             raise ProtocolError(
                 f"link {self.name}: send without credit in cycle {now}"
             )
-        self._credits -= 1  # type: ignore[operator]
+        self._credits = credits - 1
         self._last_send_cycle = now
         arrival = now + self.latency
-        self._in_flight.append((arrival, flit))
+        self._in_flight.push_span(arrival, worm, index, 1)
         self.flits_sent += 1
-        if self._arrival_hook is not None:
+        comp = self._arrival_comp
+        if comp is not None:
+            if comp._wake_marker != arrival:
+                comp.wake_at(arrival)
+        elif self._arrival_hook is not None:
+            self._arrival_hook(arrival)
+
+    def send_granted(self, now: int, worm: Worm, index: int) -> None:
+        """Transmit flit ``(worm, index)`` after a :meth:`can_send` check.
+
+        The packed switches test :meth:`can_send` while collecting grant
+        candidates and send to each winner in the same cycle; since
+        ``can_send`` already drained matured credit returns and nothing
+        else can touch this link's credits within the tick, re-draining
+        here would be pure overhead.  Caller contract: ``can_send(now)``
+        returned True earlier in this same cycle and no other send has
+        happened since — exactly what the scan-then-grant phases ensure.
+        """
+        self._credits = self._credits - 1  # type: ignore[operator]
+        self._last_send_cycle = now
+        arrival = now + self.latency
+        self._in_flight.push_span(arrival, worm, index, 1)
+        self.flits_sent += 1
+        comp = self._arrival_comp
+        if comp is not None:
+            if comp._wake_marker != arrival:
+                comp.wake_at(arrival)
+        elif self._arrival_hook is not None:
+            self._arrival_hook(arrival)
+
+    def send_span(self, now: int, worm: Worm, start: int, count: int) -> None:
+        """Transmit ``count`` flits of ``worm`` from ``start`` in one call.
+
+        Wire-identical to ``count`` single sends on consecutive cycles:
+        one send slot and one credit per member flit (all reserved now)
+        and member ``j`` arriving at ``now + latency + j``.  The arrival
+        hook fires once, at the first arrival cycle; the receiver's own
+        stirred re-arm covers the rest of the span (see the module
+        docstring).  Requires ``count <= sendable_span(now)``.
+        """
+        if count < 1:
+            raise ValueError("span count must be positive")
+        if self._last_send_cycle >= now:
+            raise ProtocolError(
+                f"link {self.name}: second send in cycle {now}"
+            )
+        if self.credits(now) < count:
+            raise ProtocolError(
+                f"link {self.name}: span of {count} flits exceeds "
+                f"{self._credits} credits in cycle {now}"
+            )
+        self._credits -= count  # type: ignore[operator]
+        self._last_send_cycle = now + count - 1
+        arrival = now + self.latency
+        self._in_flight.push_span(arrival, worm, start, count)
+        self.flits_sent += count
+        comp = self._arrival_comp
+        if comp is not None:
+            if comp._wake_marker != arrival:
+                comp.wake_at(arrival)
+        elif self._arrival_hook is not None:
             self._arrival_hook(arrival)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,147 @@
+"""Packed-data-plane variant of the input-buffer switch.
+
+Same microarchitecture as
+:class:`~repro.switches.input_buffer.InputBufferSwitch` — routing,
+output arbitration and slot recycling are inherited unchanged — but the
+flit-movement phases use the packed link API: spans in
+(:meth:`~repro.switches.link.Link.receive_span`), flit coordinates out
+(:meth:`~repro.switches.link.Link.send_packed`).  No
+:class:`~repro.flits.flit.Flit` object is ever constructed here
+(enforced by reprolint rule REP008); trace events use
+:func:`~repro.flits.packed.flit_repr`.
+
+Every observable is bit-identical to the object path — a span accept
+updates the same ingress cursors the per-flit accept would, and egress
+stays one flit per output per cycle (see
+``tests/sim/test_packed_differential.py``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError
+from repro.flits.packed import flit_repr
+from repro.flits.worm import Worm
+from repro.switches.input_buffer import InputBufferSwitch, _Ingress
+
+
+class PackedInputBufferSwitch(InputBufferSwitch):
+    """Input-queued switch on the packed data plane."""
+
+    # -- phase 1: absorb link arrivals as spans --------------------------
+    def _receive(self, now: int) -> None:
+        for port, link in enumerate(self.in_links):
+            if link is None or not link.pending_arrival(now):
+                continue
+            while True:
+                span = link.receive_span(now)
+                if span is None:
+                    break
+                worm, start, count = span
+                self._accept_span(port, worm, start, count, now)
+
+    def _accept_span(
+        self, port: int, worm: Worm, start: int, count: int, now: int
+    ) -> None:
+        inflow = self._inflow[port]
+        ingress = inflow[-1] if inflow else None
+        if ingress is None or ingress.received == ingress.worm.size_flits:
+            if start != 0:
+                raise ProtocolError(
+                    f"{self.name}.in{port}: body flit "
+                    f"{flit_repr(worm, start)} without head"
+                )
+            ingress = _Ingress(worm)
+            inflow.append(ingress)
+            self._total_ingresses += 1
+        if worm is not ingress.worm or start != ingress.received:
+            raise ProtocolError(
+                f"{self.name}.in{port}: out-of-order flit "
+                f"{flit_repr(worm, start)} "
+                f"(expected index {ingress.received} of {ingress.worm!r})"
+            )
+        ingress.received = start + count
+        self._stirred = True
+        # the object path stamps header completion at the cycle of the
+        # tick that drains the completing flit — for a span that crosses
+        # the header boundary that is exactly this tick's cycle
+        if start < worm.header_flits <= start + count:
+            ingress.header_done_cycle = now
+        if self.tracer.enabled:
+            for index in range(start, start + count):
+                self.tracer.emit(
+                    now, self.name, "flit_in",
+                    port=port, flit=flit_repr(worm, index),
+                )
+
+    # -- phase 3: grant outputs and move flits -----------------------------
+    def _drive_outputs(self, now: int) -> None:
+        for port in range(self.num_ports):
+            if self._current[port] is None and self._waiting[port]:
+                winner = self._grant_arbiters[port].grant(self._waiting[port])
+                if winner is not None:
+                    self._current[port] = self._waiting[port].pop(winner)
+                    self._stirred = True
+        lockstep_done = set()
+        for port in range(self.num_ports):
+            branch = self._current[port]
+            if branch is None:
+                continue
+            link = self.out_links[port]
+            if link is None:
+                raise ProtocolError(f"{self.name}: active branch on unwired "
+                                    f"output port {port}")
+            ingress = branch.ingress
+            if self._synchronous and len(ingress.branches) > 1:
+                if id(ingress) not in lockstep_done:
+                    lockstep_done.add(id(ingress))
+                    self._advance_lockstep(ingress, now)
+                continue
+            if branch.read >= ingress.received or not link.can_send(now):
+                if (
+                    self._obs
+                    and branch.read < ingress.received
+                    and not link.can_send(now)
+                ):
+                    self._c_blocked.inc()
+                continue
+            link.send_packed(now, branch.worm, branch.read)
+            branch.read += 1
+            self._stirred = True
+            if self._obs:
+                self._c_forwarded.inc()
+            self.sim.note_progress()
+            self._recycle_slots(branch.input_port, ingress, now)
+            if branch.read == branch.worm.size_flits:
+                self._current[port] = None
+                self._active -= 1
+
+    def _advance_lockstep(self, ingress: _Ingress, now: int) -> None:
+        """Synchronous replication: every branch sends the same flit in
+        the same cycle, or nobody sends."""
+        branches = ingress.branches
+        if any(self._current[b.out_port] is not b for b in branches):
+            return  # still accumulating output ports
+        index = branches[0].read
+        if index >= ingress.received:
+            return
+        links = [self.out_links[b.out_port] for b in branches]
+        if any(link is None or not link.can_send(now) for link in links):
+            if self._obs:
+                self._c_blocked.inc()
+            return  # one blocked branch stalls the whole worm
+        self._stirred = True
+        for branch, link in zip(branches, links):
+            link.send_packed(now, branch.worm, branch.read)
+            branch.read += 1
+        if self._obs:
+            self._c_forwarded.inc(len(branches))
+        self.sim.note_progress()
+        self._recycle_slots(branches[0].input_port, ingress, now)
+        if branches[0].read == ingress.worm.size_flits:
+            for branch in branches:
+                self._current[branch.out_port] = None
+                self._active -= 1
+            if self._sync_queue and self._sync_queue[0] is ingress:
+                self._sync_queue.popleft()
+                if self._sync_queue:
+                    self._register_branches(self._sync_queue[0])

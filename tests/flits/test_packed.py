@@ -1,0 +1,230 @@
+"""Packed flit plane: lossless word roundtrips and span-queue laws.
+
+The packed data plane (``repro.flits.packed``) replaces ``Flit`` objects
+with integer words and spans; every conversion back to the object world
+must be lossless for every flit kind (head/body/tail, header/payload)
+and every destination-set shape.  These are property-based pins of that
+contract, mirroring the style of ``tests/flits/test_encoding.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ProtocolError
+from repro.flits.destset import DestinationSet
+from repro.flits.flit import Flit
+from repro.flits.packed import (
+    FLAG_HEAD,
+    FLAG_HEADER,
+    FLAG_TAIL,
+    SpanQueue,
+    WORD_INDEX_BITS,
+    WormTable,
+    flit_flags,
+    flit_repr,
+    pack_word,
+    span_flits,
+    unpack_word,
+)
+from repro.flits.packet import Message, Packet, TrafficClass
+from repro.flits.worm import Worm
+
+
+def make_worm(
+    universe: int = 16,
+    destination_ids=(1,),
+    header_flits: int = 1,
+    payload_flits: int = 4,
+    source: int = 0,
+    packet_id: int = 0,
+) -> Worm:
+    destinations = DestinationSet.from_ids(universe, destination_ids)
+    message = Message(
+        0, source, destinations, payload_flits, TrafficClass.UNICAST, 0
+    )
+    packet = Packet(
+        packet_id, message, destinations, header_flits, payload_flits
+    )
+    return Worm.root(packet)
+
+
+#: a worm of varying destination-set shape (singleton through broadcast),
+#: header length and payload length — every flit-kind combination
+def worms():
+    return st.integers(2, 5).flatmap(  # universe = 2**k hosts
+        lambda k: st.builds(
+            make_worm,
+            universe=st.just(2 ** k),
+            destination_ids=st.lists(
+                st.integers(1, 2 ** k - 1), min_size=1,
+                max_size=2 ** k - 1, unique=True,
+            ),
+            header_flits=st.integers(1, 4),
+            payload_flits=st.integers(1, 12),
+            packet_id=st.integers(0, 2 ** 20),
+        )
+    )
+
+
+class TestWordRoundtrip:
+    @given(
+        slot=st.integers(0, 2 ** 40),
+        index=st.integers(0, (1 << WORD_INDEX_BITS) - 1),
+        flags=st.integers(0, 7),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_pack_unpack_is_identity(self, slot, index, flags):
+        assert unpack_word(pack_word(slot, index, flags)) == (
+            slot, index, flags,
+        )
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ProtocolError):
+            pack_word(0, 1 << WORD_INDEX_BITS, 0)
+        with pytest.raises(ProtocolError):
+            pack_word(-1, 0, 0)
+
+    @given(worm=worms())
+    @settings(max_examples=60, deadline=None)
+    def test_flags_match_flit_kind_for_every_index(self, worm):
+        for index in range(worm.size_flits):
+            flit = Flit(worm, index)
+            flags = flit_flags(worm, index)
+            assert bool(flags & FLAG_HEAD) == flit.is_head
+            assert bool(flags & FLAG_TAIL) == flit.is_tail
+            assert bool(flags & FLAG_HEADER) == flit.is_header
+
+
+class TestWormTableRoundtrip:
+    @given(worm=worms())
+    @settings(max_examples=60, deadline=None)
+    def test_encode_decode_lossless_for_every_flit(self, worm):
+        table = WormTable()
+        for index in range(worm.size_flits):
+            decoded = table.decode(table.encode(worm, index))
+            # identity, not just equality: the decoded flit must carry
+            # the same live worm (branch), hence the same destination
+            # set, header split and packet
+            assert decoded.worm is worm
+            assert decoded.index == index
+            assert decoded == Flit(worm, index)
+
+    @given(worm=worms())
+    @settings(max_examples=40, deadline=None)
+    def test_repr_matches_object_flit(self, worm):
+        for index in range(worm.size_flits):
+            assert flit_repr(worm, index) == repr(Flit(worm, index))
+
+    def test_destination_set_shape_survives(self):
+        multi = make_worm(universe=16, destination_ids=(1, 5, 7, 12))
+        table = WormTable()
+        decoded = table.decode(table.encode(multi, 0))
+        assert decoded.worm.destinations == multi.destinations
+        assert decoded.worm.is_multidestination
+
+    def test_index_outside_worm_rejected(self):
+        worm = make_worm(payload_flits=2)
+        table = WormTable()
+        with pytest.raises(ProtocolError):
+            table.encode(worm, worm.size_flits)
+
+    @given(count=st.integers(1, 24))
+    @settings(max_examples=30, deadline=None)
+    def test_slots_recycle_and_stay_bijective(self, count):
+        table = WormTable()
+        live = [make_worm(packet_id=i) for i in range(count)]
+        slots = [table.intern(worm) for worm in live]
+        assert len(set(slots)) == count  # bijective while live
+        assert all(table.intern(w) == s for w, s in zip(live, slots))
+        table.release(live[0])
+        with pytest.raises(ProtocolError):
+            table.worm(slots[0])
+        with pytest.raises(ProtocolError):
+            table.release(live[0])  # double release
+        replacement = make_worm(packet_id=count)
+        assert table.intern(replacement) == slots[0]  # slot recycled
+
+    def test_span_flits_materialises_the_exact_range(self):
+        worm = make_worm(payload_flits=6)
+        flits = list(span_flits(worm, 2, 3))
+        assert flits == [Flit(worm, 2), Flit(worm, 3), Flit(worm, 4)]
+
+
+class TestSpanQueue:
+    """Laws of the in-flight ring: merge, grow, partial take."""
+
+    @given(
+        sizes=st.lists(st.integers(1, 6), min_size=1, max_size=20),
+        base=st.integers(0, 50),
+        capacity=st.integers(1, 4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_contiguous_pushes_drain_as_one_ordered_stream(
+        self, sizes, base, capacity
+    ):
+        # split one worm into contiguous chunks pushed with the
+        # consecutive-arrival contract: they must merge into a single
+        # record and drain, flit by flit, at exactly their arrival cycles
+        total = sum(sizes)
+        worm = make_worm(payload_flits=max(total, 1))
+        queue = SpanQueue(capacity)
+        start = 0
+        for size in sizes:
+            queue.push_span(base + start, worm, start, size)
+            start += size
+        assert len(queue) == total
+        assert queue.records == 1  # merged
+        assert not queue.has_arrived(base - 1)
+        got = []
+        now = base
+        while len(queue):
+            assert queue.has_arrived(now)
+            span = queue.take(now, limit=1)
+            assert span is not None
+            got_worm, got_start, got_count = span
+            assert got_worm is worm and got_count == 1
+            got.append(got_start)
+            now += 1
+        assert got == list(range(total))
+        assert queue.take(now) is None
+
+    @given(worm_count=st.integers(2, 12))
+    @settings(max_examples=30, deadline=None)
+    def test_distinct_worms_never_merge_and_grow_preserves_order(
+        self, worm_count
+    ):
+        queue = SpanQueue(2)  # force _grow along the way
+        worms_ = [make_worm(packet_id=i) for i in range(worm_count)]
+        for position, worm in enumerate(worms_):
+            queue.push_span(position, worm, 0, 1)
+        assert queue.records == worm_count
+        drained = []
+        for now in range(worm_count):
+            drained.append(queue.take(now)[0])
+        assert drained == worms_
+
+    def test_partial_take_advances_the_span_in_place(self):
+        worm = make_worm(payload_flits=8)
+        queue = SpanQueue()
+        queue.push_span(10, worm, 0, 5)  # flits 0..4 arrive cycles 10..14
+        assert queue.take(9) is None  # nothing matured yet
+        assert queue.take(12) == (worm, 0, 3)  # arrived prefix only
+        assert len(queue) == 2
+        assert not queue.has_arrived(12)  # remainder matures later
+        assert queue.take(12, limit=4) is None
+        assert queue.take(14) == (worm, 3, 2)
+        assert len(queue) == 0
+
+    def test_limit_caps_an_arrived_span(self):
+        worm = make_worm(payload_flits=8)
+        queue = SpanQueue()
+        queue.push_span(0, worm, 0, 4)
+        assert queue.take(100, limit=3) == (worm, 0, 3)
+        assert queue.take(100) == (worm, 3, 1)
+
+    def test_non_positive_span_rejected(self):
+        worm = make_worm()
+        with pytest.raises(ValueError):
+            SpanQueue().push_span(0, worm, 0, 0)

@@ -82,6 +82,56 @@ class TestGrantUpTo:
             RoundRobinArbiter(4).grant_up_to([0], -1)
 
 
+class TestGrantBatch:
+    """The packed fast path must be indistinguishable from grant_up_to."""
+
+    @given(
+        rounds=st.lists(
+            st.tuples(
+                st.sets(st.integers(0, 7)),  # requesters (made ascending)
+                st.integers(0, 9),  # limit
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_identical_to_grant_up_to_across_rounds(self, rounds):
+        # same winners, same order, and — via the shared pointer — the
+        # same behaviour on every later round.  grant_batch's contract
+        # requires distinct ascending requesters, which is how both
+        # switch phases build their candidate lists.
+        reference = RoundRobinArbiter(8)
+        batch = RoundRobinArbiter(8)
+        for requesters, limit in rounds:
+            ascending = sorted(requesters)
+            assert (
+                reference.grant_up_to(ascending, limit)
+                == batch.grant_batch(ascending, limit)
+            )
+
+    def test_empty_and_zero_limit(self):
+        arb = RoundRobinArbiter(4)
+        assert arb.grant_batch([], 3) == []
+        assert arb.grant_batch([1, 2], 0) == []
+        with pytest.raises(ValueError):
+            arb.grant_batch([0], -1)
+
+    def test_empty_round_leaves_pointer_unchanged(self):
+        reference = RoundRobinArbiter(4)
+        batch = RoundRobinArbiter(4)
+        for arb in (reference, batch):
+            arb.grant([1])  # advance both pointers identically
+        batch.grant_batch([], 2)
+        batch.grant_batch([0, 3], 0)
+        # a no-winner round must not move the pointer: the next real
+        # round still agrees with the reference
+        assert (
+            reference.grant_up_to([0, 1, 3], 2)
+            == batch.grant_batch([0, 1, 3], 2)
+        )
+
+
 class TestRotateFrom:
     def test_rotation(self):
         assert rotate_from([0, 1, 2, 3], 2) == [2, 3, 0, 1]

@@ -1,0 +1,277 @@
+"""Span-boundary behaviour of the bulk link API.
+
+``send_span``/``receive_span`` move whole spans per call but must stay
+wire-identical to the same flits sent one per cycle: identical credit
+trajectories, identical arrival cycles, identical wake-hook firings.
+These tests pin the boundary cases — zero credits, credits smaller than
+the pending span, exact fits, spans straddling a worm boundary — and the
+single-arrival-hook contract documented in ``repro.switches.link``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.flits.destset import DestinationSet
+from repro.flits.flit import Flit
+from repro.flits.packet import Message, Packet, TrafficClass
+from repro.flits.worm import Worm
+from repro.sim.component import Component
+from repro.sim.kernel import Simulator
+from repro.switches.link import Link
+
+
+def make_worm(size=8, universe=4, packet_id=0):
+    destinations = DestinationSet.single(universe, 1)
+    message = Message(
+        0, 0, destinations, size - 1, TrafficClass.UNICAST, 0
+    )
+    packet = Packet(packet_id, message, destinations, 1, size - 1)
+    return Worm.root(packet)
+
+
+def make_link(depth=8, latency=1, credit_latency=None):
+    link = Link("test", latency=latency, credit_latency=credit_latency)
+    link.set_credits(depth)
+    return link
+
+
+def drain(link, now, limit=None):
+    """Every (worm, start, count) span receivable at ``now``."""
+    spans = []
+    while link.pending_arrival(now):
+        span = link.receive_span(now, limit)
+        if span is None:
+            break
+        spans.append(span)
+    return spans
+
+
+class TestReceiveSpanBoundaries:
+    def test_zero_credit_limit_delivers_nothing(self):
+        # a receiver with no free buffer slots passes limit=0 and must
+        # get nothing back — the span stays queued, untouched
+        link = make_link()
+        worm = make_worm()
+        link.send_span(0, worm, 0, 4)
+        assert link.pending_arrival(10)
+        assert link.receive_span(10, 0) is None
+        assert link.in_flight() == 4
+
+    def test_limit_below_pending_takes_a_prefix(self):
+        # credits < pending: the span splits; the remainder is
+        # immediately receivable (its members have all arrived)
+        link = make_link()
+        worm = make_worm()
+        link.send_span(0, worm, 0, 4)
+        assert link.receive_span(10, 3) == (worm, 0, 3)
+        assert link.receive_span(10, 3) == (worm, 3, 1)
+        assert link.receive_span(10, 3) is None
+
+    def test_exact_fit_takes_the_whole_span(self):
+        link = make_link()
+        worm = make_worm()
+        link.send_span(0, worm, 0, 4)
+        assert link.receive_span(10, 4) == (worm, 0, 4)
+        assert not link.pending_arrival(10)
+        assert link.in_flight() == 0
+
+    def test_members_mature_one_per_cycle(self):
+        # a span send is pipelined, not a burst: member j arrives at
+        # latency + j, so an early drain yields only the matured prefix
+        link = make_link(latency=2)
+        worm = make_worm()
+        link.send_span(0, worm, 0, 4)
+        assert not link.pending_arrival(1)
+        assert drain(link, 2) == [(worm, 0, 1)]
+        assert drain(link, 3) == [(worm, 1, 1)]
+        assert drain(link, 5) == [(worm, 2, 2)]
+
+    def test_span_never_straddles_a_worm_boundary(self):
+        # tail of one worm and head of the next, sent back to back on
+        # consecutive cycles: one receive_span call returns members of
+        # exactly one worm, with the tail span closed off first
+        link = make_link()
+        tail_worm, head_worm = make_worm(packet_id=1), make_worm(packet_id=2)
+        link.send_span(0, tail_worm, 6, 2)  # last two flits (tail at 7)
+        link.send_span(2, head_worm, 0, 2)  # next worm's head
+        spans = drain(link, 10)
+        assert spans == [(tail_worm, 6, 2), (head_worm, 0, 2)]
+
+    def test_receive_into_materialises_identical_flits(self):
+        # object-plane drain over the same in-flight store
+        link = make_link()
+        worm = make_worm()
+        link.send_span(0, worm, 2, 3)
+        buf: list = []
+        assert link.receive_into(10, buf) == 3
+        assert buf == [Flit(worm, 2), Flit(worm, 3), Flit(worm, 4)]
+
+
+class TestSendSpanReservations:
+    def test_span_reserves_one_slot_and_credit_per_member(self):
+        link = make_link(depth=8)
+        worm = make_worm()
+        link.send_span(0, worm, 0, 3)
+        assert link.credits(0) == 5  # three credits consumed up front
+        # slots 0..2 are reserved: the next send fits at cycle 3
+        assert not link.can_send(1)
+        assert not link.can_send(2)
+        assert link.can_send(3)
+        assert link.sendable_span(2) == 0
+        assert link.sendable_span(3) == 5
+
+    def test_span_beyond_credits_rejected(self):
+        link = make_link(depth=2)
+        worm = make_worm()
+        with pytest.raises(ProtocolError):
+            link.send_span(0, worm, 0, 3)
+
+    def test_zero_credits_blocks_any_span(self):
+        link = make_link(depth=2)
+        worm = make_worm()
+        link.send_span(0, worm, 0, 2)
+        assert link.sendable_span(5) == 0
+        with pytest.raises(ProtocolError):
+            link.send_span(5, worm, 2, 1)
+        # returned credits mature and reopen the span window
+        link.receive_span(10, None)
+        link.return_credit(10, 2)
+        assert link.sendable_span(11) == 2
+
+    def test_send_granted_matches_send_packed_wire_state(self):
+        # send_granted skips the redundant credit drain after a
+        # can_send check; the resulting wire state must be identical
+        granted, packed = make_link(), make_link()
+        worm = make_worm()
+        for now in range(3):
+            assert granted.can_send(now)
+            granted.send_granted(now, worm, now)
+            packed.send_packed(now, worm, now)
+        for link in (granted, packed):
+            assert link.flits_sent == 3
+            assert link.credits(2) == 5
+            assert link.in_flight() == 3
+        assert drain(granted, 10) == drain(packed, 10) == [(worm, 0, 3)]
+
+
+class Recorder(Component):
+    """Records every tick cycle; never re-arms on its own."""
+
+    def __init__(self, name="rec"):
+        super().__init__(name)
+        self.ticks = []
+
+    def tick(self, now):
+        self.ticks.append(now)
+
+
+class TestWakeSemantics:
+    def test_arrival_hook_fires_once_at_first_arrival(self):
+        link = make_link(latency=2)
+        fired = []
+        link.on_arrival(fired.append)
+        link.send_span(0, make_worm(), 0, 4)
+        assert fired == [2]  # once, at the first member's arrival
+
+    def test_span_credit_return_wakes_match_single_flit_semantics(self):
+        # the same four flits, once as a span and once as four single
+        # sends on consecutive cycles: arrival cycles and credit-wake
+        # cycles must be indistinguishable.  (The sender's own credit
+        # counter differs *during* the span window — all member credits
+        # are reserved up front — but reconverges as returns mature.)
+        def run(as_span):
+            link = make_link(depth=8, latency=1)
+            credit_wakes = []
+            link.on_credit(credit_wakes.append)
+            worm = make_worm()
+            arrivals, credit_trace = [], []
+            for now in range(12):
+                if as_span:
+                    if now == 0:
+                        link.send_span(0, worm, 0, 4)
+                else:
+                    if now < 4 and link.can_send(now):
+                        link.send_packed(now, worm, now)
+                for _, start, count in drain(link, now):
+                    for index in range(start, start + count):
+                        arrivals.append((index, now))
+                        link.return_credit(now)
+                credit_trace.append(link.credits(now))
+            # past the send window the reserved-up-front credits have
+            # reconverged with the one-per-cycle trajectory
+            return arrivals, credit_trace[4:], credit_wakes
+
+        assert run(as_span=True) == run(as_span=False)
+
+    def test_component_waker_ticks_receiver_at_arrival_cycles(self):
+        # wake_on_arrival wires the component itself; a span send must
+        # tick it at the first arrival, and the receiver (which in the
+        # real network re-arms itself while stirred) sees the rest as
+        # already-arrived members — here we just check the hook cycle
+        sim = Simulator()
+        receiver = sim.add_component(Recorder())
+        link = make_link(latency=3)
+        link.wake_on_arrival(receiver)
+        sim.schedule(1, lambda: link.send_span(sim.now, make_worm(), 0, 2))
+        sim.run(20)
+        assert receiver.ticks == [0, 4]  # registration tick + arrival
+
+    def test_component_waker_equivalent_to_hook_form(self):
+        def ticks(wire):
+            sim = Simulator()
+            receiver = sim.add_component(Recorder())
+            sender = sim.add_component(Recorder("snd"))
+            link = make_link(depth=1, latency=2)
+            wire(link, receiver, sender)
+            worm = make_worm()
+            sim.schedule(1, lambda: link.send_packed(sim.now, worm, 0))
+            # drain + credit return at the arrival cycle, waking the
+            # sender when the credit matures
+            sim.schedule(3, lambda: (link.receive_span(3),
+                                     link.return_credit(3)))
+            sim.run(20)
+            return receiver.ticks, sender.ticks
+
+        fast = ticks(lambda link, r, s: (link.wake_on_arrival(r),
+                                         link.wake_on_credit(s)))
+        slow = ticks(lambda link, r, s: (link.on_arrival(r.wake_at),
+                                         link.on_credit(s.wake_at)))
+        assert fast == slow
+        receiver_ticks, sender_ticks = fast
+        assert 3 in receiver_ticks  # arrival cycle
+        assert 5 in sender_ticks  # credit maturity cycle
+
+    def test_waker_and_hook_are_mutually_exclusive(self):
+        link = make_link()
+        receiver = Recorder()
+        link.wake_on_arrival(receiver)
+        with pytest.raises(ProtocolError):
+            link.on_arrival(lambda cycle: None)
+        with pytest.raises(ProtocolError):
+            link.wake_on_arrival(receiver)
+        link.wake_on_credit(receiver)
+        with pytest.raises(ProtocolError):
+            link.on_credit(lambda cycle: None)
+        with pytest.raises(ProtocolError):
+            link.wake_on_credit(receiver)
+
+    def test_marker_dedup_never_loses_a_wake(self):
+        # two links firing the same component for the same arrival cycle:
+        # the second fire hits the wake-marker fast path; the component
+        # must still tick exactly once at that cycle
+        sim = Simulator()
+        receiver = sim.add_component(Recorder())
+        a, b = make_link(), make_link()
+        a.wake_on_arrival(receiver)
+        b.wake_on_arrival(receiver)
+        worm = make_worm()
+
+        def fire():
+            a.send_packed(sim.now, worm, 0)
+            b.send_packed(sim.now, worm, 1)
+
+        sim.schedule(2, fire)
+        sim.run(10)
+        assert receiver.ticks == [0, 3]
