@@ -21,6 +21,11 @@ Subcommands:
     Benchmark the active-set kernel against the dense reference and
     gate on the recorded speedup baseline; see :mod:`repro.bench` and
     ``docs/performance.md``.
+``profile [--scenario NAME] [--arch cb|ib|both] [--export-trace FILE]``
+    Run one bench scenario with the profiling subsystem attached and
+    report kernel attribution, worm phase latencies and link
+    utilisation; optionally export a Chrome-trace JSON.  See
+    :mod:`repro.obs.profile` and ``docs/observability.md``.
 
 For the full evaluation use ``python -m repro.experiments.runner``.
 Unknown subcommands exit with status 2 and the usage summary below.
@@ -39,6 +44,7 @@ commands:
   inspect  summarise observability JSONL/manifest artifacts
   lint     run the reprolint static-analysis gate
   bench    benchmark the active-set kernel vs the dense reference
+  profile  profile one scenario (kernel, worm phases, Chrome trace)
 
 `python -m repro COMMAND --help` shows each command's options.
 Full evaluation: python -m repro.experiments.runner --all
@@ -100,6 +106,10 @@ def main(argv=None) -> int:
             from repro.bench.kernel import main as bench_main
 
             return bench_main(rest)
+        if command == "profile":
+            from repro.obs.profile.runner import main as profile_main
+
+            return profile_main(rest)
         if command == "demo":
             argv = rest
         else:
@@ -154,6 +164,8 @@ def main(argv=None) -> int:
     print("                   python -m repro inspect m.jsonl")
     print("Static analysis:   python -m repro lint")
     print("Kernel benchmark:  python -m repro bench --smoke")
+    print("Profiling:         python -m repro profile --arch cb "
+          "--export-trace trace.json")
     print("Benchmarks:        pytest benchmarks/ --benchmark-only")
     print("Examples:          python examples/quickstart.py")
     return 0

@@ -12,6 +12,7 @@ REP005   metric calls stay behind a captured ``metrics.enabled`` guard
 REP006   records handed to JSONL sink writers carry a ``schema`` tag
 REP007   tick-path link drains stay behind a cheap emptiness guard
 REP008   packed-path modules never construct ``Flit`` objects
+REP009   tracer/profiler emits stay behind an enabled/attached guard
 =======  ==========================================================
 
 A rule is a class with a ``code``, a one-line ``summary``, a ``hint``
@@ -64,6 +65,10 @@ PACKED_MODULES: Tuple[str, ...] = (
     "repro.switches.packed_input",
     "repro.host.packed_interface",
 )
+
+#: the tracer implementation itself is exempt from REP009 (its ``emit``
+#: *is* the guarded primitive the rule protects)
+TRACE_HOME = "repro.sim.trace"
 
 
 class Rule(ABC):
@@ -949,3 +954,146 @@ class PackedPathBuildsNoFlits(Rule):
                     node,
                     ".flit() materialises a Flit in a packed-path module",
                 )
+
+
+def _mentions_trace_guard(test: ast.expr) -> bool:
+    """True when ``test`` positively references a tracing/profiling guard.
+
+    Accepts everything :func:`_mentions_guard` accepts (the
+    ``metrics.enabled`` convention covers ``self.tracer.enabled`` too),
+    plus identifiers containing ``prof`` (the kernel's captured
+    ``prof = self._prof`` local) — but ``<prof> is None`` compares are
+    *negative*: that branch is the one where no profiler is attached.
+    """
+    if isinstance(test, ast.Compare) and len(test.ops) == 1:
+        comparator = test.comparators[0]
+        is_none = (
+            isinstance(comparator, ast.Constant)
+            and comparator.value is None
+        )
+        if is_none and isinstance(test.ops[0], ast.Is):
+            return False
+    if _mentions_guard(test):
+        return True
+    for node in ast.walk(test):
+        identifier = None
+        if isinstance(node, ast.Attribute):
+            identifier = node.attr
+        elif isinstance(node, ast.Name):
+            identifier = node.id
+        if identifier is not None and "prof" in identifier:
+            return True
+    return False
+
+
+def _mentions_trace_guard_negatively(test: ast.expr) -> bool:
+    """``not <guard>`` or ``<guard> is None`` early-exit tests."""
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        return _mentions_trace_guard(test.operand)
+    if isinstance(test, ast.Compare) and len(test.ops) == 1:
+        comparator = test.comparators[0]
+        if (
+            isinstance(test.ops[0], ast.Is)
+            and isinstance(comparator, ast.Constant)
+            and comparator.value is None
+        ):
+            return _mentions_trace_guard(test.left) or _mentions_guard(
+                test.left
+            )
+    return False
+
+
+@register
+class TraceEmitsBehindGuard(Rule):
+    """REP009 — tracer/profiler emits stay behind an enabled guard.
+
+    The profiling subsystem extends the zero-overhead contract (REP005)
+    to event emission: an unprofiled simulation pays one boolean test
+    per emit site, never a method call.  ``tracer.emit(...)`` builds its
+    keyword dict and tuple-sorts the details *before* the disabled
+    tracer returns, so an unguarded emit in a kernel path costs real
+    allocations on every hot cycle even when tracing is off; likewise
+    the kernel's profiler hooks (``record_tick`` / ``record_step`` /
+    ``record_fast_forward``) must only be reached when a profiler is
+    attached.  The rule flags such calls in kernel-path packages that
+    are neither inside an ``if`` whose test mentions a
+    tracing/profiling guard (``.enabled``, ``_obs``, a captured
+    ``prof`` local tested ``is not None``) nor after a
+    ``if not <guard>: return`` / ``if <prof> is None: return`` early
+    exit.  The tracer implementation itself is exempt.
+    """
+
+    code = "REP009"
+    summary = (
+        "tracer .emit()/profiler record_*() outside an enabled/attached "
+        "guard"
+    )
+    hint = (
+        "wrap the call in `if self.tracer.enabled:` (or test the "
+        "captured profiler local `is not None`) so the unprofiled hot "
+        "path pays one boolean test"
+    )
+
+    #: profiler-hook calls that must be guarded alongside ``emit``
+    EMITS = frozenset(
+        {"emit", "record_tick", "record_step", "record_fast_forward"}
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if not module.in_package(*KERNEL_PACKAGES):
+            return
+        if module.module_name == TRACE_HOME:
+            return
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self.EMITS
+            ):
+                continue
+            if self._is_guarded(module, node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f".{node.func.attr}() call not behind a tracer-enabled "
+                "or profiler-attached guard",
+            )
+
+    def _is_guarded(self, module: SourceModule, node: ast.AST) -> bool:
+        previous: ast.AST = node
+        for ancestor in module.parent_chain(node):
+            if isinstance(ancestor, (ast.If, ast.While)):
+                in_body = any(
+                    previous is statement for statement in ancestor.body
+                )
+                if in_body and _mentions_trace_guard(ancestor.test):
+                    return True
+            if isinstance(
+                ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                if self._early_exit_guard(ancestor, previous):
+                    return True
+                previous = ancestor
+                continue
+            previous = ancestor
+        return False
+
+    @staticmethod
+    def _early_exit_guard(func: ast.AST, top_statement: ast.AST) -> bool:
+        """A negative guard with an early exit before the statement."""
+        body = getattr(func, "body", [])
+        for statement in body:
+            if statement is top_statement:
+                return False
+            if (
+                isinstance(statement, ast.If)
+                and _mentions_trace_guard_negatively(statement.test)
+                and statement.body
+                and isinstance(
+                    statement.body[-1],
+                    (ast.Return, ast.Raise, ast.Continue),
+                )
+            ):
+                return True
+        return False

@@ -389,17 +389,72 @@ def render_table(results: Sequence[BenchResult]) -> str:
     return "\n".join(lines)
 
 
+def profile_scenarios(
+    results: Sequence[BenchResult],
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Dict[str, object]]:
+    """Profile each benchmarked scenario's fast flavour once.
+
+    Runs every scenario again with the full profiling subsystem
+    attached (kernel profiler, span profiler, lifecycle tracer) and
+    returns compact per-scenario summaries for the artifact.  The
+    profiled run must reach the same cycle count as the timed run —
+    a cheap standing check that profiling observes without steering.
+    """
+    # lazy import: the profile runner imports this module's SCENARIOS
+    from repro.obs.profile.runner import run_profiled
+
+    by_name = {scenario.name: scenario for scenario in SCENARIOS}
+    profiles: Dict[str, Dict[str, object]] = {}
+    for result in results:
+        scenario = by_name[result.scenario]
+        if progress is not None:
+            progress(f"{scenario.name}: profiling ...")
+        report = run_profiled(
+            scenario.make_config(reference=False),
+            scenario.make_workload(),
+            scenario_label=scenario.name,
+        )
+        if report.cycles != result.cycles:
+            raise BenchmarkError(
+                f"scenario {scenario.name!r}: profiled run finished at "
+                f"cycle {report.cycles}, timed run at {result.cycles} — "
+                "profiling must observe, never steer"
+            )
+        phases = report.lifecycle.phase_summary()
+        profiles[result.scenario] = {
+            "kernel": report.kernel.snapshot(),
+            "spans": report.spans.snapshot(),
+            "phases": {
+                key: phases[key]
+                for key in ("packets", "incomplete", "setup", "blocked",
+                            "transfer")
+            },
+        }
+    return profiles
+
+
 def to_artifact(
-    results: Sequence[BenchResult], wall_seconds: float
+    results: Sequence[BenchResult],
+    wall_seconds: float,
+    profiles: Optional[Dict[str, Dict[str, object]]] = None,
 ) -> Dict[str, object]:
-    """The JSON artifact: rows plus a provenance manifest."""
-    return {
+    """The JSON artifact: rows plus a provenance manifest.
+
+    ``profiles`` (from :func:`profile_scenarios`) rides along under its
+    own key; baseline checking ignores it, so profiled and unprofiled
+    artifacts stay interchangeable as ``--check`` baselines.
+    """
+    artifact: Dict[str, object] = {
         "schema": BENCH_SCHEMA,
         "scenarios": [result.to_dict() for result in results],
         "manifest": RunManifest.collect(
             wall_seconds=wall_seconds, bench="kernel"
         ).to_dict(),
     }
+    if profiles:
+        artifact["profiles"] = profiles
+    return artifact
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -448,6 +503,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "(bit-identity asserted on every repeat; default: 1)"
         ),
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help=(
+            "run each scenario once more with the profiling subsystem "
+            "attached and embed per-scenario kernel/span/phase "
+            "summaries in the --out artifact"
+        ),
+    )
     args = parser.parse_args(argv)
 
     watch = Stopwatch()
@@ -467,8 +530,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"\n{len(results)} scenario(s), every fast-flavour result "
           f"bit-identical to its dense/object reference, {wall:.1f}s total")
 
+    profiles: Dict[str, Dict[str, object]] = {}
+    if args.profile:
+        try:
+            profiles = profile_scenarios(
+                results,
+                progress=lambda text: print(text, file=sys.stderr),
+            )
+        except BenchmarkError as error:
+            print(f"bench: {error}", file=sys.stderr)
+            return 1
+        print(f"profiled {len(profiles)} scenario(s); summaries go in "
+              "the --out artifact")
+
     if args.out:
-        artifact = to_artifact(results, wall_seconds=wall)
+        artifact = to_artifact(results, wall_seconds=wall, profiles=profiles)
         path = Path(args.out)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(

@@ -143,21 +143,32 @@ def main(argv=None) -> int:
         help="gauge sampling period in cycles "
         f"(default {obs_runtime.DEFAULT_SAMPLE_EVERY} when recording)",
     )
+    obs_group.add_argument(
+        "--profile-out", metavar="FILE",
+        help="append per-run profiling digests (kernel attribution, "
+        "worm phase latencies, link heatmap) as JSONL",
+    )
     args = parser.parse_args(argv)
 
     scale = QUICK if args.scale == "quick" else PAPER
     jobs = default_jobs() if args.jobs is None else max(1, args.jobs)
     names = sorted(EXPERIMENTS) if args.all else [args.experiment]
 
-    recording = bool(args.metrics_out or args.trace_out)
+    recording = bool(
+        args.metrics_out or args.trace_out or args.profile_out
+    )
     if args.sample_every and not recording:
-        parser.error("--sample-every needs --metrics-out or --trace-out")
+        parser.error(
+            "--sample-every needs --metrics-out, --trace-out or "
+            "--profile-out"
+        )
     if recording:
         obs_runtime.configure(
             ObsOptions(
                 metrics_out=args.metrics_out,
                 trace_out=args.trace_out,
                 sample_every=max(0, args.sample_every),
+                profile_out=args.profile_out,
             )
         )
 

@@ -16,6 +16,7 @@ from typing import Callable, Deque, List, Optional
 from repro.errors import ProtocolError
 from repro.flits.flit import Flit
 from repro.flits.worm import Worm
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 from repro.sim.component import Component
 from repro.sim.trace import NULL_TRACER, Tracer
 from repro.switches.link import Link
@@ -41,6 +42,7 @@ class HostInterface(Component):
         host_id: int,
         tracer: Tracer = NULL_TRACER,
         rx_depth: int = RX_DEPTH,
+        metrics: MetricsRegistry = NULL_REGISTRY,
     ) -> None:
         super().__init__(f"ni{host_id}")
         if rx_depth < 1:
@@ -48,6 +50,13 @@ class HostInterface(Component):
         self.host_id = host_id
         self.rx_depth = rx_depth
         self.tracer = tracer
+        # network-wide NI totals, shared by name across all interfaces;
+        # guarded by the captured flag so the uninstrumented path pays a
+        # single boolean test (the REP005 contract)
+        self._obs = metrics.enabled
+        self._c_injected = metrics.counter("ni.flits_injected")
+        self._c_ejected = metrics.counter("ni.flits_ejected")
+        self._c_blocked = metrics.counter("ni.blocked_cycles")
         self.out_link: Optional[Link] = None
         self.in_link: Optional[Link] = None
         self._inject: Deque[Worm] = deque()
@@ -119,6 +128,14 @@ class HostInterface(Component):
         # flit — so a half-reassembled worm alone needs no polling.
         if self._inject and sent:
             self.wake_at(now + 1)
+        elif self._obs and self._inject:
+            # blocked with telemetry on: poll so blocked_cycles counts
+            # every stalled cycle, exactly as under the dense kernel (the
+            # extra ticks are behaviourally inert — sending still gates
+            # on can_send, which flips on the same cycle the credit hook
+            # would have woken us)
+            self._c_blocked.inc()
+            self.wake_at(now + 1)
 
     def _eject(self, now: int) -> None:
         link = self.in_link
@@ -154,14 +171,17 @@ class HostInterface(Component):
             )
         self._rx_count += 1
         self.flits_ejected += 1
+        if self._obs:
+            self._c_ejected.inc()
         self.sim.note_progress()
         if flit.is_tail:
             worm = self._rx_worm
             self._rx_worm = None
-            self.tracer.emit(
-                now, self.name, "packet_delivered",
-                packet=worm.packet.packet_id,
-            )
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    now, self.name, "packet_delivered",
+                    packet=worm.packet.packet_id,
+                )
             if self._on_delivery is not None:
                 self._on_delivery(worm, now)
 
@@ -174,9 +194,18 @@ class HostInterface(Component):
             return False
         if self._inject_cursor == 0 and worm.packet.injected_cycle is None:
             worm.packet.injected_cycle = now
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    now, self.name, "inject_start",
+                    packet=worm.packet.packet_id,
+                    flits=worm.size_flits,
+                    created=worm.packet.message.created_cycle,
+                )
         self.out_link.send(now, Flit(worm, self._inject_cursor))
         self._inject_cursor += 1
         self.flits_injected += 1
+        if self._obs:
+            self._c_injected.inc()
         self.sim.note_progress()
         if self._inject_cursor == worm.size_flits:
             self._inject.popleft()

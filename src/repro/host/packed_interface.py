@@ -28,6 +28,7 @@ from repro.errors import ProtocolError
 from repro.flits.packed import flit_repr
 from repro.flits.worm import Worm
 from repro.host.interface import HostInterface
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 from repro.sim.trace import NULL_TRACER, Tracer
 
 
@@ -39,8 +40,11 @@ class PackedHostInterface(HostInterface):
         host_id: int,
         tracer: Tracer = NULL_TRACER,
         rx_depth: int = HostInterface.RX_DEPTH,
+        metrics: MetricsRegistry = NULL_REGISTRY,
     ) -> None:
-        super().__init__(host_id, tracer=tracer, rx_depth=rx_depth)
+        super().__init__(
+            host_id, tracer=tracer, rx_depth=rx_depth, metrics=metrics
+        )
         #: last nominal send-slot cycle of the most recently staged span
         self._tx_end = -1
 
@@ -57,6 +61,14 @@ class PackedHostInterface(HostInterface):
         # stays empty the extra tick is a no-op and changes nothing)
         if sent:
             self.wake_at(now + sent)
+        elif self._obs and self._inject:
+            # blocked with telemetry on: poll every cycle so
+            # ni.blocked_cycles counts densely — but only cycles past the
+            # staged span's last nominal send slot are *blocked*; during
+            # the span the one-flit-per-cycle reference is still sending
+            if now > self._tx_end:
+                self._c_blocked.inc()
+            self.wake_at(now + 1)
 
     def _eject_spans(self, now: int) -> None:
         link = self.in_link
@@ -93,13 +105,16 @@ class PackedHostInterface(HostInterface):
             )
         self._rx_count = start + count
         self.flits_ejected += count
+        if self._obs:
+            self._c_ejected.inc(count)
         self.sim.progress += count  # note_progress(), once per member flit
         if self._rx_count == worm.size_flits:
             self._rx_worm = None
-            self.tracer.emit(
-                now, self.name, "packet_delivered",
-                packet=worm.packet.packet_id,
-            )
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    now, self.name, "packet_delivered",
+                    packet=worm.packet.packet_id,
+                )
             if self._on_delivery is not None:
                 self._on_delivery(worm, now)
 
@@ -118,9 +133,18 @@ class PackedHostInterface(HostInterface):
             count = window
         if cursor == 0 and worm.packet.injected_cycle is None:
             worm.packet.injected_cycle = now
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    now, self.name, "inject_start",
+                    packet=worm.packet.packet_id,
+                    flits=worm.size_flits,
+                    created=worm.packet.message.created_cycle,
+                )
         link.send_span(now, worm, cursor, count)
         cursor += count
         self.flits_injected += count
+        if self._obs:
+            self._c_injected.inc(count)
         self.sim.progress += count  # note_progress(), once per member flit
         self._tx_end = now + count - 1
         if cursor == worm.size_flits:

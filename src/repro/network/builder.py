@@ -141,7 +141,7 @@ def build_network(
     interfaces: List[HostInterface] = []
     for host in range(config.num_hosts):
         interface = interface_class(
-            host, tracer=tracer, rx_depth=config.ni_rx_depth
+            host, tracer=tracer, rx_depth=config.ni_rx_depth, metrics=metrics
         )
         sim.add_component(interface)
         interfaces.append(interface)

@@ -17,7 +17,7 @@ bit-identical to the uninstrumented path (enforced by
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from repro.network.builder import build_network
 from repro.network.config import SimulationConfig, describe
@@ -25,11 +25,23 @@ from repro.obs import runtime
 from repro.obs.manifest import config_sha256
 from repro.obs.registry import MetricsRegistry
 from repro.obs.sampler import CycleSampler, register_network_gauges
-from repro.obs.sinks import JsonlTracer, MetricsSink
+from repro.obs.sinks import (
+    SCHEMA_LIFECYCLE,
+    SCHEMA_PROFILE,
+    JsonlTracer,
+    JsonlWriter,
+    MetricsSink,
+)
 from repro.traffic.base import Workload
 
 if TYPE_CHECKING:  # circular at runtime: simulation.py imports us lazily
+    from repro.network.builder import Network
     from repro.network.simulation import SimulationResult
+    from repro.obs.profile import (
+        KernelProfiler,
+        SpanProfiler,
+        WormLifecycleTracer,
+    )
 
 
 def run_instrumented(
@@ -46,14 +58,37 @@ def run_instrumented(
     fingerprint = describe(config)
     registry = MetricsRegistry(enabled=True)
 
-    tracer = None
+    stream_tracer = None
     if options.trace_out:
-        tracer = JsonlTracer(options.trace_out, run=run_id)
+        stream_tracer = JsonlTracer(options.trace_out, run=run_id)
+
+    lifecycle = None
+    kernel_profiler = None
+    span_profiler = None
+    tracer = stream_tracer
+    if options.profile_out:
+        # profiling layers on top of (and chains to) the stream tracer
+        from repro.obs.profile import (
+            KernelProfiler,
+            SpanProfiler,
+            WormLifecycleTracer,
+        )
+
+        lifecycle = WormLifecycleTracer(inner=stream_tracer)
+        kernel_profiler = KernelProfiler()
+        span_profiler = SpanProfiler()
+        tracer = lifecycle
+
     sink = None
     if options.metrics_out:
         sink = MetricsSink(options.metrics_out)
 
     network = build_network(config, tracer=tracer, metrics=registry)
+    if kernel_profiler is not None and span_profiler is not None:
+        network.sim.attach_profiler(kernel_profiler)
+        # before the first tick: packed switches freeze per-port
+        # receive bindings on first use
+        span_profiler.attach_all(network.links)
     register_network_gauges(network, registry)
     sampler = CycleSampler(
         registry,
@@ -88,6 +123,74 @@ def run_instrumented(
                 **registry.snapshot(),
             )
             sink.close()
-        if tracer is not None:
-            tracer.close()
+        if (
+            options.profile_out
+            and lifecycle is not None
+            and kernel_profiler is not None
+            and span_profiler is not None
+        ):
+            _write_profile_digest(
+                options.profile_out,
+                run_id,
+                fingerprint,
+                network,
+                lifecycle,
+                kernel_profiler,
+                span_profiler,
+                registry,
+            )
+        if stream_tracer is not None:
+            stream_tracer.close()
     return result
+
+
+def _write_profile_digest(
+    path: str,
+    run_id: str,
+    fingerprint: str,
+    network: "Network",
+    lifecycle: "WormLifecycleTracer",
+    kernel_profiler: "KernelProfiler",
+    span_profiler: "SpanProfiler",
+    registry: MetricsRegistry,
+) -> None:
+    """Append one run's profiling sections and worm lifecycles."""
+    from repro.obs.profile.heatmap import link_heatmap
+
+    packets = lifecycle.finalise()
+    cycles = network.sim.now
+    arch = network.config.switch_architecture.value
+    sections = {
+        "run": {
+            "arch": arch,
+            "config": fingerprint,
+            "cycles": cycles,
+        },
+        "kernel": kernel_profiler.snapshot(),
+        "spans": span_profiler.snapshot(),
+        "phases": lifecycle.phase_summary(),
+        "heatmap": link_heatmap(network, cycles),
+        "counters": {
+            name: counter.value
+            for name, counter in sorted(registry.counters.items())
+        },
+    }
+    with JsonlWriter(path) as writer:
+        for section, data in sections.items():
+            writer.write(
+                {
+                    "schema": SCHEMA_PROFILE,
+                    "run": run_id,
+                    "arch": arch,
+                    "section": section,
+                    "data": data,
+                }
+            )
+        for life in packets:
+            record: Dict[str, Any] = {
+                "schema": SCHEMA_LIFECYCLE,
+                "run": run_id,
+                "arch": arch,
+            }
+            record.update(life.snapshot())
+            writer.write(record)

@@ -1,11 +1,12 @@
 """``python -m repro inspect``: summarise manifests and JSONL files.
 
-Reads any mix of run manifests (``*.manifest.json``), metrics JSONL and
-trace JSONL files produced by the observability layer and prints a
-human-readable summary: per-run gauge statistics, an ASCII chart of
-central-buffer occupancy over time (via
-:mod:`repro.metrics.ascii_chart`), trace event counts, and manifest
-provenance.  With ``--check`` it validates every line against the
+Reads any mix of run manifests (``*.manifest.json``), metrics JSONL,
+trace JSONL and profiling-digest JSONL files produced by the
+observability layer and prints a human-readable summary: per-run gauge
+statistics, an ASCII chart of central-buffer occupancy over time (via
+:mod:`repro.metrics.ascii_chart`), trace event counts, kernel/phase
+profiling sections with a link-utilisation heatmap, worm lifecycle
+digests, and manifest provenance.  With ``--check`` it validates every line against the
 schemas in :mod:`repro.obs.sinks` and exits non-zero on any invalid
 record — the CI smoke job runs exactly that.
 """
@@ -22,8 +23,10 @@ from repro.metrics.ascii_chart import render_chart
 from repro.metrics.report import Table
 from repro.obs.manifest import RunManifest
 from repro.obs.sinks import (
+    SCHEMA_LIFECYCLE,
     SCHEMA_MANIFEST,
     SCHEMA_METRICS,
+    SCHEMA_PROFILE,
     SCHEMA_RUN,
     SCHEMA_TRACE,
     iter_jsonl,
@@ -76,6 +79,8 @@ def _compact(value: Any, limit: int = 60) -> str:
 def _summarise_jsonl(path: str, chart: bool) -> str:
     runs: Dict[str, Dict[str, Any]] = {}
     trace_counts: Dict[str, int] = {}
+    profiles: Dict[str, Dict[str, Any]] = {}
+    lifecycles: List[Dict[str, Any]] = []
     trace_lines = 0
     bad_lines = 0
     for _, obj in iter_jsonl(path):
@@ -103,6 +108,11 @@ def _summarise_jsonl(path: str, chart: bool) -> str:
             trace_lines += 1
             event = str(obj.get("event"))
             trace_counts[event] = trace_counts.get(event, 0) + 1
+        elif schema == SCHEMA_PROFILE:
+            sections = profiles.setdefault(str(obj.get("run")), {})
+            sections[str(obj.get("section"))] = obj.get("data", {})
+        elif schema == SCHEMA_LIFECYCLE:
+            lifecycles.append(obj)
         else:
             bad_lines += 1
 
@@ -123,10 +133,92 @@ def _summarise_jsonl(path: str, chart: bool) -> str:
         ):
             table.add_row(event, count)
         lines.append(table.render())
+    for run_id, sections in sorted(profiles.items()):
+        lines.append(_summarise_profile(run_id, sections))
+    if lifecycles:
+        lines.append(_summarise_lifecycles(lifecycles))
     if bad_lines:
         lines.append(f"  WARNING: {bad_lines} unrecognised line(s)")
-    if not runs and not trace_lines:
+    if not runs and not trace_lines and not profiles and not lifecycles:
         lines.append("  no recognised records")
+    return "\n".join(lines)
+
+
+def _summarise_profile(run_id: str, sections: Dict[str, Any]) -> str:
+    """Render one run's profiling sections (kernel, phases, heatmap)."""
+    from repro.obs.profile.heatmap import render_heatmap
+
+    lines = [f"  profile run {run_id}:"]
+    run_info = sections.get("run", {})
+    if run_info:
+        bits = [
+            f"{key}={run_info[key]}"
+            for key in ("arch", "scenario", "cycles")
+            if run_info.get(key) not in (None, "")
+        ]
+        if bits:
+            lines.append("    " + ", ".join(bits))
+    kernel = sections.get("kernel")
+    if kernel:
+        lines.append(
+            f"    kernel: {kernel.get('steps', 0)} stepped cycles, "
+            f"{kernel.get('cycles_skipped', 0)} fast-forwarded in "
+            f"{kernel.get('fast_forwards', 0)} jumps"
+        )
+        table = Table("ticks by component class", ["class", "ticks"])
+        for name, ticks in kernel.get("ticks_by_class", {}).items():
+            table.add_row(name, ticks)
+        lines.append(
+            "\n".join("    " + row for row in table.render().split("\n"))
+        )
+    phases = sections.get("phases")
+    if phases:
+        table = Table(
+            f"worm phases ({phases.get('packets', 0)} worms, "
+            f"{phases.get('incomplete', 0)} in flight)",
+            ["phase", "worms", "mean cycles"],
+        )
+        for name in ("setup", "blocked", "transfer"):
+            cell = phases.get(name) or {}
+            table.add_row(name, cell.get("count", 0), cell.get("mean", 0))
+        lines.append(
+            "\n".join("    " + row for row in table.render().split("\n"))
+        )
+    heatmap = sections.get("heatmap")
+    if heatmap:
+        rendered = render_heatmap(heatmap)
+        lines.append(
+            "\n".join("    " + row for row in rendered.split("\n"))
+        )
+    return "\n".join(lines)
+
+
+def _summarise_lifecycles(records: List[Dict[str, Any]]) -> str:
+    """One aggregate line plus the slowest worms."""
+    complete = [r for r in records if isinstance(r.get("total"), int)]
+    lines = [
+        f"  {len(records)} worm lifecycle(s), {len(complete)} complete"
+    ]
+    slowest = sorted(
+        complete, key=lambda r: r.get("total", 0), reverse=True
+    )[:5]
+    if slowest:
+        table = Table(
+            "slowest worms",
+            ["packet", "setup", "blocked", "transfer", "total", "hops"],
+        )
+        for record in slowest:
+            table.add_row(
+                record.get("packet"),
+                record.get("setup"),
+                record.get("blocked"),
+                record.get("transfer"),
+                record.get("total"),
+                record.get("hop_count"),
+            )
+        lines.append(
+            "\n".join("  " + row for row in table.render().split("\n"))
+        )
     return "\n".join(lines)
 
 

@@ -1,0 +1,193 @@
+"""Chrome-trace (``traceEvents``) export of profiled runs.
+
+The exported JSON loads directly into ``chrome://tracing`` or Perfetto
+(https://ui.perfetto.dev): one *process* row per profiled report (an
+architecture/scenario pair), one *thread* row per worm, ``X`` complete
+slices for the setup and transfer phases, ``i`` instants at every
+routing hop, and a dedicated kernel thread showing fast-forwarded idle
+spans.  Timestamps are simulated cycles mapped 1:1 onto microseconds —
+the viewer's time axis reads directly in cycles.
+
+Only a small, viewer-portable subset of the trace-event format is
+emitted, and :func:`validate_chrome_trace` checks exactly that subset so
+tests (and the CI ``profile-smoke`` step) can assert exports stay
+well-formed without a browser in the loop.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Dict, List, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.profile.runner import ProfileReport
+
+#: thread id reserved for kernel (fast-forward) slices in each process
+KERNEL_TID = 0
+
+#: event phases this exporter emits / the validator accepts
+_ALLOWED_PHASES = frozenset(("X", "i", "M", "C"))
+
+
+def _process_events(pid: int, name: str) -> List[Dict[str, Any]]:
+    return [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": name},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": KERNEL_TID,
+            "args": {"name": "kernel"},
+        },
+    ]
+
+
+def build_trace(reports: Sequence["ProfileReport"]) -> Dict[str, Any]:
+    """Build one merged trace dict from profiled reports.
+
+    Each report becomes its own process row so a CB and an IB run of the
+    same scenario sit side by side on a shared cycle axis.
+    """
+    events: List[Dict[str, Any]] = []
+    for pid, report in enumerate(reports, start=1):
+        label = f"{report.arch}/{report.scenario}"
+        events.extend(_process_events(pid, label))
+        for start, length in report.kernel.jumps:
+            events.append(
+                {
+                    "name": "idle (fast-forwarded)",
+                    "ph": "X",
+                    "ts": start,
+                    "dur": length,
+                    "pid": pid,
+                    "tid": KERNEL_TID,
+                    "args": {"cycles": length},
+                }
+            )
+        for life in report.packets:
+            created = life.created
+            injected = life.injected
+            delivered = life.delivered
+            if created is None or injected is None or delivered is None:
+                continue  # incomplete worm: nothing to draw
+            tid = life.packet_id + 1  # 0 is the kernel thread
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": f"worm {life.packet_id}"},
+                }
+            )
+            if injected > created:
+                events.append(
+                    {
+                        "name": "setup",
+                        "ph": "X",
+                        "ts": created,
+                        "dur": injected - created,
+                        "pid": pid,
+                        "tid": tid,
+                        "args": {"flits": life.flits},
+                    }
+                )
+            events.append(
+                {
+                    "name": "transfer",
+                    "ph": "X",
+                    "ts": injected,
+                    "dur": max(0, delivered - injected),
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {
+                        "flits": life.flits,
+                        "blocked": life.blocked,
+                        "hops": len(life.hops),
+                        "deliveries": life.deliveries,
+                    },
+                }
+            )
+            for hop in life.hops:
+                events.append(
+                    {
+                        "name": f"{hop['event']}@{hop['switch']}",
+                        "ph": "i",
+                        "ts": hop["cycle"],
+                        "pid": pid,
+                        "tid": tid,
+                        "s": "t",
+                        "args": {
+                            "waited": hop["waited"],
+                            "branches": hop["branches"],
+                        },
+                    }
+                )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro profile",
+            "time_unit": "1 us == 1 simulated cycle",
+        },
+    }
+
+
+def validate_chrome_trace(trace: Any) -> List[str]:
+    """Structural errors in ``trace``, empty when well-formed.
+
+    Checks the subset of the trace-event format that
+    :func:`build_trace` emits: a ``traceEvents`` list of dicts, each
+    with a string ``name``, a known ``ph``, integer ``pid``/``tid``,
+    and (for timed phases) a non-negative ``ts`` — ``X`` slices also
+    need a non-negative ``dur``.
+    """
+    errors: List[str] = []
+    if not isinstance(trace, dict):
+        return ["trace must be a JSON object"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            errors.append(f"{where}: missing or empty name")
+        phase = event.get("ph")
+        if phase not in _ALLOWED_PHASES:
+            errors.append(f"{where}: unknown phase {phase!r}")
+            continue
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                errors.append(f"{where}: {key} must be an integer")
+        if phase in ("X", "i", "C"):
+            ts = event.get("ts")
+            if not isinstance(ts, int) or ts < 0:
+                errors.append(f"{where}: ts must be a non-negative int")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                errors.append(f"{where}: dur must be a non-negative int")
+    return errors
+
+
+def write_trace(trace: Dict[str, Any], path: str) -> int:
+    """Validate ``trace`` and write it to ``path``; returns the event
+    count.  Raises ``ValueError`` on a malformed trace rather than
+    writing a file no viewer will load."""
+    errors = validate_chrome_trace(trace)
+    if errors:
+        shown = "; ".join(errors[:5])
+        raise ValueError(f"refusing to write malformed trace: {shown}")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, separators=(",", ":"), sort_keys=True)
+        fh.write("\n")
+    return len(trace["traceEvents"])

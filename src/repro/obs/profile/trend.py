@@ -1,0 +1,109 @@
+"""Bench-trend reporting across recorded ``BENCH_*.json`` artifacts.
+
+Each kernel-bench artifact (``python -m repro bench --out``) carries a
+provenance manifest with its creation time; given several of them this
+module lines the artifacts up chronologically and renders per-scenario
+speedup trajectories, so a perf regression shows as a dip in a column
+rather than a number someone has to remember.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.bench.kernel import BENCH_SCHEMA
+
+
+class TrendError(ValueError):
+    """An artifact could not be used for trend reporting."""
+
+
+def load_artifact(path: str) -> Dict[str, Any]:
+    """Read and minimally validate one bench artifact."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            artifact = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise TrendError(f"{path}: {exc}") from exc
+    if not isinstance(artifact, dict):
+        raise TrendError(f"{path}: artifact must be a JSON object")
+    if artifact.get("schema") != BENCH_SCHEMA:
+        raise TrendError(
+            f"{path}: schema {artifact.get('schema')!r} is not "
+            f"{BENCH_SCHEMA!r}"
+        )
+    if not isinstance(artifact.get("scenarios"), list):
+        raise TrendError(f"{path}: missing scenarios list")
+    artifact.setdefault("_path", path)
+    return artifact
+
+
+def _timestamp(artifact: Dict[str, Any]) -> str:
+    manifest = artifact.get("manifest")
+    if isinstance(manifest, dict):
+        created = manifest.get("created_at")
+        if isinstance(created, str):
+            return created
+    return ""  # sorts before anything dated; order then falls back to argv
+
+
+def collect_trend(
+    paths: Sequence[str],
+) -> Tuple[List[str], Dict[str, List[Any]]]:
+    """Speedup trajectories over the artifacts at ``paths``.
+
+    Returns ``(labels, {scenario: [speedup-or-None per artifact]})``
+    with artifacts ordered by their manifest ``created_at``.
+    """
+    artifacts = sorted(
+        (load_artifact(path) for path in paths), key=_timestamp
+    )
+    labels = [
+        _timestamp(artifact) or str(artifact["_path"])
+        for artifact in artifacts
+    ]
+    series: Dict[str, List[Any]] = {}
+    for index, artifact in enumerate(artifacts):
+        for row in artifact["scenarios"]:
+            name = row.get("scenario")
+            if not isinstance(name, str):
+                continue
+            column = series.setdefault(name, [None] * len(artifacts))
+            column[index] = row.get("speedup")
+    return labels, series
+
+
+def render_trend(paths: Sequence[str]) -> str:
+    """An aligned text table of speedup trajectories.
+
+    One row per scenario, one column per artifact (chronological); the
+    last column is annotated with the delta against the previous
+    artifact so regressions read at a glance.
+    """
+    labels, series = collect_trend(paths)
+    if not labels:
+        return "no artifacts"
+    lines: List[str] = ["speedup trend (oldest -> newest):"]
+    for position, label in enumerate(labels):
+        lines.append(f"  [{position}] {label}")
+    name_width = max((len(name) for name in series), default=8)
+    header = " ".join(f"[{i}]".rjust(7) for i in range(len(labels)))
+    lines.append(f"{'scenario':>{name_width}} {header}  trend")
+    for name in sorted(series):
+        column = series[name]
+        cells = " ".join(
+            f"{value:7.2f}" if isinstance(value, (int, float)) else
+            "      -"
+            for value in column
+        )
+        numeric = [
+            value for value in column if isinstance(value, (int, float))
+        ]
+        note = ""
+        if len(numeric) >= 2:
+            delta = numeric[-1] - numeric[-2]
+            arrow = "+" if delta >= 0 else ""
+            note = f"  {arrow}{delta:.2f}"
+        lines.append(f"{name:>{name_width}} {cells}{note}")
+    return "\n".join(lines)

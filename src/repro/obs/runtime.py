@@ -39,6 +39,10 @@ class ObsOptions:
     trace_out: Optional[str] = None
     #: gauge sampling period in cycles; 0 means DEFAULT_SAMPLE_EVERY
     sample_every: int = 0
+    #: JSONL file for profiling digests (``repro.profile/1`` sections
+    #: plus ``repro.lifecycle/1`` worm records, append mode); also
+    #: attaches the kernel/span profilers to every run
+    profile_out: Optional[str] = None
 
     @property
     def effective_sample_every(self) -> int:

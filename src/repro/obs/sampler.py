@@ -1,12 +1,19 @@
 """Cycle-driven gauge sampling: occupancy and utilisation over time.
 
 The post-run probes in :mod:`repro.metrics.probe` answer "what was the
-mean and peak?"; the :class:`CycleSampler` answers "when?".  It is an
-ordinary simulation :class:`~repro.sim.component.Component`: register it
+mean and peak?"; the :class:`CycleSampler` answers "when?".  Register it
 with ``sim.add_component`` and every ``every`` cycles it evaluates the
 selected gauges of a :class:`~repro.obs.registry.MetricsRegistry` into
 an in-memory time series and (optionally) a streaming
 :class:`~repro.obs.sinks.MetricsSink`.
+
+The sampler rides the kernel's probe lane
+(:meth:`~repro.sim.kernel.Simulator.add_probe`), not the wake calendar:
+it never keeps the active-set kernel awake, so fast-forward jumps stay
+uncapped, and sample points that land inside a skipped idle span are
+*carried forward* — replayed by the kernel at the jump with ``now`` set
+to each sample cycle, producing a time series bit-identical to the
+dense kernel's (``tests/obs/test_sampler.py`` holds both properties).
 
 Sampling is read-only — the sampler never touches RNG streams, never
 notes progress and never schedules events, so attaching one cannot
@@ -24,6 +31,7 @@ from repro.sim.component import Component
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.network.builder import Network
+    from repro.sim.kernel import Simulator
 
 
 class CycleSampler(Component):
@@ -63,18 +71,30 @@ class CycleSampler(Component):
         self.run = run
         #: the collected time series, oldest first
         self.series: List[Tuple[int, Dict[str, float]]] = []
+        #: next sample cycle — the kernel probe contract; aligned to the
+        #: sampling grid (multiples of ``every``) at attach time
+        self.next_cycle = 0
+
+    def attach(self, sim: "Simulator") -> None:
+        super().attach(sim)
+        now = sim.now
+        remainder = now % self.every
+        self.next_cycle = now if not remainder else now + self.every - remainder
+        sim.add_probe(self)
+
+    def sample(self, cycle: int) -> None:
+        """Kernel probe callback: snapshot the gauges at ``cycle``."""
+        self.next_cycle = cycle + self.every
+        values = self.registry.sample_gauges(self.gauge_names)
+        self.series.append((cycle, values))
+        if self.sink is not None:
+            self.sink.write_point(self.run, cycle, values)
 
     def tick(self, now: int) -> None:
-        # self-arming: the sampler is its own wake source, so an otherwise
-        # quiescent simulation still gets sampled on schedule (no-op on
-        # the dense kernel, which ticks everything anyway)
-        self.wake_at(now - now % self.every + self.every)
-        if now % self.every:
-            return
-        values = self.registry.sample_gauges(self.gauge_names)
-        self.series.append((now, values))
-        if self.sink is not None:
-            self.sink.write_point(self.run, now, values)
+        # sampling happens on the kernel's probe lane (see `attach`); the
+        # component registration only exists so `sim.add_component` keeps
+        # working as the attachment point — the initial wake is a no-op
+        pass
 
 
 def register_network_gauges(

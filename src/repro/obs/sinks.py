@@ -16,6 +16,14 @@ CI smoke job) can validate files without out-of-band context:
     "details"}``.
 ``repro.manifest/1``
     A whole-file run manifest (see :mod:`repro.obs.manifest`).
+``repro.profile/1``
+    One named profiling section (``kernel``, ``spans``, ``phases``,
+    ``heatmap``, ``counters`` or ``run``) from an instrumented run:
+    ``{"run", "section", "data"}`` (see :mod:`repro.obs.profile`).
+``repro.lifecycle/1``
+    One digested worm lifecycle: ``{"run", "packet", "setup",
+    "blocked", "transfer", ...}`` (see
+    :mod:`repro.obs.profile.lifecycle`).
 
 Writers open their file in append mode and emit each record as a single
 line-buffered write, so several worker processes of one experiment grid
@@ -34,8 +42,22 @@ SCHEMA_RUN = "repro.run/1"
 SCHEMA_METRICS = "repro.metrics/1"
 SCHEMA_TRACE = "repro.trace/1"
 SCHEMA_MANIFEST = "repro.manifest/1"
+SCHEMA_PROFILE = "repro.profile/1"
+SCHEMA_LIFECYCLE = "repro.lifecycle/1"
 
-KNOWN_SCHEMAS = (SCHEMA_RUN, SCHEMA_METRICS, SCHEMA_TRACE, SCHEMA_MANIFEST)
+KNOWN_SCHEMAS = (
+    SCHEMA_RUN,
+    SCHEMA_METRICS,
+    SCHEMA_TRACE,
+    SCHEMA_MANIFEST,
+    SCHEMA_PROFILE,
+    SCHEMA_LIFECYCLE,
+)
+
+#: section names a ``repro.profile/1`` record may carry
+PROFILE_SECTIONS = (
+    "run", "kernel", "spans", "phases", "heatmap", "counters"
+)
 
 
 def _dumps(obj: Dict[str, Any]) -> str:
@@ -191,6 +213,27 @@ def validate_record(obj: Any) -> Optional[str]:
         for key in ("python_version", "git_sha", "created_at"):
             if not isinstance(obj.get(key), str):
                 return f"manifest needs a string {key!r}"
+    elif schema == SCHEMA_PROFILE:
+        if not isinstance(obj.get("run"), str):
+            return "profile record needs a string 'run' tag"
+        if obj.get("section") not in PROFILE_SECTIONS:
+            return (
+                "profile record 'section' must be one of "
+                + ", ".join(PROFILE_SECTIONS)
+            )
+        if not isinstance(obj.get("data"), dict):
+            return "profile record needs a 'data' object"
+    elif schema == SCHEMA_LIFECYCLE:
+        if not isinstance(obj.get("run"), str):
+            return "lifecycle record needs a string 'run' tag"
+        if not isinstance(obj.get("packet"), int) or obj["packet"] < 0:
+            return "lifecycle record needs a non-negative int 'packet'"
+        for key in ("setup", "blocked", "transfer"):
+            value = obj.get(key)
+            if value is not None and (
+                not isinstance(value, int) or value < 0
+            ):
+                return f"lifecycle {key!r} must be a non-negative int"
     return None
 
 

@@ -23,13 +23,53 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Protocol, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.component import Component
 from repro.sim.rng import RngStreams
 
 Event = Callable[[], None]
+
+
+class Probe(Protocol):
+    """A read-only observer serviced at its own cadence.
+
+    Unlike a component wake, a probe never keeps the kernel awake: the
+    active-set kernel fast-forwards over idle spans at full stride and
+    *replays* the probe's sample points inside the skipped gap (see
+    :meth:`Simulator.add_probe`).  A probe must not mutate simulation
+    state — no wakes, no events, no RNG draws.
+    """
+
+    #: next cycle this probe wants to sample; ``sample`` must advance it
+    next_cycle: int
+
+    def sample(self, cycle: int) -> None:
+        """Observe the simulation at ``cycle`` (``sim.now == cycle``)."""
+        ...
+
+
+class ProfilerHook(Protocol):
+    """Kernel-side profiling callbacks (see ``repro.obs.profile``).
+
+    Installed with :meth:`Simulator.attach_profiler`; every call site in
+    the kernel is behind a ``prof is not None`` test so a run without a
+    profiler pays one local ``None`` check per step, nothing more.
+    """
+
+    def record_tick(self, component: Component) -> None:
+        """One component tick is about to run."""
+        ...
+
+    def record_step(self, now: int, events: int, backlog: int) -> None:
+        """A cycle was stepped: ``events`` calendar events fired and
+        ``backlog`` wake-ups/events remain scheduled."""
+        ...
+
+    def record_fast_forward(self, start: int, skipped: int) -> None:
+        """The clock jumped from ``start`` over ``skipped`` idle cycles."""
+        ...
 
 
 class Simulator:
@@ -75,6 +115,13 @@ class Simulator:
         #: cycles where a time-dependent ``run_until`` predicate may flip
         #: (see :meth:`mark_time`)
         self._time_marks: List[int] = []
+        #: read-only observers serviced at their own cadence (samplers);
+        #: they never cap a fast-forward jump — skipped sample points
+        #: are replayed before the clock moves (see :meth:`add_probe`)
+        self._probes: List[Probe] = []
+        #: optional kernel profiler (see :meth:`attach_profiler`); every
+        #: call site is behind a ``prof is not None`` test
+        self._prof: Optional[ProfilerHook] = None
 
     # ------------------------------------------------------------------
     # registration
@@ -98,6 +145,36 @@ class Simulator:
     def components(self) -> List[Component]:
         """Registered components in tick order (read-only view by convention)."""
         return self._components
+
+    def add_probe(self, probe: Probe) -> None:
+        """Register a read-only observer serviced at its own cadence.
+
+        A probe exposes ``next_cycle`` — the next cycle it wants to
+        sample — and a ``sample(cycle)`` method that must advance
+        ``next_cycle`` strictly past ``cycle``.  Probes are serviced at
+        the end of every stepped cycle *and* inside fast-forwarded idle
+        spans: before the clock jumps from ``A`` to ``B`` the kernel
+        replays every due sample point in ``[A, B-1]`` with ``now``
+        temporarily set to the sample cycle.  An idle span is idle
+        precisely because no component state changes inside it, so the
+        replayed observations are bit-identical to stepping the span on
+        the dense kernel — without the probe ever capping a jump.
+
+        Probes must be read-only: no wakes, no events, no RNG draws.
+        ``next_cycle`` values in the past are clamped to ``now``.
+        """
+        if probe.next_cycle < self.now:
+            probe.next_cycle = self.now
+        self._probes.append(probe)
+
+    def attach_profiler(self, profiler: Optional[ProfilerHook]) -> None:
+        """Install (or, with ``None``, remove) the kernel profiler hook.
+
+        With no profiler attached the kernel pays one local ``None``
+        test per step — the zero-overhead contract shared with the
+        telemetry layer (see ``docs/observability.md``).
+        """
+        self._prof = profiler
 
     # ------------------------------------------------------------------
     # wake calendar
@@ -214,11 +291,23 @@ class Simulator:
         """
         now = self.now
         calendar = self._calendar
-        while calendar and calendar[0][0] == now:
-            heapq.heappop(calendar)[2]()
+        prof = self._prof
+        events = 0
+        if prof is not None:
+            while calendar and calendar[0][0] == now:
+                heapq.heappop(calendar)[2]()
+                events += 1
+        else:
+            while calendar and calendar[0][0] == now:
+                heapq.heappop(calendar)[2]()
         if self.dense:
-            for component in self._components:
-                component.tick(now)
+            if prof is not None:
+                for component in self._components:
+                    prof.record_tick(component)
+                    component.tick(now)
+            else:
+                for component in self._components:
+                    component.tick(now)
         else:
             components = self._components
             if self._bucket_cycle == now:
@@ -244,9 +333,24 @@ class Simulator:
                     # ascending tick order, same at-most-once dedup
                     for index in due:
                         components[index]._due_marker = now
-                    for component in components:
-                        if component._due_marker == now:
-                            component.tick(now)
+                    if prof is not None:
+                        for component in components:
+                            if component._due_marker == now:
+                                prof.record_tick(component)
+                                component.tick(now)
+                    else:
+                        for component in components:
+                            if component._due_marker == now:
+                                component.tick(now)
+                elif prof is not None:
+                    due.sort()
+                    last = -1
+                    for index in due:
+                        if index == last:
+                            continue  # at most one tick per component per cycle
+                        last = index
+                        prof.record_tick(components[index])
+                        components[index].tick(now)
                 else:
                     due.sort()
                     last = -1
@@ -255,7 +359,56 @@ class Simulator:
                             continue  # at most one tick per component per cycle
                         last = index
                         components[index].tick(now)
+        if prof is not None:
+            prof.record_step(
+                now,
+                events,
+                len(calendar) + len(self._wakes) + len(self._bucket),
+            )
+        if self._probes:
+            self._fire_probes(now)
         self.now = now + 1
+
+    def _fire_probes(self, limit: int) -> None:
+        """Service every probe sample point at or before ``limit``.
+
+        ``now`` is temporarily set to each due sample cycle so a probe
+        that reads the clock (e.g. a windowed-rate gauge) observes the
+        same value it would on the dense kernel, then restored.
+        """
+        saved = self.now
+        probes = self._probes
+        while True:
+            due: Optional[int] = None
+            for probe in probes:
+                cycle = probe.next_cycle
+                if cycle <= limit and (due is None or cycle < due):
+                    due = cycle
+            if due is None:
+                break
+            self.now = due
+            for probe in probes:
+                if probe.next_cycle == due:
+                    probe.sample(due)
+                    if probe.next_cycle <= due:
+                        raise SimulationError(
+                            f"probe {probe!r} did not advance next_cycle "
+                            f"past {due}"
+                        )
+        self.now = saved
+
+    def _skip_to(self, cycle: int) -> None:
+        """Jump the clock to ``cycle`` without stepping the gap.
+
+        Due probe sample points inside the gap are replayed first, and
+        the skipped span is reported to the profiler if one is attached.
+        """
+        if self._probes:
+            self._fire_probes(cycle - 1)
+        prof = self._prof
+        if prof is not None:
+            prof.record_fast_forward(self.now, cycle - self.now)
+        self.now = cycle
 
     def _next_activity_cycle(self) -> Optional[int]:
         """Earliest cycle with a calendar event or a wake-up, or ``None``."""
@@ -282,10 +435,10 @@ class Simulator:
         while self.now < target:
             upcoming = self._next_activity_cycle()
             if upcoming is None or upcoming >= target:
-                self.now = target
+                self._skip_to(target)
                 return
             if upcoming > self.now:
-                self.now = upcoming
+                self._skip_to(upcoming)
             self.step()
 
     def run_until(
@@ -385,12 +538,12 @@ class Simulator:
         if stall_limit is not None and not self._calendar:
             trip = stall_limit - stalled
             if trip <= jump:
-                self.now += trip
+                self._skip_to(self.now + trip)
                 raise SimulationError(
                     f"no progress for {stall_limit} cycles at cycle "
                     f"{self.now}; suspected deadlock"
                 )
-        self.now += jump
+        self._skip_to(self.now + jump)
         return jump
 
     def __repr__(self) -> str:

@@ -282,7 +282,13 @@ class CentralBufferSwitch(SwitchBase):
             ingress.state = _IngressState.STREAM_BYPASS
             self._out_current[out_port] = _BypassFeed(port, ingress)
             self._outputs_busy += 1
-            self.tracer.emit(now, self.name, "bypass", inp=port, out=out_port)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    now, self.name, "bypass", inp=port, out=out_port,
+                    packet=ingress.worm.packet.packet_id,
+                    waited=now - ingress.header_done_cycle
+                    - self.settings.routing_delay,
+                )
         else:
             stored = StoredPacket(
                 self.pool, port, ingress.worm.size_flits, reserve_all=False
@@ -293,7 +299,13 @@ class CentralBufferSwitch(SwitchBase):
             self._queued_branches += 1
             ingress.stored = stored
             ingress.state = _IngressState.STREAM_CB
-            self.tracer.emit(now, self.name, "queue_cb", inp=port, out=out_port)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    now, self.name, "queue_cb", inp=port, out=out_port,
+                    packet=ingress.worm.packet.packet_id,
+                    waited=now - ingress.header_done_cycle
+                    - self.settings.routing_delay,
+                )
 
     def _try_admit(self, port: int, ingress: _Ingress, now: int) -> None:
         stored = ingress.stored
@@ -316,10 +328,14 @@ class CentralBufferSwitch(SwitchBase):
             self._out_queue[request.port].append(cursor)
             self._queued_branches += 1
         ingress.state = _IngressState.STREAM_CB
-        self.tracer.emit(
-            now, self.name, "admit_multidest",
-            inp=port, branches=len(requests),
-        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                now, self.name, "admit_multidest",
+                inp=port, branches=len(requests),
+                packet=ingress.worm.packet.packet_id,
+                waited=now - ingress.header_done_cycle
+                - self.settings.routing_delay,
+            )
 
     # -- phase 3: move flits from input FIFOs into the central buffer ----
     def _write_central_buffer(self, now: int) -> None:

@@ -236,10 +236,14 @@ class InputBufferSwitch(SwitchBase):
                     self._register_branches(ingress)
             else:
                 self._register_branches(ingress)
-            self.tracer.emit(
-                now, self.name, "route",
-                inp=port, branches=len(ingress.branches),
-            )
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    now, self.name, "route",
+                    inp=port, branches=len(ingress.branches),
+                    packet=ingress.worm.packet.packet_id,
+                    waited=now - ingress.header_done_cycle
+                    - self.settings.routing_delay,
+                )
 
     @property
     def _synchronous(self) -> bool:

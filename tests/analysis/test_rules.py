@@ -581,6 +581,8 @@ class TestREP008PackedFlitFree:
 
             class Switch:
                 def _trace(self, worm, start, count, now):
+                    if not self.tracer.enabled:
+                        return
                     for index in range(start, start + count):
                         self.tracer.emit(
                             now, self.name, "flit_in",
@@ -661,3 +663,117 @@ class TestSuppressions:
             "REP002",
             "REP003",
         ]
+
+
+class TestREP009TraceGuard:
+    def test_unguarded_emit_flagged(self, lint):
+        result = lint(
+            "repro/switches/bad.py",
+            """
+            class Switch:
+                def route(self, now, worm):
+                    self.tracer.emit(now, self.name, "route", packet=1)
+            """,
+        )
+        assert codes(result) == ["REP009"]
+
+    def test_enabled_guard_accepted(self, lint):
+        result = lint(
+            "repro/switches/good.py",
+            """
+            class Switch:
+                def route(self, now, worm):
+                    if self.tracer.enabled:
+                        self.tracer.emit(now, self.name, "route", packet=1)
+            """,
+        )
+        assert codes(result) == []
+
+    def test_profiler_hook_behind_is_not_none_accepted(self, lint):
+        result = lint(
+            "repro/sim/good.py",
+            """
+            class Kernel:
+                def step(self):
+                    prof = self._prof
+                    if prof is not None:
+                        prof.record_step(self.now, 0, 0)
+            """,
+        )
+        assert codes(result) == []
+
+    def test_profiler_hook_unguarded_flagged(self, lint):
+        result = lint(
+            "repro/sim/bad.py",
+            """
+            class Kernel:
+                def step(self):
+                    prof = self._prof
+                    prof.record_tick(self)
+                    prof.record_fast_forward(self.now, 5)
+            """,
+        )
+        assert codes(result) == ["REP009", "REP009"]
+
+    def test_is_none_branch_is_not_a_guard(self, lint):
+        result = lint(
+            "repro/sim/bad.py",
+            """
+            class Kernel:
+                def step(self):
+                    prof = self._prof
+                    if prof is None:
+                        prof.record_step(self.now, 0, 0)
+            """,
+        )
+        assert codes(result) == ["REP009"]
+
+    def test_early_exit_guard_accepted(self, lint):
+        result = lint(
+            "repro/host/good.py",
+            """
+            class Interface:
+                def deliver(self, now, worm):
+                    if not self.tracer.enabled:
+                        return
+                    self.tracer.emit(now, self.name, "packet_delivered",
+                                     packet=worm.packet_id)
+            """,
+        )
+        assert codes(result) == []
+
+    def test_prof_is_none_early_exit_accepted(self, lint):
+        result = lint(
+            "repro/sim/good.py",
+            """
+            class Kernel:
+                def jump(self, cycle):
+                    prof = self._prof
+                    if prof is None:
+                        return
+                    prof.record_fast_forward(self.now, cycle - self.now)
+            """,
+        )
+        assert codes(result) == []
+
+    def test_trace_home_is_exempt(self, lint):
+        result = lint(
+            "repro/sim/trace.py",
+            """
+            class Tracer:
+                def relay(self, cycle, source, event):
+                    self.inner.emit(cycle, source, event)
+            """,
+        )
+        assert codes(result) == []
+
+    def test_rule_scoped_to_kernel_packages(self, lint):
+        result = lint(
+            "repro/obs/ok.py",
+            """
+            class Digest:
+                def forward(self, cycle, source, event):
+                    self.inner.emit(cycle, source, event)
+            """,
+        )
+        assert codes(result) == []

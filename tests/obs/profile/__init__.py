@@ -1,0 +1,1 @@
+"""Tests for the profiling subsystem (repro.obs.profile)."""

@@ -1,0 +1,173 @@
+"""Chrome-trace building, validation, and the write gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.profile import (
+    KernelProfiler,
+    PacketLife,
+    SpanProfiler,
+    WormLifecycleTracer,
+    build_trace,
+    validate_chrome_trace,
+    write_trace,
+)
+from repro.obs.profile.chrome_trace import KERNEL_TID
+from repro.obs.profile.runner import ProfileReport
+
+
+def _life(packet_id, created, injected, delivered, hops=()):
+    life = PacketLife(packet_id)
+    life.created = created
+    life.injected = injected
+    life.delivered = delivered
+    life.flits = 4
+    for cycle, switch, event, waited in hops:
+        life.hops.append(
+            {
+                "cycle": cycle,
+                "switch": switch,
+                "event": event,
+                "waited": waited,
+                "branches": 1,
+            }
+        )
+    return life
+
+
+def _report(arch="cb", packets=(), jumps=()):
+    kernel = KernelProfiler()
+    for start, length in jumps:
+        kernel.record_fast_forward(start, length)
+    return ProfileReport(
+        arch=arch,
+        scenario="unit",
+        cycles=100,
+        summary={"cycles": 100.0},
+        kernel=kernel,
+        spans=SpanProfiler(),
+        lifecycle=WormLifecycleTracer(),
+        packets=list(packets),
+    )
+
+
+class TestBuildTrace:
+    def test_trace_validates_and_carries_all_rows(self):
+        report = _report(
+            packets=[
+                _life(0, 0, 3, 30, hops=[(5, "sw.0", "route", 2)]),
+                _life(1, 10, 10, 25),  # zero-setup worm: no setup slice
+            ],
+            jumps=[(40, 60)],
+        )
+        trace = build_trace([report])
+        assert validate_chrome_trace(trace) == []
+        events = trace["traceEvents"]
+        names = [e["name"] for e in events]
+        assert "process_name" in names
+        assert "idle (fast-forwarded)" in names
+        assert "route@sw.0" in names
+        assert names.count("transfer") == 2
+        assert names.count("setup") == 1  # the zero-setup worm drew none
+        kernel_slices = [
+            e for e in events
+            if e["ph"] == "X" and e["tid"] == KERNEL_TID
+        ]
+        assert kernel_slices == [
+            {
+                "name": "idle (fast-forwarded)",
+                "ph": "X",
+                "ts": 40,
+                "dur": 60,
+                "pid": 1,
+                "tid": KERNEL_TID,
+                "args": {"cycles": 60},
+            }
+        ]
+
+    def test_one_process_row_per_report(self):
+        trace = build_trace([_report("cb"), _report("ib")])
+        process_names = {
+            event["args"]["name"]: event["pid"]
+            for event in trace["traceEvents"]
+            if event["name"] == "process_name"
+        }
+        assert process_names == {"cb/unit": 1, "ib/unit": 2}
+
+    def test_incomplete_worms_are_skipped(self):
+        incomplete = PacketLife(3)
+        incomplete.created = 5  # never injected or delivered
+        trace = build_trace([_report(packets=[incomplete])])
+        assert validate_chrome_trace(trace) == []
+        assert all(
+            event["tid"] == KERNEL_TID or event["name"] == "process_name"
+            for event in trace["traceEvents"]
+        )
+
+    def test_worm_threads_never_collide_with_the_kernel_thread(self):
+        trace = build_trace([_report(packets=[_life(0, 0, 1, 2)])])
+        worm_tids = {
+            event["tid"]
+            for event in trace["traceEvents"]
+            if event["name"].startswith(("worm", "setup", "transfer"))
+        }
+        assert KERNEL_TID not in worm_tids
+
+
+class TestValidate:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([1, 2]) == ["trace must be a JSON object"]
+
+    def test_rejects_missing_event_list(self):
+        assert validate_chrome_trace({}) == ["traceEvents must be a list"]
+
+    def test_flags_bad_events_individually(self):
+        errors = validate_chrome_trace(
+            {
+                "traceEvents": [
+                    {"name": "", "ph": "X", "pid": 1, "tid": 1,
+                     "ts": 0, "dur": 1},
+                    {"name": "ok", "ph": "B", "pid": 1, "tid": 1},
+                    {"name": "ok", "ph": "i", "pid": "one", "tid": 1,
+                     "ts": -3},
+                    {"name": "ok", "ph": "X", "pid": 1, "tid": 1, "ts": 2},
+                    "not-a-dict",
+                ]
+            }
+        )
+        assert len(errors) == 6
+        assert any("empty name" in e for e in errors)
+        assert any("unknown phase 'B'" in e for e in errors)
+        assert any("pid must be an integer" in e for e in errors)
+        assert any("ts must be a non-negative int" in e for e in errors)
+        assert any("dur must be a non-negative int" in e for e in errors)
+        assert any("not an object" in e for e in errors)
+
+    def test_metadata_events_need_no_timestamp(self):
+        trace = {
+            "traceEvents": [
+                {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+                 "args": {"name": "x"}}
+            ]
+        }
+        assert validate_chrome_trace(trace) == []
+
+
+class TestWriteTrace:
+    def test_writes_valid_trace_and_returns_event_count(self, tmp_path):
+        trace = build_trace([_report(packets=[_life(0, 0, 2, 9)])])
+        path = tmp_path / "trace.json"
+        count = write_trace(trace, str(path))
+        assert count == len(trace["traceEvents"])
+        loaded = json.loads(path.read_text())
+        assert validate_chrome_trace(loaded) == []
+        assert loaded["otherData"]["generator"] == "repro profile"
+
+    def test_refuses_to_write_malformed_trace(self, tmp_path):
+        path = tmp_path / "bad.json"
+        with pytest.raises(ValueError, match="malformed trace"):
+            write_trace({"traceEvents": [{"name": "x"}]}, str(path))
+        assert not path.exists()

@@ -1,0 +1,90 @@
+"""Link-utilisation heatmaps: data extraction and ASCII rendering."""
+
+from __future__ import annotations
+
+from repro.core.schemes import MulticastScheme
+from repro.network.builder import build_network
+from repro.network.config import SimulationConfig
+from repro.network.simulation import run_workload
+from repro.obs.profile import link_heatmap, render_heatmap
+from repro.obs.profile.heatmap import SHADES, _shade
+from repro.traffic.multicast import SingleMulticast
+
+
+def _run_heatmap():
+    network = build_network(SimulationConfig(num_hosts=16, seed=1))
+    result = run_workload(
+        network,
+        SingleMulticast(
+            source=0,
+            degree=15,
+            payload_flits=32,
+            scheme=MulticastScheme.HARDWARE,
+        ),
+    )
+    return link_heatmap(network, result.cycles)
+
+
+class TestLinkHeatmap:
+    def test_structure_and_bounds(self):
+        heatmap = _run_heatmap()
+        assert heatmap["cycles"] > 0
+        assert heatmap["switches"] and heatmap["hosts"]
+        for entry in heatmap["switches"]:
+            for port in entry["ports"]:
+                assert 0.0 <= port["util"] <= 1.0
+                assert port["flits"] >= 0
+                assert isinstance(port["link"], str)
+        # a broadcast crossed every switch: someone moved flits
+        assert any(
+            port["flits"] > 0
+            for entry in heatmap["switches"]
+            for port in entry["ports"]
+        )
+
+    def test_host_rows_cover_every_interface(self):
+        heatmap = _run_heatmap()
+        assert [host["host"] for host in heatmap["hosts"]] == list(range(16))
+        # exactly one host injected (the multicast source)
+        injectors = [h for h in heatmap["hosts"] if h["flits"] > 0]
+        assert len(injectors) == 1 and injectors[0]["host"] == 0
+
+    def test_zero_cycles_does_not_divide_by_zero(self):
+        network = build_network(SimulationConfig(num_hosts=16, seed=1))
+        heatmap = link_heatmap(network, 0)
+        assert heatmap["cycles"] == 0
+
+
+class TestRender:
+    def test_shade_ramp_covers_both_extremes(self):
+        assert _shade(0.0) == " "
+        assert _shade(1.0) == "@"
+        assert _shade(2.5) == "@"  # clamped
+        assert _shade(-1.0) == " "
+
+    def test_render_has_one_row_per_switch_plus_hosts(self):
+        heatmap = _run_heatmap()
+        text = render_heatmap(heatmap)
+        lines = text.splitlines()
+        assert lines[0].startswith("link utilisation over")
+        assert SHADES in lines[0]
+        switch_names = [s["name"] for s in heatmap["switches"]]
+        for name in switch_names:
+            assert any(line.strip().startswith(name) for line in lines)
+        assert any("hosts" in line for line in lines)
+
+    def test_long_host_rows_wrap_at_width(self):
+        heatmap = {
+            "cycles": 10,
+            "switches": [],
+            "hosts": [
+                {"host": i, "link": f"l{i}", "flits": 0, "util": 0.0}
+                for i in range(10)
+            ],
+        }
+        text = render_heatmap(heatmap, width=4)
+        host_rows = [l for l in text.splitlines() if "|" in l]
+        assert len(host_rows) == 3  # 10 glyphs in rows of 4
+
+    def test_render_empty_heatmap(self):
+        assert "link utilisation" in render_heatmap({})

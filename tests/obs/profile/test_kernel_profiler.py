@@ -1,0 +1,144 @@
+"""Unit tests for KernelProfiler and SpanProfiler accounting."""
+
+from __future__ import annotations
+
+from repro.obs.profile import KernelProfiler, SpanProfiler
+from repro.obs.profile.kernel_profiler import MAX_JUMPS
+from repro.sim.component import Component
+from repro.switches.link import Link
+
+
+class Noop(Component):
+    def __init__(self, name: str = "noop") -> None:
+        super().__init__(name)
+
+    def tick(self, now: int) -> None:
+        pass
+
+
+class TestKernelProfiler:
+    def test_ticks_attributed_by_class(self):
+        prof = KernelProfiler()
+        a, b = Noop("a"), Noop("b")
+        for _ in range(3):
+            prof.record_tick(a)
+        prof.record_tick(b)
+        assert prof.ticks_by_class == {"Noop": 4}
+        assert prof.total_ticks == 4
+
+    def test_step_accumulation_and_backlog_peak(self):
+        prof = KernelProfiler()
+        prof.record_step(0, events=2, backlog=5)
+        prof.record_step(1, events=0, backlog=9)
+        prof.record_step(2, events=1, backlog=1)
+        assert prof.steps == 3
+        assert prof.events == 3
+        assert prof.backlog_peak == 9
+        snap = prof.snapshot()
+        assert snap["backlog_mean"] == 5.0
+
+    def test_fast_forward_jump_accounting(self):
+        prof = KernelProfiler()
+        prof.record_fast_forward(10, 90)
+        prof.record_fast_forward(200, 1)
+        assert prof.fast_forwards == 2
+        assert prof.cycles_skipped == 91
+        assert prof.jumps == [(10, 90), (200, 1)]
+        hist = prof.idle_spans.snapshot()
+        assert hist["count"] == 2
+        assert hist["total"] == 91
+
+    def test_jump_records_are_capped_not_the_counters(self):
+        prof = KernelProfiler()
+        for start in range(MAX_JUMPS + 7):
+            prof.record_fast_forward(start, 1)
+        assert len(prof.jumps) == MAX_JUMPS
+        assert prof.jumps_dropped == 7
+        assert prof.fast_forwards == MAX_JUMPS + 7
+        assert prof.cycles_skipped == MAX_JUMPS + 7
+
+    def test_snapshot_is_json_ready_and_sorted(self):
+        prof = KernelProfiler()
+        prof.record_tick(Noop())
+        prof.record_step(0, events=0, backlog=0)
+        snap = prof.snapshot()
+        assert set(snap) == {
+            "steps", "events", "ticks", "ticks_by_class", "backlog_mean",
+            "backlog_peak", "fast_forwards", "cycles_skipped",
+            "idle_span_hist",
+        }
+        assert snap["ticks"] == 1
+
+    def test_empty_snapshot_has_zero_mean(self):
+        assert KernelProfiler().snapshot()["backlog_mean"] == 0.0
+
+
+class TestSpanProfiler:
+    @staticmethod
+    def _link(name: str = "l", credits: int = 64) -> Link:
+        link = Link(name)
+        link.set_credits(credits)
+        return link
+
+    def test_span_send_and_receive_are_histogrammed(self):
+        prof = SpanProfiler()
+        link = self._link()
+        prof.attach(link)
+        worm = object()
+        link.send_span(0, worm, 0, 8)
+        # all 8 members have arrived by cycle latency + 7
+        span = link.receive_span(8)
+        assert span is not None and span[2] == 8
+        snap = prof.snapshot()
+        assert snap["links_attached"] == 1
+        assert snap["tx_span_hist"] == {
+            **snap["tx_span_hist"],
+            "count": 1,
+            "total": 8,
+        }
+        assert snap["rx_span_hist"]["count"] == 1
+        assert snap["rx_span_hist"]["total"] == 8
+
+    def test_per_flit_sends_land_in_the_one_bucket(self):
+        prof = SpanProfiler()
+        link = self._link()
+        prof.attach(link)
+        worm = object()
+        link.send_packed(0, worm, 0)
+        assert link.can_send(1)
+        link.send_granted(1, worm, 1)
+        tx = prof.tx_spans.snapshot()
+        assert tx["count"] == 2
+        assert tx["total"] == 2
+        assert tx["counts"][0] == 2  # both in the <=1 bucket
+
+    def test_empty_receive_is_not_counted(self):
+        prof = SpanProfiler()
+        link = self._link()
+        prof.attach(link)
+        assert link.receive_span(0) is None
+        assert prof.rx_spans.snapshot()["count"] == 0
+
+    def test_attach_is_idempotent_per_link(self):
+        prof = SpanProfiler()
+        link = self._link()
+        prof.attach(link)
+        prof.attach(link)
+        assert prof.links_attached == 1
+        worm = object()
+        link.send_span(0, worm, 0, 4)
+        # a double attach must not double-count
+        assert prof.tx_spans.snapshot()["count"] == 1
+
+    def test_attach_all_wraps_every_link(self):
+        prof = SpanProfiler()
+        links = [self._link(f"l{i}") for i in range(3)]
+        prof.attach_all(links)
+        assert prof.links_attached == 3
+
+    def test_unattached_link_keeps_original_bindings(self):
+        attached = self._link("a")
+        plain = self._link("b")
+        SpanProfiler().attach(attached)
+        assert getattr(plain, "_span_profiled", False) is False
+        assert plain.send_span == Link.send_span.__get__(plain)

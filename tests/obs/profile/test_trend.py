@@ -1,0 +1,103 @@
+"""Bench-trend reporting over recorded BENCH_*.json artifacts."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.kernel import BENCH_SCHEMA
+from repro.obs.profile import render_trend
+from repro.obs.profile.trend import TrendError, collect_trend, load_artifact
+
+
+def _artifact(path, created_at, speedups):
+    artifact = {
+        "schema": BENCH_SCHEMA,
+        "manifest": {"created_at": created_at},
+        "scenarios": [
+            {"scenario": name, "speedup": value}
+            for name, value in speedups.items()
+        ],
+    }
+    path.write_text(json.dumps(artifact))
+    return str(path)
+
+
+class TestLoadArtifact:
+    def test_valid_artifact_loads(self, tmp_path):
+        path = _artifact(tmp_path / "a.json", "2026-01-01", {"s": 2.0})
+        artifact = load_artifact(path)
+        assert artifact["schema"] == BENCH_SCHEMA
+        assert artifact["_path"] == path
+
+    def test_wrong_schema_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "other/1", "scenarios": []}))
+        with pytest.raises(TrendError, match="schema"):
+            load_artifact(str(path))
+
+    def test_malformed_json_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(TrendError):
+            load_artifact(str(path))
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(TrendError):
+            load_artifact(str(tmp_path / "absent.json"))
+
+    def test_missing_scenarios_raises(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"schema": BENCH_SCHEMA}))
+        with pytest.raises(TrendError, match="scenarios"):
+            load_artifact(str(path))
+
+
+class TestCollectTrend:
+    def test_artifacts_are_ordered_chronologically(self, tmp_path):
+        newer = _artifact(
+            tmp_path / "n.json", "2026-02-01T00:00:00", {"s": 3.0}
+        )
+        older = _artifact(
+            tmp_path / "o.json", "2026-01-01T00:00:00", {"s": 2.0}
+        )
+        # pass newest first: the trend must still read oldest -> newest
+        labels, series = collect_trend([newer, older])
+        assert labels == ["2026-01-01T00:00:00", "2026-02-01T00:00:00"]
+        assert series == {"s": [2.0, 3.0]}
+
+    def test_missing_scenario_leaves_a_hole(self, tmp_path):
+        first = _artifact(
+            tmp_path / "a.json", "2026-01-01", {"s": 2.0, "t": 1.5}
+        )
+        second = _artifact(tmp_path / "b.json", "2026-01-02", {"s": 2.5})
+        _, series = collect_trend([first, second])
+        assert series["t"] == [1.5, None]
+
+
+class TestRenderTrend:
+    def test_table_carries_delta_annotation(self, tmp_path):
+        paths = [
+            _artifact(tmp_path / "a.json", "2026-01-01", {"hot": 2.0}),
+            _artifact(tmp_path / "b.json", "2026-01-02", {"hot": 2.5}),
+        ]
+        text = render_trend(paths)
+        assert "speedup trend" in text
+        assert "hot" in text
+        assert "+0.50" in text
+
+    def test_regression_shows_negative_delta(self, tmp_path):
+        paths = [
+            _artifact(tmp_path / "a.json", "2026-01-01", {"hot": 2.5}),
+            _artifact(tmp_path / "b.json", "2026-01-02", {"hot": 2.0}),
+        ]
+        assert "-0.50" in render_trend(paths)
+
+    def test_undated_artifact_falls_back_to_path_label(self, tmp_path):
+        path = tmp_path / "undated.json"
+        path.write_text(
+            json.dumps({"schema": BENCH_SCHEMA, "scenarios": []})
+        )
+        text = render_trend([str(path)])
+        assert "undated.json" in text

@@ -108,3 +108,54 @@ class TestNetworkGauges:
         registry = MetricsRegistry()
         register_network_gauges(network, registry)
         assert registry.sample_gauges()["cb.occupancy_chunks"] == 0.0
+
+
+class TestFastForwardCarryForward:
+    """The sampler's probe lane must survive idle-cycle fast-forward.
+
+    On an idle-heavy run the active-set kernel jumps over the sampling
+    grid; the kernel replays the skipped sample points (carry-forward),
+    so the collected series must be bit-identical to the dense kernel's
+    — including the windowed link-utilisation gauge, which reads
+    ``sim.now`` at every sample.
+    """
+
+    @staticmethod
+    def _run(dense):
+        from repro.obs.profile import KernelProfiler
+        from repro.traffic.unicast import UniformRandomUnicast
+
+        config = SimulationConfig(num_hosts=16, seed=7)
+        config.dense_kernel = dense
+        network = build_network(config)
+        profiler = KernelProfiler()
+        network.sim.attach_profiler(profiler)
+        registry = MetricsRegistry()
+        register_network_gauges(network, registry)
+        # a period that does not divide the warmup/measure windows, so
+        # sample points land mid-gap, not on workload time marks
+        sampler = CycleSampler(registry, every=37)
+        network.sim.add_component(sampler)
+        workload = UniformRandomUnicast(
+            load=0.005,
+            payload_flits=16,
+            warmup_cycles=300,
+            measure_cycles=600,
+        )
+        result = run_workload(network, workload)
+        return result, sampler.series, profiler
+
+    def test_series_bit_identical_to_dense_kernel(self):
+        active_result, active_series, profiler = self._run(dense=False)
+        dense_result, dense_series, _ = self._run(dense=True)
+        assert active_result.cycles == dense_result.cycles
+        assert active_series == dense_series
+        # the comparison was not vacuous: the active kernel really did
+        # jump over sample points and the grid really was walked
+        assert profiler.cycles_skipped > 0
+        assert len(active_series) >= active_result.cycles // 37
+
+    def test_no_sample_cycle_is_ever_skipped(self):
+        result, series, _ = self._run(dense=False)
+        expected = list(range(0, result.cycles, 37))
+        assert [cycle for cycle, _ in series] == expected
