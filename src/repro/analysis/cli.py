@@ -7,13 +7,21 @@ count), ``1`` when new findings exist, ``2`` for usage errors.
 ``--format json`` emits a single ``repro.lint/1`` object on stdout; its
 layout is pinned by :data:`LINT_JSON_SCHEMA` (a JSON Schema the test
 suite validates real output against) and documented in
-``docs/static-analysis.md``.
+``docs/static-analysis.md``.  ``--format github`` emits one GitHub
+Actions ``::error`` workflow command per finding, so findings surface
+as inline annotations on pull requests.
+
+``--changed-only`` narrows the lint *selection* to files touched since
+a git ref (``--since``, default ``origin/main``) — but the engine still
+indexes the whole ``repro`` tree, so cross-module rules stay sound on
+partial selections.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Set
@@ -66,6 +74,7 @@ LINT_JSON_SCHEMA: Dict[str, Any] = {
                     "message",
                     "hint",
                     "fingerprint",
+                    "chain",
                 ],
                 "properties": {
                     "code": {"type": "string", "pattern": "^REP[0-9]{3}$"},
@@ -77,6 +86,10 @@ LINT_JSON_SCHEMA: Dict[str, Any] = {
                     "fingerprint": {
                         "type": "string",
                         "pattern": "^[0-9a-f]{16}$",
+                    },
+                    "chain": {
+                        "type": "array",
+                        "items": {"type": "string"},
                     },
                 },
             },
@@ -110,9 +123,23 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text); 'github' emits "
+        "::error workflow commands for PR annotations",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="lint only files changed since --since (the whole tree "
+        "is still indexed, so cross-module rules stay sound)",
+    )
+    parser.add_argument(
+        "--since",
+        metavar="REF",
+        default="origin/main",
+        help="git ref --changed-only diffs against "
+        "(default: origin/main)",
     )
     parser.add_argument(
         "--baseline",
@@ -144,6 +171,55 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+class ChangedFilesError(RuntimeError):
+    """git could not produce the changed-file list."""
+
+
+def _git_lines(args: Sequence[str]) -> List[str]:
+    """Run one git command, returning stdout lines; raise on failure."""
+    try:
+        proc = subprocess.run(
+            ["git", *args],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+    except OSError as error:
+        raise ChangedFilesError(f"cannot run git: {error}") from error
+    if proc.returncode != 0:
+        detail = proc.stderr.strip() or f"exit code {proc.returncode}"
+        raise ChangedFilesError(
+            f"git {' '.join(args[:2])} failed: {detail}"
+        )
+    return [line for line in proc.stdout.splitlines() if line]
+
+
+def changed_files(since: str) -> List[Path]:
+    """Python files changed vs the merge-base with ``since``.
+
+    Covers committed changes (``git diff`` against the merge-base, so a
+    stale ``since`` branch does not drag in other people's edits),
+    uncommitted modifications, and untracked files.  Deleted files are
+    excluded — there is nothing left to lint.
+    """
+    base = _git_lines(["merge-base", "HEAD", since])[0]
+    names: List[str] = []
+    names.extend(
+        _git_lines(["diff", "--name-only", "--diff-filter=d", base])
+    )
+    names.extend(
+        _git_lines(
+            ["ls-files", "--others", "--exclude-standard"]
+        )
+    )
+    out: List[Path] = []
+    for name in dict.fromkeys(names):
+        path = Path(name)
+        if path.suffix == ".py" and path.exists():
+            out.append(path)
+    return sorted(out)
+
+
 def _list_rules() -> int:
     for code, summary, docstring in rule_catalog():
         print(f"{code}  {summary}")
@@ -169,6 +245,43 @@ def _render_text(result: LintResult, out: Any = None) -> None:
     if extras:
         tail += f" ({', '.join(extras)})"
     print(tail, file=out)
+
+
+def _gh_escape_data(text: str) -> str:
+    """Escape a workflow-command message per GitHub's rules."""
+    return (
+        text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def _gh_escape_property(text: str) -> str:
+    """Escape a workflow-command property value (file=, title=, ...)."""
+    return (
+        _gh_escape_data(text).replace(":", "%3A").replace(",", "%2C")
+    )
+
+
+def _render_github(result: LintResult, out: Any = None) -> None:
+    """One ``::error`` annotation per new finding, plus the summary."""
+    out = sys.stdout if out is None else out
+    for finding in result.new:
+        message = finding.message
+        if finding.hint:
+            message += f" [hint: {finding.hint}]"
+        print(
+            "::error "
+            f"file={_gh_escape_property(finding.path)},"
+            f"line={finding.line},"
+            f"col={finding.col + 1},"
+            f"title={_gh_escape_property('reprolint ' + finding.code)}"
+            f"::{_gh_escape_data(message)}",
+            file=out,
+        )
+    print(
+        f"reprolint: {result.checked_files} file(s) checked, "
+        f"{len(result.new)} finding(s)",
+        file=out,
+    )
 
 
 def _render_json(result: LintResult) -> None:
@@ -200,8 +313,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         selected = [code.strip() for code in args.select.split(",")]
     try:
         rules = all_rules(selected)
-    except KeyError as error:
-        parser.error(f"unknown rule code {error.args[0]!r}")
+    except ValueError as error:
+        parser.error(str(error))
 
     paths: List[Path]
     if args.paths:
@@ -212,6 +325,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for path in paths:
         if not path.exists():
             parser.error(f"no such file or directory: {path}")
+
+    if args.changed_only:
+        try:
+            changed = changed_files(args.since)
+        except ChangedFilesError as error:
+            parser.error(str(error))
+        roots = [path.resolve() for path in paths]
+        paths = [
+            path
+            for path in changed
+            if any(
+                path.resolve() == root
+                or root in path.resolve().parents
+                for root in roots
+            )
+        ]
+        if not paths:
+            print(
+                "reprolint: no files changed since "
+                f"{args.since}; nothing to lint"
+            )
+            return 0
 
     baseline_path = Path(args.baseline)
     fingerprints: Set[str] = set()
@@ -234,6 +369,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.format == "json":
         _render_json(result)
+    elif args.format == "github":
+        _render_github(result)
     else:
         _render_text(result)
     return result.exit_code

@@ -11,6 +11,14 @@ findings three ways:
   baseline of grandfathered findings;
 * **new** — everything else; these fail the gate.
 
+After the per-module pass the engine builds one
+:class:`~repro.analysis.project.ProjectIndex` over the *whole*
+``repro`` tree containing the linted files — parsing any modules the
+lint selection skipped, so cross-module rules stay sound under
+``--changed-only`` — and runs every rule's ``check_project`` hook over
+it.  Semantic findings are reported only for files in the lint
+selection, and flow through the same suppression/baseline partitioning.
+
 Files that do not parse surface as ``REP000`` findings (not
 suppressible — a file the linter cannot read is a file the invariants
 cannot be checked in), and results are sorted by path/line/code so
@@ -21,13 +29,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator, List, Optional, Sequence, Set
+from typing import Dict, Iterator, List, Optional, Sequence, Set
 
 from repro.analysis.findings import (
     Finding,
+    Suppression,
     assign_occurrences,
     scan_suppressions,
 )
+from repro.analysis.project import ProjectIndex, repro_roots
 from repro.analysis.rules import Rule, all_rules
 from repro.analysis.source import SourceModule
 
@@ -118,6 +128,20 @@ def lint_paths(
     root = root if root is not None else Path.cwd()
     result = LintResult()
 
+    parsed: List[SourceModule] = []
+    suppressions_by_path: Dict[str, Dict[int, Suppression]] = {}
+
+    def partition(finding: Finding) -> None:
+        waiver = suppressions_by_path.get(finding.path, {}).get(
+            finding.line
+        )
+        if waiver is not None and finding.code in waiver.codes:
+            result.suppressed.append(finding)
+        elif finding.fingerprint in baseline:
+            result.baselined.append(finding)
+        else:
+            result.new.append(finding)
+
     for file_path in iter_python_files(paths):
         display = _display_path(file_path, root)
         try:
@@ -138,24 +162,69 @@ def lint_paths(
             result.checked_files += 1
             continue
         result.checked_files += 1
+        parsed.append(module)
+        suppressions_by_path[module.display_path] = scan_suppressions(
+            module.text
+        )
 
         raw: List[Finding] = []
         for rule in active_rules:
             raw.extend(rule.check(module))
         raw.sort(key=lambda f: (f.line, f.col, f.code))
-        raw = assign_occurrences(raw)
+        for finding in assign_occurrences(raw):
+            partition(finding)
 
-        suppressions = scan_suppressions(module.text)
-        for finding in raw:
-            waiver = suppressions.get(finding.line)
-            if waiver is not None and finding.code in waiver.codes:
-                result.suppressed.append(finding)
-            elif finding.fingerprint in baseline:
-                result.baselined.append(finding)
-            else:
-                result.new.append(finding)
+    project = _build_project(parsed, root)
+    if project is not None:
+        linted = {module.display_path for module in parsed}
+        semantic: List[Finding] = []
+        for rule in active_rules:
+            semantic.extend(
+                finding
+                for finding in rule.check_project(project)
+                if finding.path in linted
+            )
+        semantic.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+        for finding in assign_occurrences(semantic):
+            partition(finding)
 
     result.new.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     result.suppressed.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     result.baselined.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return result
+
+
+def _build_project(
+    parsed: Sequence[SourceModule], root: Optional[Path]
+) -> Optional[ProjectIndex]:
+    """Index the full ``repro`` tree(s) the linted files belong to.
+
+    Modules outside the lint selection are parsed here (and silently
+    skipped if unparseable — their own lint runs report ``REP000``), so
+    cross-module rules see the whole program even when only a few files
+    are being linted.
+    """
+    sources = [
+        module
+        for module in parsed
+        if module.module_name.startswith("repro")
+    ]
+    if not sources:
+        return None
+    have = {module.path.resolve() for module in sources}
+    for package_root in repro_roots(module.path for module in sources):
+        for file_path in iter_python_files([package_root]):
+            resolved = file_path.resolve()
+            if resolved in have:
+                continue
+            have.add(resolved)
+            display = _display_path(file_path, root)
+            try:
+                extra = SourceModule.parse(
+                    file_path, display_path=display
+                )
+            except (SyntaxError, ValueError, OSError):
+                continue
+            if extra.module_name.startswith("repro"):
+                sources.append(extra)
+    return ProjectIndex.build(sources)

@@ -16,8 +16,8 @@ from __future__ import annotations
 
 import hashlib
 import re
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Sequence, Set, Tuple
 
 #: matches ``# reprolint: ignore[REP001]`` and
 #: ``# reprolint: ignore[REP001,REP003] reason text``
@@ -45,13 +45,19 @@ class Finding:
     line_text: str = ""
     #: disambiguates identical findings on identical line text (0-based)
     occurrence: int = 0
+    #: call chain for reachability findings (entry point first); part of
+    #: the fingerprint, so a baselined chain survives line-number churn
+    #: but re-surfaces when the path through the program changes
+    chain: Tuple[str, ...] = ()
 
     @property
     def fingerprint(self) -> str:
         """Line-number-independent identity for the baseline file."""
-        payload = "|".join(
-            (self.code, self.path, self.line_text, str(self.occurrence))
-        )
+        parts = [self.code, self.path, self.line_text,
+                 str(self.occurrence)]
+        if self.chain:
+            parts.append("->".join(self.chain))
+        payload = "|".join(parts)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
     def render(self) -> str:
@@ -71,6 +77,7 @@ class Finding:
             "message": self.message,
             "hint": self.hint,
             "fingerprint": self.fingerprint,
+            "chain": list(self.chain),
         }
 
 
@@ -86,18 +93,7 @@ def assign_occurrences(findings: Sequence[Finding]) -> List[Finding]:
         key = "|".join((finding.code, finding.path, finding.line_text))
         occurrence = counts.get(key, 0)
         counts[key] = occurrence + 1
-        out.append(
-            Finding(
-                code=finding.code,
-                path=finding.path,
-                line=finding.line,
-                col=finding.col,
-                message=finding.message,
-                hint=finding.hint,
-                line_text=finding.line_text,
-                occurrence=occurrence,
-            )
-        )
+        out.append(replace(finding, occurrence=occurrence))
     return out
 
 

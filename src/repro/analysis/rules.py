@@ -1,4 +1,4 @@
-"""The reprolint rule registry and the REP001-REP008 invariant rules.
+"""The reprolint rule registry and the REP001-REP012 invariant rules.
 
 Each rule guards one contract the reproduction's results depend on but
 that nothing else enforces at rest (see ``docs/static-analysis.md``):
@@ -13,11 +13,19 @@ REP006   records handed to JSONL sink writers carry a ``schema`` tag
 REP007   tick-path link drains stay behind a cheap emptiness guard
 REP008   packed-path modules never construct ``Flit`` objects
 REP009   tracer/profiler emits stay behind an enabled/attached guard
+REP010   dormancy-state mutations register a kernel wake
+REP011   packed and object data planes emit identical telemetry names
+REP012   literal sink records match their registered schema fields
 =======  ==========================================================
 
 A rule is a class with a ``code``, a one-line ``summary``, a ``hint``
 shown next to each finding, a docstring explaining the invariant, and a
 ``check`` generator over one :class:`~repro.analysis.source.SourceModule`.
+Rules come in two layers: the *syntactic* layer sees one module at a
+time through ``check``; the *semantic* layer additionally implements
+``check_project`` over the whole-program
+:class:`~repro.analysis.project.ProjectIndex` (REP001/REP002 use it for
+kernel-reachability chains; REP010-REP012 are purely cross-module).
 Register new rules with the :func:`register` decorator; the engine and
 CLI discover them through :func:`all_rules`.
 """
@@ -26,10 +34,12 @@ from __future__ import annotations
 
 import ast
 import inspect
+import re
 from abc import ABC, abstractmethod
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Type
 
 from repro.analysis.findings import Finding
+from repro.analysis.project import FunctionInfo, ProjectIndex
 from repro.analysis.source import SourceModule
 
 #: packages whose modules run inside the cycle loop; determinism rules
@@ -82,8 +92,23 @@ class Rule(ABC):
     def check(self, module: SourceModule) -> Iterator[Finding]:
         """Yield a :class:`Finding` per violation in ``module``."""
 
+    def check_project(
+        self, project: ProjectIndex
+    ) -> Iterator[Finding]:
+        """Yield cross-module findings over the whole-program index.
+
+        The engine calls this once per run, after the per-module pass,
+        with an index covering the *entire* ``repro`` tree (even under
+        ``--changed-only``).  The default is no semantic layer.
+        """
+        return iter(())
+
     def finding(
-        self, module: SourceModule, node: ast.AST, message: str
+        self,
+        module: SourceModule,
+        node: ast.AST,
+        message: str,
+        chain: Tuple[str, ...] = (),
     ) -> Finding:
         """Build a finding anchored at ``node``."""
         line = getattr(node, "lineno", 1)
@@ -96,6 +121,7 @@ class Rule(ABC):
             message=message,
             hint=self.hint,
             line_text=module.line_text(line),
+            chain=chain,
         )
 
 
@@ -111,17 +137,34 @@ def register(rule_class: Type[Rule]) -> Type[Rule]:
     return rule_class
 
 
+class UnknownRuleError(ValueError):
+    """A ``--select`` list named rule codes that do not exist."""
+
+
 def all_rules(select: Optional[Sequence[str]] = None) -> List[Rule]:
-    """Instances of every registered rule (or the selected codes)."""
+    """Instances of every registered rule (or the selected codes).
+
+    Raises :class:`UnknownRuleError` (with the unknown codes *and* the
+    available ones in the message) rather than silently linting with a
+    partial or empty rule set.
+    """
     codes: List[str]
     if select is None:
         codes = sorted(_REGISTRY)
     else:
-        codes = []
-        for code in select:
-            if code not in _REGISTRY:
-                raise KeyError(code)
-            codes.append(code)
+        unknown = sorted({c for c in select if c not in _REGISTRY})
+        if unknown:
+            raise UnknownRuleError(
+                f"unknown rule code(s): {', '.join(unknown)} "
+                f"(available: {', '.join(sorted(_REGISTRY))})"
+            )
+        codes = list(dict.fromkeys(select))
+        if not codes:
+            raise UnknownRuleError(
+                "empty rule selection (available: "
+                + ", ".join(sorted(_REGISTRY))
+                + ")"
+            )
     return [_REGISTRY[code]() for code in codes]
 
 
@@ -175,8 +218,99 @@ def _mentions_guard_negatively(test: ast.expr) -> bool:
     return False
 
 
+def _in_packages(module_name: str, packages: Sequence[str]) -> bool:
+    """Dotted-module membership test (module or any submodule)."""
+    for package in packages:
+        if module_name == package or module_name.startswith(
+            package + "."
+        ):
+            return True
+    return False
+
+
+def _kernel_entries(project: ProjectIndex) -> List[str]:
+    """Kernel-path entry points for reachability rules.
+
+    The simulator's run loop (``Simulator.run``/``run_until``/``step``),
+    every ``tick`` method on a kernel-package class (components only
+    execute through ticks), and every method of the link module (the
+    object and packed span transports components drain) — anything a
+    simulated cycle can execute starts at one of these.
+    """
+    entries: List[str] = []
+    for qualname in sorted(project.functions):
+        fn = project.functions[qualname]
+        if fn.cls is None:
+            continue
+        if fn.module == "repro.sim.kernel" and fn.name in (
+            "run", "run_until", "step"
+        ):
+            entries.append(qualname)
+        elif fn.name == "tick" and _in_packages(
+            fn.module, KERNEL_PACKAGES
+        ):
+            entries.append(qualname)
+        elif fn.module == LINK_HOME and not fn.name.startswith("__"):
+            entries.append(qualname)
+    return entries
+
+
+def _chain_display(chain: Sequence[str]) -> str:
+    """Render a call chain compactly (``repro.`` prefixes dropped)."""
+    def short(name: str) -> str:
+        return name[6:] if name.startswith("repro.") else name
+
+    return " -> ".join(short(name) for name in chain)
+
+
+class _KernelReachabilityMixin:
+    """Shared transitive layer for REP001/REP002.
+
+    Walks every function reachable from the kernel entry points and
+    reports banned *sink* calls with the full call chain.  Unlike the
+    syntactic layer, the traversal ignores the per-module allowlists
+    (``repro.sim.rng``, ``repro.obs`` ...): an allowlisted module may
+    use its primitive, but the kernel must never *reach* it.
+    """
+
+    def sink(
+        self, module: SourceModule, node: ast.Call
+    ) -> Optional[str]:
+        """Describe ``node`` if it is a banned sink, else ``None``."""
+        raise NotImplementedError
+
+    def check_project(
+        self, project: ProjectIndex
+    ) -> Iterator[Finding]:
+        assert isinstance(self, Rule)
+        chains = project.reachable_from(_kernel_entries(project))
+        for qualname in sorted(chains):
+            fn = project.functions[qualname]
+            info = project.modules.get(fn.module)
+            if info is None:
+                continue
+            source = info.source
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                described = self.sink(source, node)
+                if described is None:
+                    continue
+                chain = chains[qualname] + (
+                    project.resolve_expr(fn.module, node.func)
+                    or "<dynamic>",
+                )
+                yield self.finding(
+                    source,
+                    node,
+                    f"{described} is reachable from kernel entry "
+                    f"point {chain[0]}: {_chain_display(chain)}",
+                    chain=chain,
+                )
+
+
 @register
-class NoUnseededRandomness(Rule):
+class NoUnseededRandomness(_KernelReachabilityMixin, Rule):
     """REP001 — all stochastic behaviour flows through ``repro.sim.rng``.
 
     The parallel execution engine's jobs=N == jobs=1 guarantee and the
@@ -188,6 +322,12 @@ class NoUnseededRandomness(Rule):
     ``random.Random(explicit_seed)`` is allowed: it is deterministic and
     is how config-seeded builders (e.g. the irregular topology
     generator) stay reproducible without a simulator handy.
+
+    Semantic layer: the same banned calls are additionally reported —
+    with the full call chain — in *any* function reachable from a kernel
+    entry point (``Simulator.run*``, component ``tick`` hooks, the link
+    span paths), including inside :mod:`repro.sim.rng` itself, where the
+    syntactic layer does not look.
     """
 
     code = "REP001"
@@ -227,42 +367,39 @@ class NoUnseededRandomness(Rule):
                             module, node, "import of numpy.random"
                         )
             elif isinstance(node, ast.Call):
-                canonical = module.imports.resolve(node.func)
-                if canonical is None:
-                    continue
-                if canonical.startswith("numpy.random."):
-                    yield self.finding(
-                        module, node, f"call to {canonical}"
-                    )
-                elif canonical == "random.SystemRandom":
-                    yield self.finding(
-                        module,
-                        node,
-                        "random.SystemRandom draws OS entropy",
-                    )
-                elif canonical == "random.Random" and not (
-                    node.args or node.keywords
-                ):
-                    yield self.finding(
-                        module,
-                        node,
-                        "unseeded random.Random() seeds itself from the "
-                        "OS / wall clock",
-                    )
-                elif (
-                    canonical.startswith("random.")
-                    and canonical.count(".") == 1
-                    and canonical != "random.Random"
-                ):
-                    yield self.finding(
-                        module,
-                        node,
-                        f"call to global-state random API {canonical}",
-                    )
+                described = self.sink(module, node)
+                if described is not None:
+                    yield self.finding(module, node, described)
+
+    def sink(
+        self, module: SourceModule, node: ast.Call
+    ) -> Optional[str]:
+        """Describe a banned random-API call, else ``None``."""
+        canonical = module.imports.resolve(node.func)
+        if canonical is None:
+            return None
+        if canonical.startswith("numpy.random."):
+            return f"call to {canonical}"
+        if canonical == "random.SystemRandom":
+            return "random.SystemRandom draws OS entropy"
+        if canonical == "random.Random" and not (
+            node.args or node.keywords
+        ):
+            return (
+                "unseeded random.Random() seeds itself from the "
+                "OS / wall clock"
+            )
+        if (
+            canonical.startswith("random.")
+            and canonical.count(".") == 1
+            and canonical != "random.Random"
+        ):
+            return f"call to global-state random API {canonical}"
+        return None
 
 
 @register
-class NoWallClockInSimulation(Rule):
+class NoWallClockInSimulation(_KernelReachabilityMixin, Rule):
     """REP002 — simulated time and wall time never mix.
 
     Simulation results must be a pure function of config and seed.  A
@@ -275,6 +412,12 @@ class NoWallClockInSimulation(Rule):
     packages (``sim/``, ``switches/``, ``network/``, ``flits/``,
     ``routing/``, ``host/``, ``traffic/``), where a wall-clock read
     would additionally perturb cycle accounting.
+
+    Semantic layer: wall-clock calls are additionally reported — with
+    the full call chain — in any function reachable from a kernel entry
+    point, *including* inside the allowlisted ``repro.obs`` /
+    ``repro.experiments.parallel`` modules: those may time the process
+    around a run, but the cycle loop must never reach them.
     """
 
     code = "REP002"
@@ -315,19 +458,22 @@ class NoWallClockInSimulation(Rule):
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue
-            canonical = module.imports.resolve(node.func)
-            if canonical is None:
-                continue
-            if canonical in self.BANNED:
-                yield self.finding(
-                    module, node, f"wall-clock call {canonical}()"
-                )
-            elif canonical in self.BANNED_ZERO_ARG and not node.args:
-                yield self.finding(
-                    module,
-                    node,
-                    f"zero-argument {canonical}() reads the current time",
-                )
+            described = self.sink(module, node)
+            if described is not None:
+                yield self.finding(module, node, described)
+
+    def sink(
+        self, module: SourceModule, node: ast.Call
+    ) -> Optional[str]:
+        """Describe a wall-clock read, else ``None``."""
+        canonical = module.imports.resolve(node.func)
+        if canonical is None:
+            return None
+        if canonical in self.BANNED:
+            return f"wall-clock call {canonical}()"
+        if canonical in self.BANNED_ZERO_ARG and not node.args:
+            return f"zero-argument {canonical}() reads the current time"
+        return None
 
 
 def _is_unordered_expr(
@@ -1097,3 +1243,475 @@ class TraceEmitsBehindGuard(Rule):
             ):
                 return True
         return False
+
+
+@register
+class LostWakeMutations(Rule):
+    """REP010 — dormancy-state mutations register a kernel wake.
+
+    Under the active-set kernel a component only runs when something
+    scheduled it; handing it work without a wake leaves that work
+    stranded until an unrelated event happens to tick the component —
+    the exact dormancy-bug class the link wake hooks were introduced to
+    fix, and invisible to tests that happen to keep the network busy.
+    For every :class:`~repro.sim.component.Component` subclass in a
+    kernel package, the rule examines each method that is *not* on the
+    tick/``__init__``/``attach`` closure (those run with a wake already
+    guaranteed): if the method's own ``self``-call closure mutates
+    dormancy-relevant state — a container mutation or assignment to a
+    ``self`` attribute whose name mentions queue/credit/blocked/
+    pending/backlog/inflow/waiting/inject/fifo/buffer — it must also
+    register a wake (``wake_at``/``wake_now``/``wake``/``schedule`` or
+    a link ``wake_on_arrival``/``wake_on_credit`` hook).
+    """
+
+    code = "REP010"
+    summary = (
+        "dormancy-relevant state mutated with no wake registration"
+    )
+    hint = (
+        "call self.wake_now()/self.wake_at(...) after handing a "
+        "dormant component work (or register a link wake hook)"
+    )
+
+    #: the component base every kernel actor derives from
+    COMPONENT_BASE = "repro.sim.component.Component"
+    #: methods whose closures run with a wake already guaranteed
+    EXEMPT_ROOTS = ("tick", "__init__", "attach")
+    #: container mutations that hand a component work
+    MUTATORS = frozenset(
+        {"append", "appendleft", "extend", "add", "insert", "push"}
+    )
+    #: wake-registration calls that discharge the obligation
+    WAKES = frozenset(
+        {"wake_at", "wake_now", "wake", "schedule",
+         "wake_on_arrival", "wake_on_credit"}
+    )
+    #: attribute names that look like dormancy-relevant state
+    STATE_RE = re.compile(
+        r"queue|credit|blocked|pending|backlog|inflow|waiting|inject"
+        r"|fifo|buffer"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(
+        self, project: ProjectIndex
+    ) -> Iterator[Finding]:
+        for cls_qualname in project.descendants(self.COMPONENT_BASE):
+            info = project.classes.get(cls_qualname)
+            if info is None or not _in_packages(
+                info.module, KERNEL_PACKAGES
+            ):
+                continue
+            module_info = project.modules.get(info.module)
+            if module_info is None:
+                continue
+            exempt: Set[str] = set()
+            for root in self.EXEMPT_ROOTS:
+                exempt.update(
+                    project.method_closure(cls_qualname, root)
+                )
+            for name in sorted(info.methods):
+                method = info.methods[name]
+                if name.startswith("__") or name in self.EXEMPT_ROOTS:
+                    continue
+                if method.qualname in exempt:
+                    continue
+                if self._is_property(method):
+                    continue
+                closure = project.method_closure(cls_qualname, name)
+                mutated = self._mutated_state(project, closure)
+                if not mutated:
+                    continue
+                if self._registers_wake(project, closure):
+                    continue
+                yield self.finding(
+                    module_info.source,
+                    method.node,
+                    f"{info.name}.{name}() mutates dormancy-relevant "
+                    f"state ({', '.join(sorted(mutated))}) but never "
+                    "registers a wake",
+                )
+
+    @staticmethod
+    def _is_property(method: FunctionInfo) -> bool:
+        for decorator in method.node.decorator_list:
+            if isinstance(decorator, ast.Name) and decorator.id in (
+                "property", "cached_property"
+            ):
+                return True
+            if isinstance(decorator, ast.Attribute) and decorator.attr in (
+                "setter", "getter", "deleter"
+            ):
+                return True
+        return False
+
+    def _mutated_state(
+        self, project: ProjectIndex, closure: Sequence[str]
+    ) -> Set[str]:
+        mutated: Set[str] = set()
+        for qualname in closure:
+            fn = project.functions[qualname]
+            for node in ast.walk(fn.node):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self.MUTATORS
+                ):
+                    attr = self._self_attr(node.func.value)
+                    if attr is not None and self.STATE_RE.search(attr):
+                        mutated.add(attr)
+                elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        attr = self._self_attr(target)
+                        if attr is not None and self.STATE_RE.search(
+                            attr
+                        ):
+                            mutated.add(attr)
+        return mutated
+
+    @staticmethod
+    def _self_attr(node: ast.expr) -> Optional[str]:
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None
+
+    def _registers_wake(
+        self, project: ProjectIndex, closure: Sequence[str]
+    ) -> bool:
+        for qualname in closure:
+            fn = project.functions[qualname]
+            for node in ast.walk(fn.node):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self.WAKES
+                ):
+                    return True
+        return False
+
+
+#: the object-plane/packed-plane module pairs REP011 holds to parity
+PLANE_PAIRS: Tuple[Tuple[str, str], ...] = (
+    ("repro.switches.central_buffer", "repro.switches.packed_central"),
+    ("repro.switches.input_buffer", "repro.switches.packed_input"),
+    ("repro.host.interface", "repro.host.packed_interface"),
+)
+
+
+@register
+class PlaneTelemetryParity(Rule):
+    """REP011 — packed and object data planes emit identical telemetry.
+
+    The packed plane is a drop-in replacement for the object plane; the
+    differential tests prove the *data* is bit-identical, but nothing
+    dynamic notices a packed override that silently drops a tracer
+    event or counter — disabled-telemetry runs exercise neither.  For
+    each configured module pair, the rule pairs every packed class with
+    its nearest object-module ancestor and compares what their ``tick``
+    closures (``self``-calls resolved in each class's own MRO view, so
+    packed overrides replace inherited phases) can emit: the set of
+    tracer event names (third positional ``.emit()`` argument) and the
+    set of metric counter names (``.inc()``/``.observe()`` receivers,
+    mapped back to their ``metrics.counter("...")`` registrations).
+    Any asymmetry — an event or counter present on one plane's tick
+    path but not the other's — is a finding on the packed class.
+    """
+
+    code = "REP011"
+    summary = (
+        "packed/object plane tick paths emit different telemetry names"
+    )
+    hint = (
+        "make the packed override emit exactly the events/counters of "
+        "the object-plane phase it replaces (see docs/performance.md)"
+    )
+
+    #: instrument-registration calls mapping attrs to metric names
+    REGISTRATIONS = frozenset({"counter", "histogram", "gauge"})
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(
+        self, project: ProjectIndex
+    ) -> Iterator[Finding]:
+        for object_module, packed_module in PLANE_PAIRS:
+            if (
+                object_module not in project.modules
+                or packed_module not in project.modules
+            ):
+                continue
+            source = project.modules[packed_module].source
+            for cls_qualname in sorted(project.classes):
+                info = project.classes[cls_qualname]
+                if info.module != packed_module:
+                    continue
+                base = self._object_base(
+                    project, cls_qualname, object_module
+                )
+                if base is None:
+                    continue
+                packed_events, packed_counters = self._tick_surface(
+                    project, cls_qualname
+                )
+                object_events, object_counters = self._tick_surface(
+                    project, base
+                )
+                base_name = project.classes[base].name
+                yield from self._compare(
+                    source, info.node, info.name, base_name,
+                    "tracer event", packed_events, object_events,
+                )
+                yield from self._compare(
+                    source, info.node, info.name, base_name,
+                    "metric counter", packed_counters, object_counters,
+                )
+
+    @staticmethod
+    def _object_base(
+        project: ProjectIndex, cls_qualname: str, object_module: str
+    ) -> Optional[str]:
+        for ancestor in project.mro(cls_qualname)[1:]:
+            info = project.classes.get(ancestor)
+            if info is not None and info.module == object_module:
+                return ancestor
+        return None
+
+    def _tick_surface(
+        self, project: ProjectIndex, cls_qualname: str
+    ) -> Tuple[Set[str], Set[str]]:
+        """(event names, counter names) emittable from the tick closure."""
+        registrations = self._registration_map(project, cls_qualname)
+        events: Set[str] = set()
+        counters: Set[str] = set()
+        for qualname in project.method_closure(cls_qualname, "tick"):
+            fn = project.functions[qualname]
+            for node in ast.walk(fn.node):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                ):
+                    continue
+                if node.func.attr == "emit" and len(node.args) >= 3:
+                    event = node.args[2]
+                    if isinstance(event, ast.Constant) and isinstance(
+                        event.value, str
+                    ):
+                        events.add(event.value)
+                elif node.func.attr in ("inc", "observe"):
+                    receiver = node.func.value
+                    if (
+                        isinstance(receiver, ast.Attribute)
+                        and isinstance(receiver.value, ast.Name)
+                        and receiver.value.id == "self"
+                    ):
+                        counters.add(
+                            registrations.get(
+                                receiver.attr, receiver.attr
+                            )
+                        )
+        return events, counters
+
+    def _registration_map(
+        self, project: ProjectIndex, cls_qualname: str
+    ) -> Dict[str, str]:
+        """``self._c_x`` attr -> metric name, from the ``__init__`` MRO."""
+        registrations: Dict[str, str] = {}
+        for ancestor in project.mro(cls_qualname):
+            info = project.classes.get(ancestor)
+            if info is None or "__init__" not in info.methods:
+                continue
+            for node in ast.walk(info.methods["__init__"].node):
+                if not (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Attribute)
+                    and isinstance(node.targets[0].value, ast.Name)
+                    and node.targets[0].value.id == "self"
+                    and isinstance(node.value, ast.Call)
+                    and isinstance(node.value.func, ast.Attribute)
+                    and node.value.func.attr in self.REGISTRATIONS
+                    and node.value.args
+                    and isinstance(node.value.args[0], ast.Constant)
+                    and isinstance(node.value.args[0].value, str)
+                ):
+                    continue
+                attr = node.targets[0].attr
+                if attr not in registrations:
+                    registrations[attr] = node.value.args[0].value
+        return registrations
+
+    def _compare(
+        self,
+        source: SourceModule,
+        node: ast.AST,
+        packed_name: str,
+        object_name: str,
+        kind: str,
+        packed: Set[str],
+        objects: Set[str],
+    ) -> Iterator[Finding]:
+        missing = sorted(objects - packed)
+        extra = sorted(packed - objects)
+        if not missing and not extra:
+            return
+        clauses: List[str] = []
+        if missing:
+            clauses.append(
+                f"missing {', '.join(missing)} (emitted by "
+                f"{object_name})"
+            )
+        if extra:
+            clauses.append(
+                f"extra {', '.join(extra)} (absent from "
+                f"{object_name})"
+            )
+        yield self.finding(
+            source,
+            node,
+            f"{packed_name} tick path breaks {kind} parity with "
+            f"{object_name}: {'; '.join(clauses)}",
+        )
+
+
+@register
+class SchemaFieldDrift(Rule):
+    """REP012 — literal sink records match their registered schemas.
+
+    REP006 guarantees every JSONL record carries *a* schema tag; this
+    rule checks the tag and the fields against the registry the readers
+    validate with (``SCHEMA_FIELDS`` in :mod:`repro.obs.sinks`).  A
+    record written with a tag nothing registered, or without a field
+    its schema requires, round-trips to a validation error months later
+    when the artifact is finally read — the drift is only catchable at
+    the write site.  The rule statically evaluates ``SCHEMA_FIELDS``
+    through the project index, then checks every dict literal handed to
+    a sink ``.write(...)``: the ``schema`` value (a string literal or a
+    constant resolvable through imports) must be registered, and the
+    literal's keys must cover the schema's required fields (records
+    built with ``**spread`` are only tag-checked).
+    """
+
+    code = "REP012"
+    summary = "sink record drifts from its registered schema fields"
+    hint = (
+        "match the record to SCHEMA_FIELDS in repro.obs.sinks (or "
+        "register the new schema there first)"
+    )
+
+    #: where the schema registry lives
+    SINKS_MODULE = "repro.obs.sinks"
+    REGISTRY_NAME = "SCHEMA_FIELDS"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(
+        self, project: ProjectIndex
+    ) -> Iterator[Finding]:
+        registry = self._registry(project)
+        if registry is None:
+            return
+        for module_name in sorted(project.modules):
+            source = project.modules[module_name].source
+            for node in ast.walk(source.tree):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "write"
+                    and len(node.args) == 1
+                    and isinstance(node.args[0], ast.Dict)
+                ):
+                    continue
+                yield from self._check_record(
+                    project, module_name, source, node.args[0],
+                    registry,
+                )
+
+    def _registry(
+        self, project: ProjectIndex
+    ) -> Optional[Dict[str, Tuple[str, ...]]]:
+        raw = project.constant(self.SINKS_MODULE, self.REGISTRY_NAME)
+        if not isinstance(raw, dict):
+            return None
+        registry: Dict[str, Tuple[str, ...]] = {}
+        for tag, fields in raw.items():
+            if not isinstance(tag, str) or not isinstance(
+                fields, tuple
+            ):
+                return None
+            registry[tag] = tuple(str(name) for name in fields)
+        return registry
+
+    def _check_record(
+        self,
+        project: ProjectIndex,
+        module_name: str,
+        source: SourceModule,
+        record: ast.Dict,
+        registry: Dict[str, Tuple[str, ...]],
+    ) -> Iterator[Finding]:
+        has_spread = any(key is None for key in record.keys)
+        keys: Set[str] = set()
+        schema_node: Optional[ast.expr] = None
+        for key, value in zip(record.keys, record.values):
+            if isinstance(key, ast.Constant) and isinstance(
+                key.value, str
+            ):
+                keys.add(key.value)
+                if key.value == "schema":
+                    schema_node = value
+        if schema_node is None:
+            return  # REP006's department
+        tag = self._schema_tag(project, module_name, schema_node)
+        if tag is None:
+            return  # dynamic tag: nothing checkable statically
+        if tag not in registry:
+            yield self.finding(
+                source,
+                record,
+                f"record schema tag {tag!r} is not registered in "
+                f"{self.SINKS_MODULE}.{self.REGISTRY_NAME}",
+            )
+            return
+        if has_spread:
+            return  # spread may supply the required fields
+        missing = [
+            name for name in registry[tag] if name not in keys
+        ]
+        if missing:
+            yield self.finding(
+                source,
+                record,
+                f"record with schema {tag!r} is missing required "
+                f"field(s) {', '.join(missing)}",
+            )
+
+    @staticmethod
+    def _schema_tag(
+        project: ProjectIndex, module_name: str, node: ast.expr
+    ) -> Optional[str]:
+        if isinstance(node, ast.Constant):
+            return node.value if isinstance(node.value, str) else None
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            canonical = project.resolve_expr(module_name, node)
+            if canonical is None:
+                return None
+            owner, _, symbol = canonical.rpartition(".")
+            if not owner:
+                return None
+            value = project.constant(owner, symbol)
+            return value if isinstance(value, str) else None
+        return None

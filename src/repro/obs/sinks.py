@@ -59,6 +59,21 @@ PROFILE_SECTIONS = (
     "run", "kernel", "spans", "phases", "heatmap", "counters"
 )
 
+#: required top-level fields per schema tag.  This is the single
+#: registry both enforcement layers read: :func:`validate_record`
+#: checks presence at read-back, and reprolint rule REP012 checks the
+#: literal records at every write site statically (it evaluates this
+#: mapping through the project index, so keep keys as the ``SCHEMA_*``
+#: constants and values as tuples of string literals).
+SCHEMA_FIELDS: Dict[str, Tuple[str, ...]] = {
+    SCHEMA_RUN: ("run", "event"),
+    SCHEMA_METRICS: ("run", "cycle", "values"),
+    SCHEMA_TRACE: ("run", "cycle", "source", "event", "details"),
+    SCHEMA_MANIFEST: ("python_version", "git_sha", "created_at"),
+    SCHEMA_PROFILE: ("run", "section", "data"),
+    SCHEMA_LIFECYCLE: ("run", "packet"),
+}
+
 
 def _dumps(obj: Dict[str, Any]) -> str:
     """Canonical single-line JSON; non-JSON values fall back to repr."""
@@ -186,6 +201,14 @@ def validate_record(obj: Any) -> Optional[str]:
     schema = obj.get("schema")
     if schema not in KNOWN_SCHEMAS:
         return f"unknown schema {schema!r}"
+    missing = [
+        name for name in SCHEMA_FIELDS.get(schema, ()) if name not in obj
+    ]
+    if missing:
+        return (
+            f"record is missing required field(s) "
+            f"{', '.join(missing)} for schema {schema!r}"
+        )
     if schema == SCHEMA_METRICS:
         if not isinstance(obj.get("cycle"), int) or obj["cycle"] < 0:
             return "metrics point needs a non-negative integer 'cycle'"

@@ -53,6 +53,25 @@ class TestExitCodes:
             main([str(tmp_path), "--select", "REP999"])
         assert excinfo.value.code == 2
 
+    def test_unknown_rule_message_names_code_and_catalog(
+        self, tmp_path, capsys
+    ):
+        _write(tmp_path, "repro/sim/clean.py", "X = 1\n")
+        with pytest.raises(SystemExit):
+            main([str(tmp_path), "--select", "REP999,REP001"])
+        err = capsys.readouterr().err
+        assert "REP999" in err
+        assert "available" in err
+        assert "REP001" in err
+
+    def test_unknown_rule_raises_from_the_api_too(self):
+        from repro.analysis.rules import UnknownRuleError, all_rules
+
+        with pytest.raises(UnknownRuleError, match="REP999"):
+            all_rules(["REP999"])
+        with pytest.raises(ValueError):
+            all_rules([])
+
     def test_select_runs_only_requested_rules(self, tmp_path, capsys):
         _write(tmp_path, "repro/sim/bad.py", DIRTY)
         assert main(
@@ -60,13 +79,11 @@ class TestExitCodes:
         ) == 0
         capsys.readouterr()
 
-    def test_list_rules_names_all_six(self, capsys):
+    def test_list_rules_names_all_twelve(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in (
-            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006"
-        ):
-            assert code in out
+        for number in range(1, 13):
+            assert f"REP{number:03d}" in out
 
 
 class TestJsonFormat:
@@ -105,6 +122,125 @@ class TestJsonFormat:
         assert payload["findings"][0]["path"] == "repro/sim/bad.py"
 
 
+class TestGithubFormat:
+    def test_one_annotation_per_finding(self, tmp_path, capsys):
+        _write(tmp_path, "repro/sim/bad.py", DIRTY)
+        code = main(
+            [str(tmp_path), "--no-baseline", "--format", "github"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        lines = [
+            line for line in out.splitlines()
+            if line.startswith("::error ")
+        ]
+        assert len(lines) == 1  # the wall-clock call
+        assert "title=reprolint REP002" in lines[0]
+        assert "line=" in lines[0] and "col=" in lines[0]
+        # property values escape their separators
+        assert "file=" in lines[0]
+        assert "1 file(s) checked" in out
+
+    def test_clean_tree_emits_no_annotations(self, tmp_path, capsys):
+        _write(tmp_path, "repro/sim/clean.py", "X = 1\n")
+        code = main(
+            [str(tmp_path), "--no-baseline", "--format", "github"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "::error" not in out
+
+    def test_messages_escape_newlines_and_percent(self):
+        from repro.analysis.cli import (
+            _gh_escape_data,
+            _gh_escape_property,
+        )
+
+        assert _gh_escape_data("a%b\nc\rd") == "a%25b%0Ac%0Dd"
+        assert _gh_escape_property("a:b,c") == "a%3Ab%2Cc"
+
+
+class TestChangedOnly:
+    @pytest.fixture
+    def git_repo(self, tmp_path, monkeypatch):
+        """A git repo with one committed clean file on ``main``."""
+        import subprocess
+
+        def git(*args):
+            subprocess.run(
+                ["git", *args],
+                cwd=tmp_path,
+                check=True,
+                capture_output=True,
+            )
+
+        monkeypatch.chdir(tmp_path)
+        git("init", "-q", "-b", "main")
+        git("config", "user.email", "t@example.invalid")
+        git("config", "user.name", "t")
+        _write(tmp_path, "repro/sim/clean.py", "X = 1\n")
+        git("add", ".")
+        git("commit", "-q", "-m", "seed")
+        return tmp_path
+
+    def test_nothing_changed_exits_zero(self, git_repo, capsys):
+        code = main(
+            ["repro", "--no-baseline", "--changed-only",
+             "--since", "HEAD"]
+        )
+        assert code == 0
+        assert "nothing to lint" in capsys.readouterr().out
+
+    def test_untracked_dirty_file_is_linted(self, git_repo, capsys):
+        _write(git_repo, "repro/sim/bad.py", DIRTY)
+        code = main(
+            ["repro", "--no-baseline", "--changed-only",
+             "--since", "HEAD"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REP002" in out
+        assert "1 file(s) checked" in out
+
+    def test_committed_change_vs_ref_is_linted(self, git_repo, capsys):
+        import subprocess
+
+        _write(git_repo, "repro/sim/bad.py", DIRTY)
+        subprocess.run(
+            ["git", "add", "."], cwd=git_repo, check=True,
+            capture_output=True,
+        )
+        subprocess.run(
+            ["git", "commit", "-q", "-m", "dirty"],
+            cwd=git_repo, check=True, capture_output=True,
+        )
+        code = main(
+            ["repro", "--no-baseline", "--changed-only",
+             "--since", "HEAD~1"]
+        )
+        assert code == 1
+        assert "REP002" in capsys.readouterr().out
+
+    def test_changes_outside_the_lint_paths_are_ignored(
+        self, git_repo, capsys
+    ):
+        _write(git_repo, "scripts/tool.py", DIRTY)
+        code = main(
+            ["repro", "--no-baseline", "--changed-only",
+             "--since", "HEAD"]
+        )
+        assert code == 0
+        assert "nothing to lint" in capsys.readouterr().out
+
+    def test_bad_ref_exits_two(self, git_repo, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["repro", "--changed-only", "--since",
+                 "no-such-ref"]
+            )
+        assert excinfo.value.code == 2
+
+
 class TestBaselineWorkflow:
     def test_write_then_respect_baseline(
         self, tmp_path, capsys, monkeypatch
@@ -138,6 +274,33 @@ class TestRepoGate:
             REPO_ROOT / ".reprolint-baseline.json"
         )
         assert isinstance(fingerprints, set)
+
+
+class TestDocsCatalog:
+    def test_docs_table_matches_rule_catalog(self):
+        """docs/static-analysis.md's catalogue table carries exactly
+        the registered codes with their exact summary strings."""
+        import re
+
+        from repro.analysis.rules import rule_catalog
+
+        text = (REPO_ROOT / "docs" / "static-analysis.md").read_text(
+            encoding="utf-8"
+        )
+        rows = dict(
+            re.findall(r"^\| (REP\d{3}) +\| (.+?) \|$", text, re.M)
+        )
+        catalog = {code: summary for code, summary, _ in rule_catalog()}
+        assert rows == catalog
+
+    def test_every_rule_has_a_docs_section(self):
+        from repro.analysis.rules import rule_catalog
+
+        text = (REPO_ROOT / "docs" / "static-analysis.md").read_text(
+            encoding="utf-8"
+        )
+        for code, _, _ in rule_catalog():
+            assert f"### {code} — " in text, f"{code} undocumented"
 
 
 class TestMainDispatch:

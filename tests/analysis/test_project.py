@@ -1,0 +1,262 @@
+"""ProjectIndex construction: imports, call graph, determinism."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.project import ProjectIndex, repro_roots
+from repro.analysis.source import SourceModule
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def build_index(tmp_path, files):
+    """Write ``repro/...``-shaped fixture files and index them."""
+    sources = []
+    for rel_path, source in files.items():
+        target = tmp_path / rel_path
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+        sources.append(
+            SourceModule.parse(target, display_path=rel_path)
+        )
+    return ProjectIndex.build(sources)
+
+
+class TestImportResolution:
+    def test_import_cycle_tolerated(self, tmp_path):
+        project = build_index(
+            tmp_path,
+            {
+                "repro/sim/a.py": """
+                    from repro.sim.b import beta
+
+                    def alpha():
+                        return beta()
+                    """,
+                "repro/sim/b.py": """
+                    from repro.sim.a import alpha
+
+                    def beta():
+                        return alpha()
+                    """,
+            },
+        )
+        assert set(project.modules) == {"repro.sim.a", "repro.sim.b"}
+        chains = project.reachable_from(["repro.sim.a.alpha"])
+        assert "repro.sim.b.beta" in chains
+        # the back edge closes the cycle without hanging the BFS
+        assert chains["repro.sim.b.beta"] == (
+            "repro.sim.a.alpha", "repro.sim.b.beta"
+        )
+
+    def test_relative_import_single_level(self, tmp_path):
+        project = build_index(
+            tmp_path,
+            {
+                "repro/switches/__init__.py": "",
+                "repro/switches/a.py": """
+                    from .b import helper
+
+                    def use():
+                        return helper()
+                    """,
+                "repro/switches/b.py": """
+                    def helper():
+                        return 1
+                    """,
+            },
+        )
+        bindings = project.modules["repro.switches.a"].bindings
+        assert bindings["helper"] == "repro.switches.b.helper"
+        chains = project.reachable_from(["repro.switches.a.use"])
+        assert "repro.switches.b.helper" in chains
+
+    def test_relative_import_walks_up_packages(self, tmp_path):
+        project = build_index(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/sim/__init__.py": "",
+                "repro/sim/util.py": """
+                    def tool():
+                        return 0
+                    """,
+                "repro/switches/__init__.py": "",
+                "repro/switches/c.py": """
+                    from ..sim.util import tool
+
+                    def use():
+                        return tool()
+                    """,
+            },
+        )
+        bindings = project.modules["repro.switches.c"].bindings
+        assert bindings["tool"] == "repro.sim.util.tool"
+
+    def test_package_reexport_canonicalizes(self, tmp_path):
+        project = build_index(
+            tmp_path,
+            {
+                "repro/sim/__init__.py": """
+                    from repro.sim.impl import thing
+                    """,
+                "repro/sim/impl.py": """
+                    def thing():
+                        return 7
+                    """,
+                "repro/sim/user.py": """
+                    from repro.sim import thing
+
+                    def use():
+                        return thing()
+                    """,
+            },
+        )
+        assert (
+            project.canonicalize("repro.sim.thing")
+            == "repro.sim.impl.thing"
+        )
+        chains = project.reachable_from(["repro.sim.user.use"])
+        assert "repro.sim.impl.thing" in chains
+
+
+class TestCallGraph:
+    TREE = {
+        "repro/switches/base.py": """
+            class Base:
+                def entry(self):
+                    return self.hook()
+
+                def hook(self):
+                    return 0
+            """,
+        "repro/switches/sub.py": """
+            from repro.switches.base import Base
+
+            class Sub(Base):
+                def hook(self):
+                    return 1
+            """,
+    }
+
+    def test_self_call_reaches_descendant_overrides(self, tmp_path):
+        """The global graph is sound: an entry on the base class may
+        execute any override, so both hooks are reachable."""
+        project = build_index(tmp_path, self.TREE)
+        chains = project.reachable_from(
+            ["repro.switches.base.Base.entry"]
+        )
+        assert "repro.switches.base.Base.hook" in chains
+        assert "repro.switches.sub.Sub.hook" in chains
+
+    def test_method_closure_is_view_aware(self, tmp_path):
+        """Per-class closures resolve self-calls in that class's own
+        MRO — the base view never sees the subclass override, and the
+        subclass view replaces (not augments) the base hook."""
+        project = build_index(tmp_path, self.TREE)
+        base_view = project.method_closure(
+            "repro.switches.base.Base", "entry"
+        )
+        assert "repro.switches.base.Base.hook" in base_view
+        assert "repro.switches.sub.Sub.hook" not in base_view
+        sub_view = project.method_closure(
+            "repro.switches.sub.Sub", "entry"
+        )
+        assert "repro.switches.sub.Sub.hook" in sub_view
+        assert "repro.switches.base.Base.hook" not in sub_view
+
+    def test_class_call_reaches_init(self, tmp_path):
+        project = build_index(
+            tmp_path,
+            {
+                "repro/sim/factory.py": """
+                    class Widget:
+                        def __init__(self):
+                            self.x = 1
+
+                    def make():
+                        return Widget()
+                    """,
+            },
+        )
+        chains = project.reachable_from(["repro.sim.factory.make"])
+        assert "repro.sim.factory.Widget.__init__" in chains
+
+    def test_descendants_cross_module(self, tmp_path):
+        project = build_index(tmp_path, self.TREE)
+        assert project.descendants("repro.switches.base.Base") == (
+            "repro.switches.sub.Sub",
+        )
+
+
+class TestConstants:
+    def test_dict_of_named_constants(self, tmp_path):
+        project = build_index(
+            tmp_path,
+            {
+                "repro/obs/reg.py": """
+                    TAG = "repro.x/1"
+                    FIELDS = {TAG: ("run", "event")}
+                    """,
+            },
+        )
+        assert project.constant("repro.obs.reg", "FIELDS") == {
+            "repro.x/1": ("run", "event")
+        }
+
+    def test_imported_constant_resolves(self, tmp_path):
+        project = build_index(
+            tmp_path,
+            {
+                "repro/obs/reg.py": 'TAG = "repro.x/1"\n',
+                "repro/obs/use.py": """
+                    from repro.obs.reg import TAG
+
+                    ALIAS = TAG
+                    """,
+            },
+        )
+        assert (
+            project.constant("repro.obs.use", "ALIAS") == "repro.x/1"
+        )
+
+    def test_non_constant_is_none(self, tmp_path):
+        project = build_index(
+            tmp_path,
+            {"repro/obs/reg.py": "VALUE = compute()\n"},
+        )
+        assert project.constant("repro.obs.reg", "VALUE") is None
+
+
+class TestReproRoots:
+    def test_innermost_repro_dirs(self, tmp_path):
+        inner = tmp_path / "repro" / "sim"
+        inner.mkdir(parents=True)
+        (inner / "x.py").write_text("", encoding="utf-8")
+        roots = repro_roots([inner / "x.py"])
+        assert roots == [tmp_path / "repro"]
+
+
+class TestDeterminism:
+    def test_repo_lint_is_byte_identical_across_runs(self, capsys):
+        """Two full semantic runs over ``src/repro`` produce identical
+        JSON — index construction, chain ordering and occurrence
+        numbering are all deterministic."""
+        import os
+
+        from repro.analysis.cli import main
+
+        cwd = os.getcwd()
+        os.chdir(REPO_ROOT)
+        try:
+            outputs = []
+            for _ in range(2):
+                main(
+                    ["src/repro", "--format", "json", "--no-baseline"]
+                )
+                outputs.append(capsys.readouterr().out)
+        finally:
+            os.chdir(cwd)
+        assert outputs[0] == outputs[1]

@@ -109,12 +109,23 @@ class TestValidation:
 
     def test_trace_record_requirements(self):
         good = {
-            "schema": SCHEMA_TRACE, "cycle": 1, "source": "sw0",
-            "event": "flit_in", "details": {},
+            "schema": SCHEMA_TRACE, "run": "r", "cycle": 1,
+            "source": "sw0", "event": "flit_in", "details": {},
         }
         assert validate_record(good) is None
         assert validate_record({**good, "details": None}) is not None
         assert validate_record({**good, "source": 3}) is not None
+
+    def test_missing_required_field_rejected(self):
+        record = {
+            "schema": SCHEMA_TRACE, "run": "r", "cycle": 1,
+            "source": "sw0", "event": "flit_in", "details": {},
+        }
+        del record["run"]
+        problem = validate_record(record)
+        assert problem is not None
+        assert "missing required field" in problem
+        assert "run" in problem
 
     def test_run_record_requirements(self):
         good = {"schema": SCHEMA_RUN, "run": "r", "event": "start"}
