@@ -19,6 +19,7 @@ from pathlib import Path
 
 from repro.experiments.common import Scale
 from repro.obs.manifest import RunManifest
+from repro.store import runtime as store_runtime
 
 #: benchmark scale: single seed, short windows — shapes remain stable
 BENCH = Scale(
@@ -33,6 +34,14 @@ BENCH = Scale(
 #: stay comparable run-to-run; set REPRO_BENCH_JOBS to fan the grid out
 #: (results are identical either way — see repro.experiments.parallel).
 JOBS = max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+
+# The benchmark harness is a CLI entry point, so it honours
+# REPRO_STORE_DIR the same way the experiment runner does: runs
+# memoize through the journal there, and each BENCH_*.json records a
+# "store" section (rows are bit-identical either way).
+_store_dir = store_runtime.store_dir_from_env()
+if _store_dir is not None and store_runtime.active_session() is None:
+    store_runtime.configure(store_runtime.open_session(_store_dir))
 
 
 def show(result, wall_seconds=None) -> None:
@@ -61,6 +70,12 @@ def write_bench_json(result, out_dir, wall_seconds=None) -> Path:
             wall_seconds=wall_seconds, jobs=JOBS, scale=BENCH.name
         ).to_dict(),
     }
+    session = store_runtime.active_session()
+    if session is not None:
+        # rows are bit-identical warm or cold; the section records how
+        # much of this artifact came from the journal (see
+        # docs/result-store.md and `python -m repro inspect`)
+        payload["store"] = session.stats()
     path.write_text(
         json.dumps(payload, indent=1, default=repr) + "\n", encoding="utf-8"
     )

@@ -1,0 +1,39 @@
+"""Result store: warm-campaign and duplicate-coalescing gates.
+
+Unlike the experiment benchmarks (which regenerate paper tables), this
+one times the memoizing execution layer itself: a campaign re-run
+against its own journal must cost at most 0.1x the cold wall time, and
+a grid with 50% duplicate specs must speed up by at least 1.8x from
+coalescing alone — with the resolved values asserted bit-identical to
+plain execution in every mode.  The same gates run from ``python -m
+repro bench --check``; see ``docs/result-store.md``.
+"""
+
+from __future__ import annotations
+
+from repro.bench.store import (
+    DEDUP_SPEEDUP_MIN,
+    WARM_RATIO_MAX,
+    check_store_result,
+    run_store_bench,
+)
+
+
+def run():
+    return run_store_bench(smoke=True)
+
+
+def test_store_gates(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    # every campaign spec answered from the journal on the warm run
+    assert result.warm_hits == result.campaign_runs
+    # half the duplicate grid resolved by coalescing, not execution
+    assert result.dedup_coalesced == result.dedup_runs // 2
+
+    failures = check_store_result(result)
+    assert not failures, "\n".join(failures)
+    assert result.warm_ratio <= WARM_RATIO_MAX
+    assert result.dedup_speedup >= DEDUP_SPEEDUP_MIN

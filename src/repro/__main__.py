@@ -26,6 +26,11 @@ Subcommands:
     report kernel attribution, worm phase latencies and link
     utilisation; optionally export a Chrome-trace JSON.  See
     :mod:`repro.obs.profile` and ``docs/observability.md``.
+``store {stats,verify,gc,export,import}``
+    Inspect and maintain a content-addressed result store (the
+    ``--store-dir``/``REPRO_STORE_DIR`` journal the experiment runner
+    memoizes through); see :mod:`repro.store` and
+    ``docs/result-store.md``.
 
 For the full evaluation use ``python -m repro.experiments.runner``.
 Unknown subcommands exit with status 2 and the usage summary below.
@@ -45,6 +50,7 @@ commands:
   lint     run the reprolint static-analysis gate
   bench    benchmark the active-set kernel vs the dense reference
   profile  profile one scenario (kernel, worm phases, Chrome trace)
+  store    inspect/maintain the result store (stats, verify, gc, ...)
 
 `python -m repro COMMAND --help` shows each command's options.
 Full evaluation: python -m repro.experiments.runner --all
@@ -110,6 +116,10 @@ def main(argv=None) -> int:
             from repro.obs.profile.runner import main as profile_main
 
             return profile_main(rest)
+        if command == "store":
+            from repro.store.cli import main as store_main
+
+            return store_main(rest)
         if command == "demo":
             argv = rest
         else:
@@ -150,7 +160,15 @@ def main(argv=None) -> int:
             for label, architecture, scheme in DEMO_CASES
         ],
     )
-    results = execute_plan(plan, jobs=args.jobs)
+    from repro.store import runtime as store_runtime
+
+    store_dir = store_runtime.store_dir_from_env()
+    if store_dir is not None:
+        store_runtime.configure(store_runtime.open_session(store_dir))
+    try:
+        results = execute_plan(plan, jobs=args.jobs)
+    finally:
+        store_runtime.reset()
     for label, _, _ in DEMO_CASES:
         case = results[(label,)]
         table.add_row(label, case["last"], round(case["average"], 1))

@@ -1,4 +1,4 @@
-"""The reprolint rule registry and the REP001-REP012 invariant rules.
+"""The reprolint rule registry and the REP001-REP013 invariant rules.
 
 Each rule guards one contract the reproduction's results depend on but
 that nothing else enforces at rest (see ``docs/static-analysis.md``):
@@ -16,6 +16,7 @@ REP009   tracer/profiler emits stay behind an enabled/attached guard
 REP010   dormancy-state mutations register a kernel wake
 REP011   packed and object data planes emit identical telemetry names
 REP012   literal sink records match their registered schema fields
+REP013   result-store file I/O flows through the journal module only
 =======  ==========================================================
 
 A rule is a class with a ``code``, a one-line ``summary``, a ``hint``
@@ -79,6 +80,13 @@ PACKED_MODULES: Tuple[str, ...] = (
 #: the tracer implementation itself is exempt from REP009 (its ``emit``
 #: *is* the guarded primitive the rule protects)
 TRACE_HOME = "repro.sim.trace"
+
+#: the result-store package and its single file-I/O module (REP013):
+#: every byte the store persists flows through the journal, keeping the
+#: crash-safety story (O_EXCL segment claims, torn-tail recovery)
+#: auditable in one place
+STORE_PACKAGE = "repro.store"
+JOURNAL_HOME = "repro.store.journal"
 
 
 class Rule(ABC):
@@ -1715,3 +1723,68 @@ class SchemaFieldDrift(Rule):
             value = project.constant(owner, symbol)
             return value if isinstance(value, str) else None
         return None
+
+
+@register
+class StoreFilesViaJournal(Rule):
+    """REP013 — result-store file I/O flows through the journal only.
+
+    The store's crash-safety guarantees — one writer per segment
+    (``O_CREAT | O_EXCL`` claims), newline-terminated records, torn
+    final lines recovered not reported, gc that rewrites before it
+    removes — all live in :mod:`repro.store.journal`.  A direct
+    ``open()`` or ``Path`` write anywhere else under ``repro.store``
+    would bypass those rules silently: the file would *work* until the
+    first crashed campaign or concurrent farm shard corrupted it.  The
+    rule flags direct file calls (``open``, ``io.open``, ``os.open``,
+    ``os.fdopen``) and file-mutating method calls (``.write_text``,
+    ``.write_bytes``, ``.unlink``, ``.rename``, ``.replace``) in every
+    ``repro.store`` module except the journal itself.
+    """
+
+    code = "REP013"
+    summary = "result-store file I/O outside repro.store.journal"
+    hint = (
+        "persist through repro.store.journal (claim_segment, "
+        "JournalWriter, scan_segment, write_export) so crash "
+        "recovery stays correct"
+    )
+
+    #: call targets that open file handles directly
+    BANNED_CALLS: Tuple[str, ...] = (
+        "open", "io.open", "os.open", "os.fdopen"
+    )
+    #: attribute calls that create, overwrite or remove files
+    BANNED_METHODS: Tuple[str, ...] = (
+        "write_text", "write_bytes", "unlink", "rename", "replace"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if not module.in_package(STORE_PACKAGE):
+            return
+        if module.in_package(JOURNAL_HOME):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = module.imports.resolve(node.func)
+            if resolved in self.BANNED_CALLS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"direct file call {resolved}() in "
+                    f"{module.module_name}; store bytes flow through "
+                    f"{JOURNAL_HOME}",
+                )
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in self.BANNED_METHODS
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f".{node.func.attr}(...) file write in "
+                    f"{module.module_name}; store bytes flow through "
+                    f"{JOURNAL_HOME}",
+                )

@@ -530,6 +530,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"\n{len(results)} scenario(s), every fast-flavour result "
           f"bit-identical to its dense/object reference, {wall:.1f}s total")
 
+    store_result = None
+    if not args.scenario:
+        # the result-store gates ride along with every full/smoke run
+        # (--scenario means the caller wants one kernel case only)
+        from repro.bench.store import (
+            DEDUP_SPEEDUP_MIN,
+            WARM_RATIO_MAX,
+            check_store_result,
+            run_store_bench,
+        )
+
+        print("store: warm-campaign and coalescing gates ...",
+              file=sys.stderr)
+        try:
+            store_result = run_store_bench(smoke=args.smoke)
+        except BenchmarkError as error:
+            print(f"bench: {error}", file=sys.stderr)
+            return 1
+        print(store_result.render())
+
     profiles: Dict[str, Dict[str, object]] = {}
     if args.profile:
         try:
@@ -545,6 +565,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.out:
         artifact = to_artifact(results, wall_seconds=wall, profiles=profiles)
+        if store_result is not None:
+            artifact["store"] = store_result.to_dict()
         path = Path(args.out)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(
@@ -562,12 +584,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         failures = check_against_baseline(
             results, baseline, tolerance=args.tolerance
         )
+        if store_result is not None:
+            failures.extend(check_store_result(store_result))
         if failures:
             for failure in failures:
                 print(f"bench: REGRESSION {failure}", file=sys.stderr)
             return 1
         print(f"speedup gate passed vs {baseline_path} "
               f"(tolerance {args.tolerance:.0%})")
+        if store_result is not None:
+            print("store gates passed (warm ratio <= "
+                  f"{WARM_RATIO_MAX}, coalescing >= "
+                  f"{DEDUP_SPEEDUP_MIN}x)")
     return 0
 
 

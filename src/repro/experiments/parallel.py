@@ -83,24 +83,46 @@ class RunSpec:
     ``fn`` must be a module-level function (so it pickles by reference)
     and ``kwargs`` must contain only picklable values; the spec may then
     execute in any worker process.
+
+    ``result_version`` salts the spec's content address in the result
+    store (see :mod:`repro.store.hashing`): bump it in the experiment
+    when the *meaning* of ``fn``'s output changes without its signature
+    changing, and previously journaled results stop matching.
     """
 
     key: Key
     fn: Callable[..., Any]
     kwargs: Mapping[str, Any] = field(default_factory=dict)
+    result_version: int = 1
 
     def execute(self) -> Any:
         """Run the spec in the current process."""
         return self.fn(**self.kwargs)
 
 
+#: how a :class:`RunOutcome`'s value was obtained
+SOURCE_EXECUTED = "executed"
+SOURCE_HIT = "hit"
+SOURCE_COALESCED = "coalesced"
+
+
 @dataclass(frozen=True)
 class RunOutcome:
-    """A finished run: its key, its value, and how long it took."""
+    """A finished run: its key, its value, and how long it took.
+
+    ``source`` records how the value was obtained: ``"executed"`` (the
+    simulation ran), ``"hit"`` (answered from the result store), or
+    ``"coalesced"`` (a duplicate spec fanned out from another spec's
+    execution in the same plan).  ``saved_seconds`` is the execution
+    time a hit or coalesced outcome avoided, as journaled/measured for
+    the run that did execute.
+    """
 
     key: Key
     value: Any
     wall_seconds: float
+    source: str = SOURCE_EXECUTED
+    saved_seconds: float = 0.0
 
 
 @dataclass
@@ -139,6 +161,7 @@ def run_outcomes(
     plan: ExecutionPlan,
     jobs: Optional[int] = None,
     progress: Optional[ProgressFn] = None,
+    store: Optional[Any] = None,
 ) -> List[RunOutcome]:
     """Execute every spec in ``plan``; outcomes are in completion order.
 
@@ -147,7 +170,37 @@ def run_outcomes(
     some sandboxes forbid the semaphores ``multiprocessing`` needs — the
     plan silently falls back to the serial path, which computes the same
     values.
+
+    ``store`` routes the plan through the result store's memoizing
+    layer (:mod:`repro.store.memo`): cached specs are answered without
+    executing, duplicate specs are coalesced into one execution, and
+    fresh results are journaled.  ``store=None`` consults the
+    process-wide session configured by :mod:`repro.store.runtime` (the
+    ``--store-dir`` / ``REPRO_STORE_DIR`` plumbing); when that is also
+    absent the plan executes plainly.  Either way the returned values
+    are bit-identical — the reduce step cannot tell a warm campaign
+    from a cold one.
     """
+    if store is not None:
+        from repro.store.memo import memoized_outcomes
+
+        return memoized_outcomes(
+            plan, store, jobs=jobs, progress=progress
+        )
+    from repro.store import runtime
+
+    session = runtime.active_session()
+    if session is not None:
+        return session.run(plan, jobs=jobs, progress=progress)
+    return _plain_outcomes(plan, jobs=jobs, progress=progress)
+
+
+def _plain_outcomes(
+    plan: ExecutionPlan,
+    jobs: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
+) -> List[RunOutcome]:
+    """The store-free execution path (pool with serial fallback)."""
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
     workers = min(jobs, len(plan.specs))
     if workers > 1:
@@ -206,6 +259,14 @@ class TimingSummary:
     ``utilisation`` (work / (wall x jobs)) says how close the pool got.
     Low utilisation usually means *stragglers*: runs much longer than
     the rest that leave workers idle at the tail of the plan.
+
+    When a plan ran through the result store, ``hits``/``coalesced``
+    say how many runs were answered without executing and
+    ``saved_seconds`` how much execution time that avoided; the per-run
+    timing statistics (mean/median/max/stragglers) are computed over
+    the **executed** runs only, so a warm campaign full of instant hits
+    does not collapse the median to zero and flag every real run as a
+    straggler.
     """
 
     runs: int
@@ -217,6 +278,14 @@ class TimingSummary:
     max_seconds: float
     #: ``(label, seconds)`` of runs slower than 2x the median
     stragglers: Tuple[Tuple[str, float], ...]
+    #: runs answered from the result store without executing
+    hits: int = 0
+    #: duplicate specs fanned out from another spec's execution
+    coalesced: int = 0
+    #: runs that actually executed (``runs`` counts all outcomes)
+    executed: int = 0
+    #: execution time avoided by hits and coalesced runs
+    saved_seconds: float = 0.0
 
     @property
     def utilisation(self) -> float:
@@ -236,6 +305,13 @@ class TimingSummary:
             f"median {self.median_seconds:.2f}s, "
             f"max {self.max_seconds:.2f}s",
         ]
+        if self.hits or self.coalesced:
+            lines.append(
+                f"result store: {self.hits} hit(s), "
+                f"{self.coalesced} coalesced, {self.executed} "
+                f"executed; ~{self.saved_seconds:.2f}s of execution "
+                "avoided"
+            )
         if self.stragglers:
             worst = ", ".join(
                 f"{label} ({seconds:.2f}s)"
@@ -252,13 +328,25 @@ def _key_label(key: Key) -> str:
 def summarize_timing(
     outcomes: List[RunOutcome], jobs: int, wall_seconds: float
 ) -> TimingSummary:
-    """Fold per-run wall times into a :class:`TimingSummary`."""
-    times = sorted(outcome.wall_seconds for outcome in outcomes)
+    """Fold per-run wall times into a :class:`TimingSummary`.
+
+    Timing statistics cover executed outcomes only; store hits and
+    coalesced duplicates are counted separately (see the class docs).
+    """
+    ran = [o for o in outcomes if o.source == SOURCE_EXECUTED]
+    hits = sum(1 for o in outcomes if o.source == SOURCE_HIT)
+    coalesced = sum(
+        1 for o in outcomes if o.source == SOURCE_COALESCED
+    )
+    saved = sum(o.saved_seconds for o in outcomes)
+    times = sorted(outcome.wall_seconds for outcome in ran)
     if not times:
         return TimingSummary(
-            runs=0, jobs=jobs, work_seconds=0.0,
+            runs=len(outcomes), jobs=max(1, jobs), work_seconds=0.0,
             wall_seconds=wall_seconds, mean_seconds=0.0,
             median_seconds=0.0, max_seconds=0.0, stragglers=(),
+            hits=hits, coalesced=coalesced, executed=0,
+            saved_seconds=saved,
         )
     half = len(times) // 2
     median = (
@@ -271,14 +359,14 @@ def summarize_timing(
         sorted(
             (
                 (_key_label(o.key), o.wall_seconds)
-                for o in outcomes
+                for o in ran
                 if o.wall_seconds > threshold
             ),
             key=lambda pair: -pair[1],
         )
     )
     return TimingSummary(
-        runs=len(times),
+        runs=len(outcomes),
         jobs=max(1, jobs),
         work_seconds=sum(times),
         wall_seconds=wall_seconds,
@@ -286,6 +374,10 @@ def summarize_timing(
         median_seconds=median,
         max_seconds=times[-1],
         stragglers=stragglers,
+        hits=hits,
+        coalesced=coalesced,
+        executed=len(times),
+        saved_seconds=saved,
     )
 
 
@@ -304,9 +396,17 @@ class StderrProgress:
 
     def __call__(self, outcome: RunOutcome, done: int, total: int) -> None:
         self.outcomes.append(outcome)
+        if outcome.source == SOURCE_HIT:
+            detail = f"store hit, ~{outcome.saved_seconds:.2f}s saved"
+        elif outcome.source == SOURCE_COALESCED:
+            detail = (
+                f"coalesced, ~{outcome.saved_seconds:.2f}s saved"
+            )
+        else:
+            detail = f"{outcome.wall_seconds:.2f}s"
         print(
             f"[{self.name} {done}/{total}] {_key_label(outcome.key)} "
-            f"({outcome.wall_seconds:.2f}s)",
+            f"({detail})",
             file=sys.stderr,
             flush=True,
         )

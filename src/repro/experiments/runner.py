@@ -52,6 +52,7 @@ from repro.experiments.unicast_baseline import run_unicast_baseline
 from repro.obs import runtime as obs_runtime
 from repro.obs.manifest import RunManifest
 from repro.obs.runtime import ObsOptions
+from repro.store import runtime as store_runtime
 
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "e1": run_multiple_multicast,
@@ -148,6 +149,24 @@ def main(argv=None) -> int:
         help="append per-run profiling digests (kernel attribution, "
         "worm phase latencies, link heatmap) as JSONL",
     )
+    store_group = parser.add_argument_group(
+        "result store (tables are bit-identical warm or cold)"
+    )
+    store_group.add_argument(
+        "--store-dir", metavar="DIR",
+        help="journal run results under DIR and answer repeated specs "
+        f"from it (default: ${store_runtime.ENV_STORE_DIR} when set)",
+    )
+    store_group.add_argument(
+        "--no-store", action="store_true",
+        help=f"ignore ${store_runtime.ENV_STORE_DIR} and run without "
+        "the result store",
+    )
+    store_group.add_argument(
+        "--store-refresh", action="store_true",
+        help="re-execute every spec and journal fresh results, "
+        "shadowing stale entries",
+    )
     args = parser.parse_args(argv)
 
     scale = QUICK if args.scale == "quick" else PAPER
@@ -169,6 +188,29 @@ def main(argv=None) -> int:
                 trace_out=args.trace_out,
                 sample_every=max(0, args.sample_every),
                 profile_out=args.profile_out,
+            )
+        )
+
+    if args.no_store and (args.store_dir or args.store_refresh):
+        parser.error(
+            "--no-store conflicts with --store-dir/--store-refresh"
+        )
+    store_dir = None
+    if not args.no_store:
+        store_dir = (
+            Path(args.store_dir)
+            if args.store_dir
+            else store_runtime.store_dir_from_env()
+        )
+    if args.store_refresh and store_dir is None:
+        parser.error(
+            "--store-refresh needs --store-dir or "
+            f"${store_runtime.ENV_STORE_DIR}"
+        )
+    if store_dir is not None:
+        store_runtime.configure(
+            store_runtime.open_session(
+                store_dir, refresh=args.store_refresh
             )
         )
 
@@ -195,6 +237,7 @@ def main(argv=None) -> int:
             print()
     finally:
         obs_runtime.reset()
+        store_runtime.reset()
 
     if recording:
         anchor = args.metrics_out or args.trace_out

@@ -1,14 +1,17 @@
 """``python -m repro inspect``: summarise manifests and JSONL files.
 
 Reads any mix of run manifests (``*.manifest.json``), metrics JSONL,
-trace JSONL and profiling-digest JSONL files produced by the
-observability layer and prints a human-readable summary: per-run gauge
+trace JSONL, profiling-digest JSONL and ``BENCH_*.json`` benchmark
+artifacts and prints a human-readable summary: per-run gauge
 statistics, an ASCII chart of central-buffer occupancy over time (via
 :mod:`repro.metrics.ascii_chart`), trace event counts, kernel/phase
 profiling sections with a link-utilisation heatmap, worm lifecycle
-digests, and manifest provenance.  With ``--check`` it validates every line against the
-schemas in :mod:`repro.obs.sinks` and exits non-zero on any invalid
-record — the CI smoke job runs exactly that.
+digests, manifest provenance, and — for benchmark artifacts — the
+result-store section (hits, coalesced runs, bytes, segment count)
+recorded when the run memoized through ``REPRO_STORE_DIR``.  With
+``--check`` it validates every line against the schemas in
+:mod:`repro.obs.sinks` and exits non-zero on any invalid record — the
+CI smoke job runs exactly that.
 """
 
 from __future__ import annotations
@@ -44,6 +47,62 @@ def _is_manifest_file(path: str) -> bool:
     except (OSError, json.JSONDecodeError):
         return False
     return isinstance(data, dict) and data.get("schema") == SCHEMA_MANIFEST
+
+
+def _load_bench_file(path: str) -> Optional[Dict[str, Any]]:
+    """The parsed ``BENCH_*.json`` artifact, or ``None`` if not one.
+
+    Recognises both shapes: the kernel benchmark artifact (tagged
+    ``repro.bench.kernel/1``) and the per-experiment archives written
+    by ``benchmarks/_benchlib`` (``experiment`` + ``rows`` keys).
+    """
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(data, dict):
+        return None
+    if str(data.get("schema", "")).startswith("repro.bench."):
+        return data
+    if "experiment" in data and "rows" in data:
+        return data
+    return None
+
+
+def _summarise_bench(path: str, data: Dict[str, Any]) -> str:
+    """Render a benchmark artifact: headline, rows, store section."""
+    lines = [f"{path}: benchmark artifact"]
+    if data.get("experiment"):
+        title = data.get("title") or ""
+        lines.append(
+            f"  experiment {data['experiment']}"
+            + (f": {title}" if title else "")
+        )
+    rows = data.get("rows") or data.get("scenarios") or []
+    if isinstance(rows, list):
+        lines.append(f"  {len(rows)} row(s)")
+    manifest = data.get("manifest")
+    if isinstance(manifest, dict):
+        lines.append(
+            f"  recorded {manifest.get('created_at', '?')} at git "
+            f"{str(manifest.get('git_sha', '?'))[:12]}"
+        )
+    store = data.get("store")
+    if isinstance(store, dict):
+        table = Table("result store", ["field", "value"])
+        for key in (
+            "hits", "coalesced", "executed", "saved_seconds",
+            "warm_hits", "warm_ratio", "dedup_speedup",
+            "entries", "segments", "bytes",
+        ):
+            if key in store:
+                table.add_row(key.replace("_", " "), store[key])
+        lines.append(
+            "\n".join("  " + row for row in table.render().split("\n"))
+        )
+    else:
+        lines.append("  no store section (ran without a result store)")
+    return "\n".join(lines)
 
 
 def _summarise_manifest(path: str) -> str:
@@ -282,6 +341,18 @@ def _check(paths: List[str]) -> int:
     """Validate every file; print a verdict per file; 0 iff all valid."""
     failures = 0
     for path in paths:
+        bench = _load_bench_file(path)
+        if bench is not None:
+            manifest = bench.get("manifest")
+            if isinstance(manifest, dict) and manifest.get(
+                "schema"
+            ) not in (None, SCHEMA_MANIFEST):
+                print(f"{path}: INVALID bench artifact (bad manifest "
+                      f"schema {manifest.get('schema')!r})")
+                failures += 1
+            else:
+                print(f"{path}: OK (bench artifact)")
+            continue
         if _is_manifest_file(path):
             try:
                 RunManifest.load(path)
@@ -332,7 +403,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.check:
         return _check(args.paths)
     for path in args.paths:
-        if _is_manifest_file(path):
+        bench = _load_bench_file(path)
+        if bench is not None:
+            print(_summarise_bench(path, bench))
+        elif _is_manifest_file(path):
             print(_summarise_manifest(path))
         else:
             print(_summarise_jsonl(path, chart=not args.no_chart))

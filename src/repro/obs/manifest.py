@@ -10,6 +10,7 @@ one beside ``--metrics-out``/``--trace-out`` files.
 
 from __future__ import annotations
 
+import calendar
 import hashlib
 import json
 import platform
@@ -22,6 +23,30 @@ from typing import Any, Dict, Optional
 
 from repro._version import __version__
 from repro.obs.sinks import SCHEMA_MANIFEST
+
+
+def utc_now_iso() -> str:
+    """The current UTC time as an ISO-8601 string.
+
+    The observability layer is the only place allowed to read the wall
+    clock (reprolint REP002); code that needs a timestamp — the result
+    store's journal headers, gc age cutoffs — calls this instead of
+    :mod:`time` directly.
+    """
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+def parse_iso(stamp: str) -> Optional[float]:
+    """Seconds-since-epoch of an ISO stamp from :func:`utc_now_iso`.
+
+    Returns ``None`` for stamps in any other shape, so callers degrade
+    to "age unknown" rather than crash on foreign manifests.
+    """
+    try:
+        parts = time.strptime(stamp, "%Y-%m-%dT%H:%M:%SZ")
+    except ValueError:
+        return None
+    return float(calendar.timegm(parts))
 
 
 def git_sha() -> str:

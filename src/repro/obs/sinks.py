@@ -24,6 +24,11 @@ CI smoke job) can validate files without out-of-band context:
     One digested worm lifecycle: ``{"run", "packet", "setup",
     "blocked", "transfer", ...}`` (see
     :mod:`repro.obs.profile.lifecycle`).
+``repro.store.segment/1`` / ``repro.store.entry/1``
+    Result-store journal lines: a per-writer-session segment header
+    (store schema version, creation time, provenance manifest) and one
+    content-addressed cached run value per entry (see
+    :mod:`repro.store` and ``docs/result-store.md``).
 
 Writers open their file in append mode and emit each record as a single
 line-buffered write, so several worker processes of one experiment grid
@@ -44,6 +49,8 @@ SCHEMA_TRACE = "repro.trace/1"
 SCHEMA_MANIFEST = "repro.manifest/1"
 SCHEMA_PROFILE = "repro.profile/1"
 SCHEMA_LIFECYCLE = "repro.lifecycle/1"
+SCHEMA_STORE_SEGMENT = "repro.store.segment/1"
+SCHEMA_STORE_ENTRY = "repro.store.entry/1"
 
 KNOWN_SCHEMAS = (
     SCHEMA_RUN,
@@ -52,6 +59,8 @@ KNOWN_SCHEMAS = (
     SCHEMA_MANIFEST,
     SCHEMA_PROFILE,
     SCHEMA_LIFECYCLE,
+    SCHEMA_STORE_SEGMENT,
+    SCHEMA_STORE_ENTRY,
 )
 
 #: section names a ``repro.profile/1`` record may carry
@@ -72,6 +81,8 @@ SCHEMA_FIELDS: Dict[str, Tuple[str, ...]] = {
     SCHEMA_MANIFEST: ("python_version", "git_sha", "created_at"),
     SCHEMA_PROFILE: ("run", "section", "data"),
     SCHEMA_LIFECYCLE: ("run", "packet"),
+    SCHEMA_STORE_SEGMENT: ("store_schema", "created_at"),
+    SCHEMA_STORE_ENTRY: ("key", "fn", "result_version", "value"),
 }
 
 
@@ -246,6 +257,18 @@ def validate_record(obj: Any) -> Optional[str]:
             )
         if not isinstance(obj.get("data"), dict):
             return "profile record needs a 'data' object"
+    elif schema == SCHEMA_STORE_SEGMENT:
+        if not isinstance(obj.get("store_schema"), int):
+            return "store segment header needs an integer 'store_schema'"
+        if not isinstance(obj.get("created_at"), str):
+            return "store segment header needs a string 'created_at'"
+    elif schema == SCHEMA_STORE_ENTRY:
+        if not isinstance(obj.get("key"), str) or not obj["key"]:
+            return "store entry needs a non-empty string 'key'"
+        if not isinstance(obj.get("fn"), str):
+            return "store entry needs a string 'fn' reference"
+        if not isinstance(obj.get("result_version"), int):
+            return "store entry needs an integer 'result_version'"
     elif schema == SCHEMA_LIFECYCLE:
         if not isinstance(obj.get("run"), str):
             return "lifecycle record needs a string 'run' tag"

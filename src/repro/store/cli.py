@@ -1,0 +1,128 @@
+"""``python -m repro store`` — operate on a result store from the CLI.
+
+Subcommands::
+
+    store stats            index size and on-disk footprint
+    store verify           full journal re-scan (crash-recovery audit)
+    store gc               compact; drop entries by age and/or size
+    store export FILE      dump live entries to a standalone JSONL file
+    store import FILE      merge another shard's export into this store
+
+Every subcommand takes ``--dir``; when omitted, the ``REPRO_STORE_DIR``
+environment variable names the store (the same variable the experiment
+runner honours), and having neither is an error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.store.backend import JournalStore, StoreError
+from repro.store.runtime import ENV_STORE_DIR, store_dir_from_env
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro store",
+        description="inspect and maintain a result store",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name: str, help_text: str) -> argparse.ArgumentParser:
+        command = sub.add_parser(name, help=help_text)
+        command.add_argument(
+            "--dir",
+            type=Path,
+            default=None,
+            help=f"store directory (default: ${ENV_STORE_DIR})",
+        )
+        return command
+
+    add("stats", "print index size and on-disk footprint")
+    add("verify", "re-scan the journal and audit crash recovery")
+    gc = add("gc", "compact the journal, dropping old/excess entries")
+    gc.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        help="drop entries older than this many days",
+    )
+    gc.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="evict oldest entries until the store fits this size",
+    )
+    gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what gc would do without rewriting anything",
+    )
+    export = add("export", "write live entries to a JSONL file")
+    export.add_argument("file", type=Path, help="output JSONL path")
+    imp = add("import", "merge an exported JSONL file into the store")
+    imp.add_argument("file", type=Path, help="input JSONL path")
+    return parser
+
+
+def _resolve_dir(flag: Optional[Path]) -> Path:
+    directory = flag if flag is not None else store_dir_from_env()
+    if directory is None:
+        raise SystemExit(
+            f"repro store: no store directory; pass --dir or set "
+            f"${ENV_STORE_DIR}"
+        )
+    return directory
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    options = _build_parser().parse_args(argv)
+    directory = _resolve_dir(options.dir)
+    try:
+        store = JournalStore(directory, create=options.command != "stats")
+    except StoreError as error:
+        print(f"repro store: {error}", file=sys.stderr)
+        return 2
+    with store:
+        if options.command == "stats":
+            print(json.dumps(store.stats(), indent=1))
+            return 0
+        if options.command == "verify":
+            report = store.verify()
+            print(report.render())
+            return 0 if report.ok else 1
+        if options.command == "gc":
+            report = store.gc(
+                max_age_days=options.max_age_days,
+                max_bytes=options.max_bytes,
+                dry_run=options.dry_run,
+            )
+            prefix = "[dry-run] " if options.dry_run else ""
+            print(prefix + report.render())
+            return 0
+        if options.command == "export":
+            count = store.export(options.file)
+            print(f"exported {count} entr{'y' if count == 1 else 'ies'} "
+                  f"to {options.file}")
+            return 0
+        if options.command == "import":
+            try:
+                count = store.import_file(options.file)
+            except StoreError as error:
+                print(f"repro store: {error}", file=sys.stderr)
+                return 2
+            print(
+                f"imported {count} new entr"
+                f"{'y' if count == 1 else 'ies'} from {options.file}"
+            )
+            return 0
+    raise AssertionError(f"unhandled command {options.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via -m repro
+    raise SystemExit(main())

@@ -1,0 +1,185 @@
+"""The memoizing execution layer between plans and the pool.
+
+Before a plan dispatches to the multiprocessing pool, every spec is
+content-addressed (:mod:`repro.store.hashing`) and the plan is
+partitioned three ways:
+
+*hits*
+    the store already holds the spec's result — the outcome is decoded
+    and reported immediately, with ``saved_seconds`` taken from the
+    journaled execution time;
+*coalesced duplicates*
+    several specs in the plan share one content address — one *leader*
+    executes and the duplicates fan out from its value the moment it
+    completes, each costing zero execution;
+*misses*
+    everything else executes on the ordinary pool path and is
+    journaled (with provenance) as it completes, so a campaign killed
+    half-way resumes from its partial results on the next run.
+
+Specs whose kwargs cannot be canonicalised (:class:`SpecHashError`) or
+whose values cannot be encoded bit-exactly (:class:`CodecError`) are
+*uncacheable*: they always execute and are never journaled — the store
+degrades to a no-op rather than approximate.
+
+Every outcome, however obtained, flows through the caller's progress
+callback with a running ``done``/``total`` over the *whole* plan, so
+``StderrProgress`` renders warm and cold campaigns uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.experiments.parallel import (
+    SOURCE_COALESCED,
+    SOURCE_HIT,
+    ExecutionPlan,
+    Key,
+    ProgressFn,
+    RunOutcome,
+    RunSpec,
+    _plain_outcomes,
+)
+from repro.store.backend import StoreEntry
+from repro.store.codec import CodecError, decode_value, encode_value
+from repro.store.hashing import SpecHashError, fn_reference, spec_key
+
+
+@dataclass
+class PlanPartition:
+    """How a plan's specs split against the store (see module docs)."""
+
+    #: ``(spec, decoded value, journaled execution seconds)``
+    hits: List[Tuple[RunSpec, Any, float]] = field(default_factory=list)
+    #: specs that will execute (cache misses + uncacheable specs)
+    leaders: List[RunSpec] = field(default_factory=list)
+    #: leader plan-key -> store key (``None`` for uncacheable specs)
+    store_keys: Dict[Key, Optional[str]] = field(default_factory=dict)
+    #: leader plan-key -> duplicate specs coalesced onto it
+    duplicates: Dict[Key, List[RunSpec]] = field(default_factory=dict)
+
+    @property
+    def coalesced_count(self) -> int:
+        return sum(len(specs) for specs in self.duplicates.values())
+
+
+def partition_plan(
+    plan: ExecutionPlan, store: Any, refresh: bool = False
+) -> PlanPartition:
+    """Split a plan into hits, executing leaders, and duplicates.
+
+    ``refresh=True`` ignores journaled results (every cacheable spec
+    becomes a leader or duplicate) but keeps coalescing: identical
+    specs still cost one execution, and the fresh results are appended
+    to the journal where they shadow the stale entries.
+    """
+    part = PlanPartition()
+    pending: Dict[str, Key] = {}  # store key -> leader plan key
+    for spec in plan.specs:
+        try:
+            address = spec_key(spec)
+        except SpecHashError:
+            part.leaders.append(spec)
+            part.store_keys[spec.key] = None
+            continue
+        if not refresh:
+            entry = store.get(address)
+            if entry is not None:
+                try:
+                    value = decode_value(entry.value)
+                except CodecError:
+                    entry = None  # foreign encoding: recompute
+                else:
+                    part.hits.append(
+                        (spec, value, entry.wall_seconds)
+                    )
+                    continue
+        if address in pending:
+            part.duplicates.setdefault(
+                pending[address], []
+            ).append(spec)
+            continue
+        pending[address] = spec.key
+        part.leaders.append(spec)
+        part.store_keys[spec.key] = address
+    return part
+
+
+def memoized_outcomes(
+    plan: ExecutionPlan,
+    store: Any,
+    jobs: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
+    refresh: bool = False,
+) -> List[RunOutcome]:
+    """Run ``plan`` through the store; values match plain execution.
+
+    Returns one outcome per spec (hits first, then executed leaders in
+    completion order, each followed by the duplicates it resolves).
+    The reduce step looks values up by key, so this ordering is
+    invisible in experiment output — ``tests/store/test_memo.py``
+    checks the resolved mapping is identical with and without a store.
+    """
+    part = partition_plan(plan, store, refresh=refresh)
+    total = len(plan.specs)
+    outcomes: List[RunOutcome] = []
+
+    def emit(outcome: RunOutcome) -> None:
+        outcomes.append(outcome)
+        if progress is not None:
+            progress(outcome, len(outcomes), total)
+
+    for spec, value, saved in part.hits:
+        emit(
+            RunOutcome(
+                key=spec.key,
+                value=value,
+                wall_seconds=0.0,
+                source=SOURCE_HIT,
+                saved_seconds=saved,
+            )
+        )
+
+    if not part.leaders:
+        return outcomes
+
+    def on_executed(
+        outcome: RunOutcome, _done: int, _total: int
+    ) -> None:
+        emit(outcome)
+        address = part.store_keys.get(outcome.key)
+        spec = leaders_by_key[outcome.key]
+        if address is not None:
+            try:
+                encoded = encode_value(outcome.value)
+            except CodecError:
+                pass  # uncacheable value: execute-only
+            else:
+                store.put(
+                    StoreEntry(
+                        key=address,
+                        fn=fn_reference(spec),
+                        result_version=spec.result_version,
+                        value=encoded,
+                        wall_seconds=outcome.wall_seconds,
+                    )
+                )
+        for duplicate in part.duplicates.get(outcome.key, ()):
+            emit(
+                RunOutcome(
+                    key=duplicate.key,
+                    value=outcome.value,
+                    wall_seconds=0.0,
+                    source=SOURCE_COALESCED,
+                    saved_seconds=outcome.wall_seconds,
+                )
+            )
+
+    leaders_by_key = {spec.key: spec for spec in part.leaders}
+    subplan = ExecutionPlan(
+        name=plan.name, specs=part.leaders, meta=dict(plan.meta)
+    )
+    _plain_outcomes(subplan, jobs=jobs, progress=on_executed)
+    return outcomes

@@ -777,3 +777,88 @@ class TestREP009TraceGuard:
             """,
         )
         assert codes(result) == []
+
+
+class TestREP013StoreJournalOnly:
+    def test_direct_open_in_store_module_flagged(self, lint):
+        result = lint(
+            "repro/store/bad.py",
+            """
+            def slurp(path):
+                with open(path, encoding="utf-8") as handle:
+                    return handle.read()
+            """,
+        )
+        assert codes(result) == ["REP013"]
+        assert "open()" in result.new[0].message
+
+    def test_aliased_os_open_resolved_and_flagged(self, lint):
+        result = lint(
+            "repro/store/bad.py",
+            """
+            import os as system
+
+            def claim(path):
+                return system.open(path, 0)
+            """,
+        )
+        assert codes(result) == ["REP013"]
+
+    def test_path_write_text_flagged(self, lint):
+        result = lint(
+            "repro/store/bad.py",
+            """
+            def stamp(path):
+                path.write_text("{}", encoding="utf-8")
+            """,
+        )
+        assert codes(result) == ["REP013"]
+        assert "write_text" in result.new[0].message
+
+    def test_unlink_and_rename_flagged(self, lint):
+        result = lint(
+            "repro/store/bad.py",
+            """
+            def rotate(old, new):
+                new.unlink()
+                old.rename(new)
+            """,
+        )
+        assert codes(result) == ["REP013", "REP013"]
+
+    def test_journal_home_is_exempt(self, lint):
+        result = lint(
+            "repro/store/journal.py",
+            """
+            import os
+
+            def claim(path):
+                return os.open(path, os.O_CREAT | os.O_EXCL)
+
+            def persist(path, text):
+                path.write_text(text, encoding="utf-8")
+            """,
+        )
+        assert codes(result) == []
+
+    def test_non_store_modules_unaffected(self, lint):
+        result = lint(
+            "repro/obs/ok.py",
+            """
+            def archive(path, text):
+                path.write_text(text, encoding="utf-8")
+                with open(path, encoding="utf-8") as handle:
+                    return handle.read()
+            """,
+        )
+        assert codes(result) == []
+
+    def test_non_file_calls_in_store_not_flagged(self, lint):
+        result = lint(
+            "repro/store/ok.py",
+            """
+            def tidy(record):
+                return {k: v for k, v in sorted(record.items())}
+            """,
+        )
+        assert codes(result) == []

@@ -50,12 +50,12 @@ def _load(module_name: str):
 
 def test_every_benchmark_is_covered():
     """The glob found the full suite (guards against silent renames)."""
-    assert len(BENCH_MODULES) == 17
+    assert len(BENCH_MODULES) == 18
     ids = {name.split("_")[1] for name in BENCH_MODULES}
     assert ids == {
         "e1", "e2", "e3", "e4", "e5", "e6", "e7",
         "a1", "a2", "a3", "a4", "a5", "x1", "x2", "x3", "x4",
-        "kernel",
+        "kernel", "store",
     }
 
 

@@ -1,0 +1,18 @@
+"""Module-level worker for the crash-resume integration test.
+
+Lives in its own importable module (not the test file, not a script's
+``__main__``) so the spec's content address — which includes the
+worker's ``module:qualname`` — is identical in the campaign subprocess
+that gets killed and in the parent process that resumes it.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def slow_run(tag=0, seconds=0.0):
+    """A deterministic result that takes a controllable wall time."""
+    if seconds:
+        time.sleep(seconds)
+    return {"tag": tag, "squared": tag * tag}

@@ -1,0 +1,148 @@
+"""Kill a campaign mid-run; the next run resumes from the journal.
+
+This is the crash-safety story end to end: a subprocess campaign
+journals results as they complete, gets SIGKILLed part-way (possibly
+mid-write, leaving a torn final line), and a warm restart answers the
+finished runs from the store, executes only the remainder, and leaves
+a journal that ``verify`` calls clean.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.parallel import (
+    SOURCE_EXECUTED,
+    SOURCE_HIT,
+    ExecutionPlan,
+    RunSpec,
+    resolve,
+)
+from repro.store.backend import JournalStore
+from repro.store.memo import memoized_outcomes
+
+from tests.store import _crash_worker
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: runs in the campaign and seconds each one sleeps: long enough that
+#: the kill always lands mid-campaign, short enough to stay CI-cheap
+RUNS = 40
+SECONDS_PER_RUN = 0.05
+
+_CAMPAIGN_SCRIPT = """
+import sys
+from pathlib import Path
+
+from repro.experiments.parallel import ExecutionPlan, RunSpec
+from repro.store.backend import JournalStore
+from repro.store.memo import memoized_outcomes
+from tests.store import _crash_worker
+
+specs = [
+    RunSpec(
+        key=("crash", index),
+        fn=_crash_worker.slow_run,
+        kwargs=dict(tag=index, seconds={seconds}),
+    )
+    for index in range({runs})
+]
+with JournalStore(Path(sys.argv[1])) as store:
+    memoized_outcomes(ExecutionPlan("crash", specs), store, jobs=1)
+print("campaign-finished")
+"""
+
+
+def _plan() -> ExecutionPlan:
+    specs = [
+        RunSpec(
+            key=("crash", index),
+            fn=_crash_worker.slow_run,
+            kwargs=dict(tag=index, seconds=SECONDS_PER_RUN),
+        )
+        for index in range(RUNS)
+    ]
+    return ExecutionPlan("crash", specs)
+
+
+def _entry_count(store_dir: Path) -> int:
+    segments = store_dir / "segments"
+    if not segments.is_dir():
+        return 0
+    count = 0
+    for path in segments.iterdir():
+        text = path.read_text(encoding="utf-8")
+        count += sum(
+            1
+            for line in text.splitlines()
+            if '"repro.store.entry/1"' in line
+        )
+    return count
+
+
+class TestCrashResume:
+    def test_killed_campaign_resumes_from_journal(self, tmp_path):
+        store_dir = tmp_path / "store"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO_ROOT / "src"), str(REPO_ROOT)]
+        )
+        script = _CAMPAIGN_SCRIPT.format(
+            runs=RUNS, seconds=SECONDS_PER_RUN
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-c", script, str(store_dir)],
+            env=env,
+            cwd=REPO_ROOT,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        try:
+            deadline = time.monotonic() + 60.0
+            while _entry_count(store_dir) < 3:
+                if process.poll() is not None:
+                    out, err = process.communicate()
+                    pytest.fail(
+                        "campaign finished before it could be killed: "
+                        f"{out!r} {err!r}"
+                    )
+                if time.monotonic() > deadline:
+                    pytest.fail("campaign never journaled an entry")
+                time.sleep(0.01)
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=30)
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup
+                process.kill()
+                process.wait(timeout=30)
+
+        journaled = _entry_count(store_dir)
+        assert 0 < journaled < RUNS
+
+        with JournalStore(store_dir) as store:
+            outcomes = memoized_outcomes(_plan(), store, jobs=1)
+            report = store.verify()
+
+        sources = [outcome.source for outcome in outcomes]
+        hits = sources.count(SOURCE_HIT)
+        executed = sources.count(SOURCE_EXECUTED)
+        assert hits >= 3  # the killed campaign's completed runs
+        assert executed == RUNS - hits  # only the remainder re-ran
+        assert resolve(outcomes) == {
+            ("crash", index): {"tag": index, "squared": index * index}
+            for index in range(RUNS)
+        }
+        # torn tails are legal crash artifacts; corruption is not
+        assert report.ok, report.render()
+        assert report.entries == RUNS
+
+        with JournalStore(store_dir) as store:
+            warm = memoized_outcomes(_plan(), store, jobs=1)
+        assert all(o.source == SOURCE_HIT for o in warm)

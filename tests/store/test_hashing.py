@@ -1,0 +1,216 @@
+"""Property tests for the store's canonical spec hashing.
+
+The content address must be *stable* (dict order, process identity and
+``PYTHONHASHSEED`` must not matter) and *sensitive* (every field that
+changes what would be computed must change the key).  Both properties
+are what make warm resume and cross-experiment dedup safe, so they get
+hypothesis coverage rather than a handful of examples.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.parallel import RunSpec
+from repro.store.hashing import (
+    SpecHashError,
+    canonicalize,
+    spec_fingerprint,
+    spec_key,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def work(a=0, b=0, c=0, d=0):
+    """Module-level worker: hashable by reference."""
+    return (a, b, c, d)
+
+
+def other_work(a=0, b=0, c=0, d=0):
+    """A second worker with an identical signature."""
+    return (a, b, c, d)
+
+
+class Color(enum.Enum):
+    RED = 1
+    BLUE = 2
+
+
+@dataclass(frozen=True)
+class Point:
+    x: int = 0
+    y: int = 0
+
+
+def _spec(fn=work, result_version=1, **kwargs) -> RunSpec:
+    return RunSpec(
+        key=("k",), fn=fn, kwargs=kwargs, result_version=result_version
+    )
+
+
+primitives = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+)
+
+kwargs_dicts = st.dictionaries(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=8
+    ),
+    st.one_of(
+        primitives,
+        st.dictionaries(st.text(max_size=6), primitives, max_size=3),
+        st.lists(primitives, max_size=4),
+        st.tuples(primitives, primitives),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+class TestOrderInvariance:
+    @given(kwargs_dicts)
+    @settings(max_examples=80, deadline=None)
+    def test_kwargs_insertion_order_is_erased(self, kwargs):
+        forward = RunSpec(key=("k",), fn=work, kwargs=kwargs)
+        backward = RunSpec(
+            key=("other",),
+            fn=work,
+            kwargs=dict(reversed(list(kwargs.items()))),
+        )
+        assert spec_key(forward) == spec_key(backward)
+
+    @given(st.dictionaries(st.text(max_size=6), primitives, min_size=2))
+    @settings(max_examples=60, deadline=None)
+    def test_nested_mapping_order_is_erased(self, mapping):
+        shuffled = dict(reversed(list(mapping.items())))
+        a = _spec(payload=mapping)
+        b = _spec(payload=shuffled)
+        assert spec_fingerprint(a) == spec_fingerprint(b)
+
+    def test_set_order_is_erased(self):
+        assert canonicalize({3, 1, 2}) == canonicalize({2, 3, 1})
+
+    def test_grid_key_is_excluded(self):
+        a = RunSpec(key=("grid", 1), fn=work, kwargs={"a": 1})
+        b = RunSpec(key=("other-grid", 99), fn=work, kwargs={"a": 1})
+        assert spec_key(a) == spec_key(b)
+
+
+class TestSensitivity:
+    @given(kwargs_dicts)
+    @settings(max_examples=60, deadline=None)
+    def test_every_kwarg_value_participates(self, kwargs):
+        base = spec_key(RunSpec(key=("k",), fn=work, kwargs=kwargs))
+        for name in kwargs:
+            mutated = dict(kwargs)
+            mutated[name] = ["#sentinel", kwargs[name]]
+            assert (
+                spec_key(RunSpec(key=("k",), fn=work, kwargs=mutated))
+                != base
+            )
+
+    def test_result_version_salts_the_key(self):
+        assert spec_key(_spec(result_version=1)) != spec_key(
+            _spec(result_version=2)
+        )
+
+    def test_worker_function_participates(self):
+        assert spec_key(_spec(fn=work)) != spec_key(_spec(fn=other_work))
+
+    def test_tuple_and_list_hash_differently(self):
+        assert spec_key(_spec(a=(1, 2))) != spec_key(_spec(a=[1, 2]))
+
+    def test_enum_and_dataclass_fields_participate(self):
+        red = _spec(color=Color.RED, at=Point(1, 2))
+        blue = _spec(color=Color.BLUE, at=Point(1, 2))
+        moved = _spec(color=Color.RED, at=Point(1, 3))
+        keys = {spec_key(red), spec_key(blue), spec_key(moved)}
+        assert len(keys) == 3
+
+
+class TestUncacheable:
+    def test_lambda_kwarg_raises(self):
+        with pytest.raises(SpecHashError):
+            spec_key(_spec(fn_arg=lambda: None))
+
+    def test_local_function_kwarg_raises(self):
+        def local():  # pragma: no cover - identity only
+            return None
+
+        with pytest.raises(SpecHashError):
+            spec_key(_spec(fn_arg=local))
+
+    def test_live_object_kwarg_raises(self):
+        with pytest.raises(SpecHashError):
+            spec_key(_spec(handle=object()))
+
+
+_SUBPROCESS_SCRIPT = """
+import sys
+from repro.experiments.common import base_config, simulate_summary
+from repro.experiments.parallel import RunSpec
+from repro.store.hashing import spec_key
+from repro.traffic.unicast import UniformRandomUnicast
+
+spec = RunSpec(
+    key=("probe", 1),
+    fn=simulate_summary,
+    kwargs=dict(
+        config=base_config(num_hosts=16, seed=3),
+        workload_cls=UniformRandomUnicast,
+        workload_kwargs={"load": 0.2, "payload_flits": 16},
+        max_cycles=1_000,
+    ),
+)
+sys.stdout.write(spec_key(spec))
+"""
+
+
+class TestCrossProcessStability:
+    def _key_under_hashseed(self, seed: str) -> str:
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = seed
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO_ROOT / "src"), str(REPO_ROOT)]
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", _SUBPROCESS_SCRIPT],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return completed.stdout.strip()
+
+    def test_key_survives_hashseed_and_process_changes(self):
+        first = self._key_under_hashseed("0")
+        second = self._key_under_hashseed("271828")
+        assert first == second
+        assert len(first) == 64
+        from repro.experiments.common import base_config, simulate_summary
+        from repro.traffic.unicast import UniformRandomUnicast
+
+        local = RunSpec(
+            key=("probe", 1),
+            fn=simulate_summary,
+            kwargs=dict(
+                config=base_config(num_hosts=16, seed=3),
+                workload_cls=UniformRandomUnicast,
+                workload_kwargs={"load": 0.2, "payload_flits": 16},
+                max_cycles=1_000,
+            ),
+        )
+        assert spec_key(local) == first

@@ -1,0 +1,219 @@
+"""Memoizing execution: hits, coalescing, refresh, uncacheable specs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.parallel import (
+    SOURCE_COALESCED,
+    SOURCE_EXECUTED,
+    SOURCE_HIT,
+    ExecutionPlan,
+    RunSpec,
+    resolve,
+    run_outcomes,
+)
+from repro.store.backend import MemoryStore
+from repro.store.memo import memoized_outcomes, partition_plan
+
+#: executions recorded by the module-level worker (jobs=1 is serial,
+#: so the worker runs in-process and the list is visible to the test)
+CALLS = []
+
+
+def work(tag=0, factor=1, probe=None):
+    CALLS.append(tag)
+    return {"tag": tag, "scaled": tag * factor}
+
+
+def opaque(tag=0):
+    CALLS.append(tag)
+    return object()  # not encodable: the value is execute-only
+
+
+def _plan(name="grid", tags=(1, 2, 3), prefix="run"):
+    specs = [
+        RunSpec(key=(prefix, tag), fn=work, kwargs={"tag": tag})
+        for tag in tags
+    ]
+    return ExecutionPlan(name, specs)
+
+
+@pytest.fixture(autouse=True)
+def _clear_calls():
+    CALLS.clear()
+    yield
+
+
+class TestHits:
+    def test_second_campaign_is_all_hits(self):
+        store = MemoryStore()
+        plan = _plan()
+        cold = memoized_outcomes(plan, store, jobs=1)
+        executed = list(CALLS)
+        warm = memoized_outcomes(plan, store, jobs=1)
+        assert executed == [1, 2, 3]
+        assert list(CALLS) == executed  # nothing re-ran
+        assert resolve(warm) == resolve(cold)
+        assert all(o.source == SOURCE_HIT for o in warm)
+        assert all(o.wall_seconds == 0.0 for o in warm)
+        assert all(o.saved_seconds >= 0.0 for o in warm)
+
+    def test_store_values_match_plain_execution(self):
+        plan = _plan()
+        plain = resolve(run_outcomes(plan, jobs=1))
+        store = MemoryStore()
+        assert resolve(memoized_outcomes(plan, store, jobs=1)) == plain
+        assert resolve(memoized_outcomes(plan, store, jobs=1)) == plain
+
+    def test_hits_cross_plan_and_grid_keys(self):
+        store = MemoryStore()
+        memoized_outcomes(_plan(prefix="first"), store, jobs=1)
+        warm = memoized_outcomes(
+            _plan(name="other", prefix="second"), store, jobs=1
+        )
+        assert all(o.source == SOURCE_HIT for o in warm)
+
+
+class TestCoalescing:
+    def _dup_plan(self):
+        specs = [
+            RunSpec(key=(prefix, tag), fn=work, kwargs={"tag": tag})
+            for tag in (1, 2)
+            for prefix in ("a", "b")
+        ]
+        return ExecutionPlan("dup", specs)
+
+    def test_duplicates_execute_once_and_fan_out(self):
+        store = MemoryStore()
+        outcomes = memoized_outcomes(self._dup_plan(), store, jobs=1)
+        assert sorted(CALLS) == [1, 2]  # one execution per unique spec
+        by_source = {}
+        for outcome in outcomes:
+            by_source.setdefault(outcome.source, []).append(outcome)
+        assert len(by_source[SOURCE_EXECUTED]) == 2
+        assert len(by_source[SOURCE_COALESCED]) == 2
+        plain = resolve(run_outcomes(self._dup_plan(), jobs=1))
+        assert resolve(outcomes) == plain
+
+    def test_partition_reports_the_split(self):
+        store = MemoryStore()
+        plan = self._dup_plan()
+        part = partition_plan(plan, store)
+        assert len(part.leaders) == 2
+        assert part.coalesced_count == 2
+        assert not part.hits
+        memoized_outcomes(plan, store, jobs=1)
+        warm = partition_plan(plan, store)
+        assert len(warm.hits) == 4
+        assert not warm.leaders
+
+
+class TestRefresh:
+    def test_refresh_reexecutes_but_still_coalesces(self):
+        store = MemoryStore()
+        plan = _plan(tags=(5,))
+        memoized_outcomes(plan, store, jobs=1)
+        assert CALLS == [5]
+        dup = ExecutionPlan(
+            "dup",
+            [
+                RunSpec(key=("a", 5), fn=work, kwargs={"tag": 5}),
+                RunSpec(key=("b", 5), fn=work, kwargs={"tag": 5}),
+            ],
+        )
+        outcomes = memoized_outcomes(dup, store, jobs=1, refresh=True)
+        assert CALLS == [5, 5]  # re-ran once despite the journal
+        sources = sorted(o.source for o in outcomes)
+        assert sources == [SOURCE_COALESCED, SOURCE_EXECUTED]
+        assert store.puts == 2  # the fresh result was re-journaled
+
+    def test_result_version_bump_misses(self):
+        store = MemoryStore()
+        memoized_outcomes(_plan(tags=(9,)), store, jobs=1)
+        bumped = ExecutionPlan(
+            "v2",
+            [
+                RunSpec(
+                    key=("run", 9),
+                    fn=work,
+                    kwargs={"tag": 9},
+                    result_version=2,
+                )
+            ],
+        )
+        outcomes = memoized_outcomes(bumped, store, jobs=1)
+        assert CALLS == [9, 9]
+        assert outcomes[0].source == SOURCE_EXECUTED
+
+
+class TestUncacheable:
+    def test_unhashable_spec_always_executes(self):
+        store = MemoryStore()
+        plan = ExecutionPlan(
+            "local",
+            [
+                RunSpec(
+                    key=("run", 1),
+                    fn=work,
+                    kwargs={"tag": 1, "probe": lambda: 2},
+                )
+            ],
+        )
+        first = memoized_outcomes(plan, store, jobs=1)
+        second = memoized_outcomes(plan, store, jobs=1)
+        assert CALLS == [1, 1]
+        assert store.puts == 0
+        assert first[0].source == SOURCE_EXECUTED
+        assert second[0].source == SOURCE_EXECUTED
+
+    def test_unencodable_value_is_not_journaled(self):
+        store = MemoryStore()
+        plan = ExecutionPlan(
+            "opaque",
+            [RunSpec(key=("run", 1), fn=opaque, kwargs={"tag": 1})],
+        )
+        memoized_outcomes(plan, store, jobs=1)
+        memoized_outcomes(plan, store, jobs=1)
+        assert CALLS == [1, 1]
+        assert store.puts == 0
+
+
+class TestProgress:
+    def test_done_total_spans_the_whole_plan(self):
+        store = MemoryStore()
+        plan = _plan(tags=(1, 2, 3, 4))
+        memoized_outcomes(plan, store, jobs=1)
+        seen = []
+
+        def progress(outcome, done, total):
+            seen.append((outcome.source, done, total))
+
+        memoized_outcomes(plan, store, jobs=1, progress=progress)
+        assert [(done, total) for _, done, total in seen] == [
+            (1, 4), (2, 4), (3, 4), (4, 4)
+        ]
+        assert all(source == SOURCE_HIT for source, _, _ in seen)
+
+    def test_mixed_plan_counts_every_source(self):
+        store = MemoryStore()
+        memoized_outcomes(_plan(tags=(1,)), store, jobs=1)
+        mixed = ExecutionPlan(
+            "mixed",
+            [
+                RunSpec(key=("hit", 1), fn=work, kwargs={"tag": 1}),
+                RunSpec(key=("miss", 2), fn=work, kwargs={"tag": 2}),
+                RunSpec(key=("dup", 2), fn=work, kwargs={"tag": 2}),
+            ],
+        )
+        seen = []
+
+        def progress(outcome, done, total):
+            seen.append((outcome.source, done, total))
+
+        memoized_outcomes(mixed, store, jobs=1, progress=progress)
+        assert [done for _, done, _ in seen] == [1, 2, 3]
+        assert {total for _, _, total in seen} == {3}
+        assert [source for source, _, _ in seen] == [
+            SOURCE_HIT, SOURCE_EXECUTED, SOURCE_COALESCED
+        ]

@@ -1,0 +1,116 @@
+"""``python -m repro store`` subcommand behaviour and exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.store.backend import JournalStore, StoreEntry
+from repro.store.cli import main
+from repro.store.journal import list_segments
+from repro.store.runtime import ENV_STORE_DIR
+
+
+def _entry(key: str, payload: int) -> StoreEntry:
+    return StoreEntry(
+        key=key,
+        fn="tests.store:worker",
+        result_version=1,
+        value={"$dict": [["payload", payload]]},
+        wall_seconds=0.25,
+    )
+
+
+@pytest.fixture
+def populated(tmp_path):
+    store_dir = tmp_path / "store"
+    with JournalStore(store_dir) as store:
+        store.put(_entry("k1", 1))
+        store.put(_entry("k2", 2))
+    return store_dir
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    monkeypatch.delenv(ENV_STORE_DIR, raising=False)
+
+
+class TestStats:
+    def test_stats_prints_index_json(self, populated, capsys):
+        assert main(["stats", "--dir", str(populated)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 2
+        assert payload["segments"] == 1
+        assert payload["backend"] == "journal"
+
+    def test_env_var_names_the_store(
+        self, populated, capsys, monkeypatch
+    ):
+        monkeypatch.setenv(ENV_STORE_DIR, str(populated))
+        assert main(["stats"]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 2
+
+    def test_no_dir_anywhere_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main(["stats"])
+
+    def test_missing_store_exits_two(self, tmp_path, capsys):
+        code = main(["stats", "--dir", str(tmp_path / "absent")])
+        assert code == 2
+        assert "no store at" in capsys.readouterr().err
+
+
+class TestVerify:
+    def test_clean_store_exits_zero(self, populated, capsys):
+        assert main(["verify", "--dir", str(populated)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_corrupt_store_exits_one(self, populated, capsys):
+        segment = list_segments(populated)[0]
+        lines = segment.read_text(encoding="utf-8").splitlines()
+        lines.insert(1, "{broken")
+        segment.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        assert main(["verify", "--dir", str(populated)]) == 1
+        assert "CORRUPT" in capsys.readouterr().out
+
+
+class TestGc:
+    def test_gc_compacts(self, populated, capsys):
+        assert main(["gc", "--dir", str(populated)]) == 0
+        out = capsys.readouterr().out
+        assert "kept 2" in out
+        assert len(list_segments(populated)) == 1
+
+    def test_dry_run_is_labelled_and_inert(self, populated, capsys):
+        before = list_segments(populated)[0].read_text(encoding="utf-8")
+        code = main(
+            ["gc", "--dir", str(populated), "--max-age-days", "0",
+             "--dry-run"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.startswith("[dry-run]")
+        after = list_segments(populated)[0].read_text(encoding="utf-8")
+        assert after == before
+
+
+class TestExportImport:
+    def test_export_then_import(self, populated, tmp_path, capsys):
+        dump = tmp_path / "dump.jsonl"
+        assert main(["export", "--dir", str(populated), str(dump)]) == 0
+        assert "exported 2" in capsys.readouterr().out
+        target = tmp_path / "other"
+        code = main(["import", "--dir", str(target), str(dump)])
+        assert code == 0
+        assert "imported 2" in capsys.readouterr().out
+        with JournalStore(target, create=False) as store:
+            assert store.stats()["entries"] == 2
+
+    def test_import_of_corrupt_file_exits_two(
+        self, populated, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{broken\n{}\n", encoding="utf-8")
+        code = main(["import", "--dir", str(populated), str(bad)])
+        assert code == 2
+        assert "line 1" in capsys.readouterr().err
