@@ -1,4 +1,4 @@
-"""The reprolint rule registry and the REP001-REP013 invariant rules.
+"""The reprolint rule registry and the REP001-REP014 invariant rules.
 
 Each rule guards one contract the reproduction's results depend on but
 that nothing else enforces at rest (see ``docs/static-analysis.md``):
@@ -17,6 +17,7 @@ REP010   dormancy-state mutations register a kernel wake
 REP011   packed and object data planes emit identical telemetry names
 REP012   literal sink records match their registered schema fields
 REP013   result-store file I/O flows through the journal module only
+REP014   farm process/pipe machinery stays in the transport module
 =======  ==========================================================
 
 A rule is a class with a ``code``, a one-line ``summary``, a ``hint``
@@ -87,6 +88,13 @@ TRACE_HOME = "repro.sim.trace"
 #: auditable in one place
 STORE_PACKAGE = "repro.store"
 JOURNAL_HOME = "repro.store.journal"
+
+#: the run-farm package and its single process/pipe module (REP014):
+#: every subprocess spawn, pool construction and raw byte moved on the
+#: farm's behalf flows through the transport, keeping the worker
+#: failure model (EOF, torn frames, closed pipes) auditable in one place
+FARM_PACKAGE = "repro.farm"
+TRANSPORT_HOME = "repro.farm.transport"
 
 
 class Rule(ABC):
@@ -1787,4 +1795,77 @@ class StoreFilesViaJournal(Rule):
                     f".{node.func.attr}(...) file write in "
                     f"{module.module_name}; store bytes flow through "
                     f"{JOURNAL_HOME}",
+                )
+
+
+@register
+class FarmBytesViaTransport(Rule):
+    """REP014 — farm process/pipe machinery stays in the transport.
+
+    The farm's fault-tolerance guarantees — unbuffered pipes so
+    ``select`` is truthful, EOF and torn frames mapped to dead workers,
+    polite reaping, pool construction with a serial fallback — all live
+    in :mod:`repro.farm.transport`.  A direct ``subprocess.Popen``,
+    ``multiprocessing.Pool`` or ``open()`` anywhere else under
+    ``repro.farm`` would create a worker or a byte stream the failure
+    model never audits: the campaign would *work* until the first
+    SIGKILLed worker or torn frame hit the unhandled path.  The rule
+    flags process-spawning calls (``subprocess.*``, ``os.fork``,
+    ``os.popen``, ``os.system``, ``multiprocessing.*``), direct
+    ``select`` calls, direct file calls and file-mutating method calls
+    in every ``repro.farm`` module except the transport itself —
+    mirroring how REP013 confines store file I/O to the journal.
+    """
+
+    code = "REP014"
+    summary = "farm process/pipe machinery outside repro.farm.transport"
+    hint = (
+        "spawn and talk to workers through repro.farm.transport "
+        "(spawn_worker, write_frame, read_frame, wait_readable, "
+        "create_pool, reap) so the worker failure model stays complete"
+    )
+
+    #: call targets that spawn processes, open pipes or files directly
+    BANNED_CALLS: Tuple[str, ...] = (
+        "open", "io.open", "os.open", "os.fdopen",
+        "os.fork", "os.popen", "os.system",
+        "subprocess.Popen", "subprocess.run", "subprocess.call",
+        "subprocess.check_call", "subprocess.check_output",
+        "multiprocessing.Pool", "multiprocessing.Process",
+        "multiprocessing.get_context",
+        "select.select", "select.poll",
+    )
+    #: attribute calls that create, overwrite or remove files
+    BANNED_METHODS: Tuple[str, ...] = (
+        "write_text", "write_bytes", "unlink", "rename", "replace"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if not module.in_package(FARM_PACKAGE):
+            return
+        if module.in_package(TRANSPORT_HOME):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = module.imports.resolve(node.func)
+            if resolved in self.BANNED_CALLS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"direct process/pipe call {resolved}() in "
+                    f"{module.module_name}; farm bytes and workers "
+                    f"flow through {TRANSPORT_HOME}",
+                )
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in self.BANNED_METHODS
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f".{node.func.attr}(...) file write in "
+                    f"{module.module_name}; farm bytes and workers "
+                    f"flow through {TRANSPORT_HOME}",
                 )

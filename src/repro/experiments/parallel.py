@@ -115,7 +115,10 @@ class RunOutcome:
     ``"coalesced"`` (a duplicate spec fanned out from another spec's
     execution in the same plan).  ``saved_seconds`` is the execution
     time a hit or coalesced outcome avoided, as journaled/measured for
-    the run that did execute.
+    the run that did execute.  ``worker`` names the farm worker that
+    executed (or whose execution resolved) the run — empty on the
+    plain pool path and for store hits, where no farm worker is
+    involved.
     """
 
     key: Key
@@ -123,6 +126,7 @@ class RunOutcome:
     wall_seconds: float
     source: str = SOURCE_EXECUTED
     saved_seconds: float = 0.0
+    worker: str = ""
 
 
 @dataclass
@@ -180,7 +184,18 @@ def run_outcomes(
     absent the plan executes plainly.  Either way the returned values
     are bit-identical — the reduce step cannot tell a warm campaign
     from a cold one.
+
+    When a farm session is active (:mod:`repro.farm.runtime`, the
+    ``--farm``/``--shards`` plumbing), the plan runs as a sharded
+    campaign instead of through the pool below; the farm layer resolves
+    the store exactly as this function would, and its values are — by
+    the same determinism contract — bit-identical to the serial path.
     """
+    from repro.farm import runtime as farm_runtime
+
+    farm = farm_runtime.active_farm()
+    if farm is not None:
+        return farm.run(plan, progress=progress, store=store)
     if store is not None:
         from repro.store.memo import memoized_outcomes
 
@@ -286,6 +301,9 @@ class TimingSummary:
     executed: int = 0
     #: execution time avoided by hits and coalesced runs
     saved_seconds: float = 0.0
+    #: per-farm-worker ``(label, executed runs, work seconds)``, busiest
+    #: first; empty unless the plan ran on a farm backend
+    workers: Tuple[Tuple[str, int, float], ...] = ()
 
     @property
     def utilisation(self) -> float:
@@ -312,6 +330,12 @@ class TimingSummary:
                 f"executed; ~{self.saved_seconds:.2f}s of execution "
                 "avoided"
             )
+        if self.workers:
+            spread = ", ".join(
+                f"{label} {runs} run(s)/{seconds:.2f}s"
+                for label, runs, seconds in self.workers
+            )
+            lines.append(f"farm workers: {spread}")
         if self.stragglers:
             worst = ", ".join(
                 f"{label} ({seconds:.2f}s)"
@@ -339,6 +363,21 @@ def summarize_timing(
         1 for o in outcomes if o.source == SOURCE_COALESCED
     )
     saved = sum(o.saved_seconds for o in outcomes)
+    per_worker: Dict[str, List[float]] = {}
+    for outcome in ran:
+        if outcome.worker:
+            per_worker.setdefault(outcome.worker, []).append(
+                outcome.wall_seconds
+            )
+    workers = tuple(
+        sorted(
+            (
+                (label, len(times), sum(times))
+                for label, times in per_worker.items()
+            ),
+            key=lambda entry: (-entry[2], entry[0]),
+        )
+    )
     times = sorted(outcome.wall_seconds for outcome in ran)
     if not times:
         return TimingSummary(
@@ -346,7 +385,7 @@ def summarize_timing(
             wall_seconds=wall_seconds, mean_seconds=0.0,
             median_seconds=0.0, max_seconds=0.0, stragglers=(),
             hits=hits, coalesced=coalesced, executed=0,
-            saved_seconds=saved,
+            saved_seconds=saved, workers=workers,
         )
     half = len(times) // 2
     median = (
@@ -378,6 +417,7 @@ def summarize_timing(
         coalesced=coalesced,
         executed=len(times),
         saved_seconds=saved,
+        workers=workers,
     )
 
 
@@ -402,6 +442,8 @@ class StderrProgress:
             detail = (
                 f"coalesced, ~{outcome.saved_seconds:.2f}s saved"
             )
+        elif outcome.worker:
+            detail = f"{outcome.wall_seconds:.2f}s on {outcome.worker}"
         else:
             detail = f"{outcome.wall_seconds:.2f}s"
         print(

@@ -49,6 +49,7 @@ from repro.experiments.parallel import (
 from repro.experiments.parameters import run_parameters
 from repro.experiments.system_size import run_system_size
 from repro.experiments.unicast_baseline import run_unicast_baseline
+from repro.farm import runtime as farm_runtime
 from repro.obs import runtime as obs_runtime
 from repro.obs.manifest import RunManifest
 from repro.obs.runtime import ObsOptions
@@ -167,6 +168,26 @@ def main(argv=None) -> int:
         help="re-execute every spec and journal fresh results, "
         "shadowing stale entries",
     )
+    farm_group = parser.add_argument_group(
+        "run farm (tables are bit-identical on any backend)"
+    )
+    farm_group.add_argument(
+        "--farm",
+        choices=farm_runtime.FARM_KINDS,
+        help="execute each experiment grid as a sharded campaign: "
+        "'local' (multiprocessing workers), 'fleet' (independent "
+        "worker subprocesses), 'serial' (one in-process worker)",
+    )
+    farm_group.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="worker/shard count for --farm (default: CPU count, "
+        "capped at the grid size)",
+    )
+    farm_group.add_argument(
+        "--farm-manifest", metavar="FILE",
+        help="write the last campaign's merged manifest (per-worker "
+        "provenance included) as JSON",
+    )
     args = parser.parse_args(argv)
 
     scale = QUICK if args.scale == "quick" else PAPER
@@ -214,6 +235,18 @@ def main(argv=None) -> int:
             )
         )
 
+    if args.farm is None and (
+        args.shards is not None or args.farm_manifest
+    ):
+        parser.error("--shards/--farm-manifest need --farm")
+    if args.farm is not None:
+        farm_runtime.configure(
+            farm_runtime.open_farm(
+                args.farm,
+                shards=None if args.shards is None else max(1, args.shards),
+            )
+        )
+
     overall = Stopwatch()
     try:
         for name in names:
@@ -222,12 +255,18 @@ def main(argv=None) -> int:
             result = EXPERIMENTS[name](scale, jobs=jobs, progress=progress)
             elapsed = watch.elapsed()
             print(result.render())
+            farm = farm_runtime.active_farm()
+            if farm is not None:
+                detail = f"farm={farm.kind}, shards={farm.shards or jobs}"
+            else:
+                detail = f"jobs={jobs}"
             print(
                 f"[{name} finished in {elapsed:.1f}s at scale={scale.name}, "
-                f"jobs={jobs}]"
+                f"{detail}]"
             )
             if progress is not None and progress.outcomes:
-                print(progress.summary(jobs).render(), file=sys.stderr)
+                lanes = jobs if farm is None else (farm.shards or jobs)
+                print(progress.summary(lanes).render(), file=sys.stderr)
             if args.chart and name in CHARTS:
                 x_key, y_key, series_key = CHARTS[name]
                 print()
@@ -235,9 +274,23 @@ def main(argv=None) -> int:
             if args.csv:
                 print(result.table.to_csv())
             print()
+        farm = farm_runtime.active_farm()
+        if (
+            args.farm_manifest
+            and farm is not None
+            and farm.last_result is not None
+        ):
+            farm.last_result.manifest(
+                experiments=names, scale=scale.name
+            ).write(args.farm_manifest)
+            print(
+                f"[campaign manifest: {args.farm_manifest}]",
+                file=sys.stderr,
+            )
     finally:
         obs_runtime.reset()
         store_runtime.reset()
+        farm_runtime.reset()
 
     if recording:
         anchor = args.metrics_out or args.trace_out

@@ -1,0 +1,249 @@
+"""The campaign driver: shard a plan, drive a backend, merge the story.
+
+:func:`run_campaign` is the farm's execution loop.  It partitions the
+plan against the result store exactly as the memo layer does (store
+hits never reach a worker; duplicate specs coalesce onto one leader),
+deals the executing leaders into shards (:func:`~repro.farm.scheduler
+.shard_specs`), and then drives the backend: keep every live worker
+busy, collect completions and failures as they land, journal each
+completed leader through the store, and requeue the in-flight spec of
+any worker that dies.  The campaign fails only when *every* worker is
+dead with work remaining — a single survivor finishes the whole plan.
+
+Bit-identity: the driver decides *where and when* specs execute, never
+*what they compute*.  Values come back as the same pickles the
+multiprocessing pool path round-trips, outcomes are reduced by key in
+declared grid order downstream, and journaling happens only in this
+(parent) process after the exactly-one-leader check — so any backend x
+shard count x steal schedule x failure pattern yields the same merged
+table, and a campaign resumed after a crash completes bit-identically
+from its journaled prefix.  ``tests/farm/`` holds the proof: the
+differential harness, the hypothesis scheduling properties, and the
+fault-injection suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.experiments.parallel import (
+    ExecutionPlan,
+    Key,
+    ProgressFn,
+    RunOutcome,
+    RunSpec,
+)
+from repro.farm.backends import (
+    CompletedJob,
+    FarmError,
+    FarmWorkerError,
+    WorkerBackend,
+    WorkerFailure,
+)
+from repro.farm.scheduler import (
+    ShardScheduler,
+    SpecProvenance,
+    StealPolicy,
+)
+from repro.obs.manifest import RunManifest
+from repro.store.memo import (
+    fanout_duplicates,
+    hit_outcomes,
+    journal_outcome,
+    partition_plan,
+    plain_partition,
+)
+
+__all__ = [
+    "CampaignResult",
+    "FarmError",
+    "FarmWorkerError",
+    "WorkerReport",
+    "run_campaign",
+]
+
+
+@dataclass
+class WorkerReport:
+    """One worker's share of a campaign."""
+
+    label: str
+    runs: int = 0
+    work_seconds: float = 0.0
+    #: reason the worker died mid-campaign, empty if it survived
+    failure: str = ""
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign produced, results and provenance alike."""
+
+    plan: str
+    backend: str
+    shards: int
+    outcomes: List[RunOutcome]
+    workers: List[WorkerReport]
+    #: per-spec dispatch history for every executing leader
+    provenance: Dict[Key, SpecProvenance]
+    steals: int = 0
+    requeues: int = 0
+    #: hello-frame manifests, by worker label (fleet backend only)
+    worker_manifests: Dict[str, Dict[str, Any]] = field(
+        default_factory=dict
+    )
+
+    def manifest(self, **extras: Any) -> RunManifest:
+        """One merged campaign manifest, per-worker provenance inside.
+
+        The fleet workers each announced a full
+        :class:`~repro.obs.manifest.RunManifest` in their hello frame;
+        this folds them (plus dispatch statistics) into the extras of a
+        single parent-side manifest, so one JSON file answers both
+        "what produced this table?" and "which processes took part?".
+        """
+        return RunManifest.collect(
+            jobs=self.shards,
+            farm_backend=self.backend,
+            farm_shards=self.shards,
+            farm_plan=self.plan,
+            farm_steals=self.steals,
+            farm_requeues=self.requeues,
+            farm_workers={
+                report.label: {
+                    "runs": report.runs,
+                    "work_seconds": round(report.work_seconds, 6),
+                    "failure": report.failure,
+                    "manifest": self.worker_manifests.get(
+                        report.label
+                    ),
+                }
+                for report in self.workers
+            },
+            **extras,
+        )
+
+
+def run_campaign(
+    plan: ExecutionPlan,
+    backend: WorkerBackend,
+    shards: int,
+    store: Optional[Any] = None,
+    refresh: bool = False,
+    progress: Optional[ProgressFn] = None,
+    steal_policy: Optional[StealPolicy] = None,
+) -> CampaignResult:
+    """Execute ``plan`` as a sharded campaign on ``backend``.
+
+    ``store`` enables the memo layer: hits are emitted without touching
+    a worker, duplicates coalesce, and every executed leader is
+    journaled *here, on completion* — which is what makes a killed
+    campaign resumable (rerun it; the journaled prefix comes back as
+    hits and only the unfinished tail executes).  ``progress`` sees
+    every outcome with a running count over the whole plan, exactly
+    like the pool path.
+
+    Raises :class:`FarmError` when every worker has died with work
+    remaining, and :class:`~repro.farm.transport.BackendUnavailable`
+    (from ``backend.start``, before any outcome is emitted) when the
+    backend cannot run here at all — the runtime layer catches the
+    latter to fall back to a simpler backend.
+    """
+    if shards < 1:
+        raise ValueError(f"need at least one shard, got {shards}")
+    part = (
+        partition_plan(plan, store, refresh=refresh)
+        if store is not None
+        else plain_partition(plan)
+    )
+    total = len(plan.specs)
+    outcomes: List[RunOutcome] = []
+    reports = [
+        WorkerReport(label=backend.label(index))
+        for index in range(shards)
+    ]
+    scheduler = ShardScheduler(
+        part.leaders, shards, steal_policy=steal_policy
+    )
+
+    def emit(outcome: RunOutcome) -> None:
+        outcomes.append(outcome)
+        if progress is not None:
+            progress(outcome, len(outcomes), total)
+
+    if part.leaders:
+        # start before emitting anything: BackendUnavailable must
+        # escape while a fallback retry is still side-effect free
+        backend.start(shards)
+    for hit in hit_outcomes(part):
+        emit(hit)
+    if not part.leaders:
+        return CampaignResult(
+            plan=plan.name,
+            backend=backend.kind,
+            shards=shards,
+            outcomes=outcomes,
+            workers=reports,
+            provenance=scheduler.provenance,
+        )
+
+    leaders_by_key = {spec.key: spec for spec in part.leaders}
+    busy: Dict[int, RunSpec] = {}
+    dead: set = set()
+    try:
+        while scheduler.pending or busy:
+            for worker in range(shards):
+                if worker in busy or worker in dead:
+                    continue
+                spec = scheduler.next_for(worker)
+                if spec is None:
+                    break
+                busy[worker] = spec
+                backend.dispatch(worker, spec)
+            if not busy:
+                raise FarmError(
+                    f"campaign {plan.name!r}: all {shards} worker(s) "
+                    f"dead with {scheduler.pending} spec(s) unfinished"
+                )
+            event = backend.collect()
+            if isinstance(event, WorkerFailure):
+                dead.add(event.worker)
+                reports[event.worker].failure = event.reason
+                lost = busy.pop(event.worker, None)
+                if lost is not None:
+                    scheduler.requeue(lost)
+                continue
+            job = event
+            busy.pop(job.worker, None)
+            scheduler.record_completion(job.spec.key, job.worker)
+            label = backend.label(job.worker)
+            reports[job.worker].runs += 1
+            reports[job.worker].work_seconds += job.wall_seconds
+            outcome = RunOutcome(
+                key=job.spec.key,
+                value=job.value,
+                wall_seconds=job.wall_seconds,
+                worker=label,
+            )
+            journal_outcome(
+                store,
+                part.store_keys.get(outcome.key) if store else None,
+                leaders_by_key[outcome.key],
+                outcome,
+            )
+            emit(outcome)
+            for duplicate in fanout_duplicates(part, outcome):
+                emit(duplicate)
+    finally:
+        backend.close()
+    return CampaignResult(
+        plan=plan.name,
+        backend=backend.kind,
+        shards=shards,
+        outcomes=outcomes,
+        workers=reports,
+        provenance=scheduler.provenance,
+        steals=scheduler.steals,
+        requeues=scheduler.requeues,
+        worker_manifests=backend.manifests(),
+    )

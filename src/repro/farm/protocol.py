@@ -1,0 +1,134 @@
+"""The farm's newline-framed JSON job protocol (pure, no I/O).
+
+One frame is one JSON object on one ``\\n``-terminated line — the same
+framing discipline as the result-store journal, and for the same
+reason: a crashed writer leaves at worst one torn final line, and a
+reader can always tell a torn tail from mid-stream corruption.
+
+Frame types (all frames carry ``{"v": PROTOCOL_VERSION}``):
+
+=============  ======================================================
+``hello``      worker -> parent, once at startup: worker name, pid,
+               and a :class:`~repro.obs.manifest.RunManifest` dict —
+               the per-shard provenance the campaign manifest merges
+``job``        parent -> worker: a sequence number plus the pickled
+               :class:`~repro.experiments.parallel.RunSpec` (base64)
+``result``     worker -> parent: the job's sequence number, the
+               pickled return value, and the worker-measured wall time
+``error``      worker -> parent: the spec's function raised; carries
+               the repr and traceback text (the campaign re-raises)
+``shutdown``   parent -> worker: drain and exit cleanly
+=============  ======================================================
+
+Specs and values travel as base64-wrapped pickles inside the JSON
+frame.  That is deliberate: the multiprocessing pool path already
+round-trips both through pickle, so the fleet path preserves *exactly*
+the fidelity the bit-identity guarantee is calibrated against — no
+second serialization dialect to drift.
+
+:func:`decode_frame` is the torn-frame gate: a line that is not valid
+JSON, not an object, or missing the version tag raises
+:class:`ProtocolError`, and the transport layer treats the worker on
+the other end as dead (its in-flight spec is requeued).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+from typing import Any, Dict
+
+from repro.errors import ReproError
+
+#: bump when frame shapes change; mismatched peers refuse each other
+PROTOCOL_VERSION = 1
+
+FRAME_HELLO = "hello"
+FRAME_JOB = "job"
+FRAME_RESULT = "result"
+FRAME_ERROR = "error"
+FRAME_SHUTDOWN = "shutdown"
+
+#: every frame type the protocol knows, with its required fields
+FRAME_FIELDS: Dict[str, tuple] = {
+    FRAME_HELLO: ("worker", "pid", "manifest"),
+    FRAME_JOB: ("seq", "spec"),
+    FRAME_RESULT: ("seq", "value", "wall_seconds"),
+    FRAME_ERROR: ("seq", "error", "traceback"),
+    FRAME_SHUTDOWN: (),
+}
+
+
+class ProtocolError(ReproError):
+    """A frame violated the job protocol (torn, garbage, or alien)."""
+
+
+def pack(obj: Any) -> str:
+    """Pickle ``obj`` and wrap it printable for a JSON frame."""
+    return base64.b64encode(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def unpack(payload: str) -> Any:
+    """Invert :func:`pack`; raises :class:`ProtocolError` on garbage."""
+    try:
+        return pickle.loads(base64.b64decode(payload.encode("ascii")))
+    except Exception as error:  # torn/corrupt payloads take many shapes
+        raise ProtocolError(f"undecodable frame payload: {error}") from error
+
+
+def make_frame(frame_type: str, **fields: Any) -> Dict[str, Any]:
+    """Build a frame dict, checking the type and required fields."""
+    if frame_type not in FRAME_FIELDS:
+        raise ProtocolError(f"unknown frame type {frame_type!r}")
+    missing = [
+        name for name in FRAME_FIELDS[frame_type] if name not in fields
+    ]
+    if missing:
+        raise ProtocolError(
+            f"{frame_type} frame is missing field(s) {', '.join(missing)}"
+        )
+    frame = {"v": PROTOCOL_VERSION, "type": frame_type}
+    frame.update(fields)
+    return frame
+
+
+def encode_frame(frame: Dict[str, Any]) -> bytes:
+    """The exact newline-terminated line a frame travels as."""
+    return (
+        json.dumps(frame, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def decode_frame(line: bytes) -> Dict[str, Any]:
+    """Parse one received line back into a validated frame dict.
+
+    The caller is responsible for framing (handing in exactly one
+    newline-terminated line); this function is the validity gate.
+    """
+    if not line.endswith(b"\n"):
+        raise ProtocolError("torn frame: line is not newline-terminated")
+    try:
+        frame = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable frame: {error}") from error
+    if not isinstance(frame, dict):
+        raise ProtocolError("frame is not a JSON object")
+    if frame.get("v") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: got {frame.get('v')!r}, "
+            f"speak {PROTOCOL_VERSION}"
+        )
+    frame_type = frame.get("type")
+    if frame_type not in FRAME_FIELDS:
+        raise ProtocolError(f"unknown frame type {frame_type!r}")
+    missing = [
+        name for name in FRAME_FIELDS[frame_type] if name not in frame
+    ]
+    if missing:
+        raise ProtocolError(
+            f"{frame_type} frame is missing field(s) {', '.join(missing)}"
+        )
+    return frame

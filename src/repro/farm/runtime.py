@@ -1,0 +1,185 @@
+"""The process-wide farm session.
+
+Mirrors :mod:`repro.store.runtime`: CLI entry points call
+:func:`configure` once (from ``--farm``/``--shards`` flags) inside a
+``try``/``finally`` that ends with :func:`reset`, and
+:func:`repro.experiments.parallel.run_outcomes` consults
+:func:`active_farm` before choosing an execution path.  Experiments
+themselves never know whether their plans ran on a pool, a fleet, or
+serially — the farm resolves the result store exactly as
+``run_outcomes`` would, so warm/cold behaviour and session tallies are
+identical too.
+
+Backend resolution degrades the way the execution engine always has:
+``local`` falls back to serial where multiprocessing pools cannot
+exist, ``fleet`` falls back to serial where subprocesses cannot spawn.
+The fallback is safe because a backend raises
+:class:`~repro.farm.transport.BackendUnavailable` from ``start``,
+before the campaign emits a single outcome or touches the journal.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.experiments.parallel import (
+    ExecutionPlan,
+    ProgressFn,
+    RunOutcome,
+    default_jobs,
+)
+from repro.farm.backends import (
+    LocalPoolBackend,
+    SerialBackend,
+    SubprocessFleetBackend,
+    WorkerBackend,
+)
+from repro.farm.campaign import CampaignResult, run_campaign
+from repro.farm.scheduler import StealPolicy
+from repro.farm.transport import BackendUnavailable
+
+#: backend kinds a session can be configured with (CLI ``--farm``)
+FARM_KINDS = ("local", "fleet", "serial")
+
+
+def _backend_candidates(kind: str) -> List[Callable[[], WorkerBackend]]:
+    """Constructors to try for ``kind``, preferred first."""
+    if kind == "fleet":
+        return [SubprocessFleetBackend, SerialBackend]
+    if kind == "local":
+        return [LocalPoolBackend, SerialBackend]
+    if kind == "serial":
+        return [SerialBackend]
+    raise ValueError(
+        f"unknown farm backend {kind!r}; pick from {FARM_KINDS}"
+    )
+
+
+class FarmSession:
+    """One configured farm: backend kind, shard count, steal policy.
+
+    The session keeps campaign tallies (campaigns driven, steals,
+    requeues, worker deaths survived) and the last
+    :class:`~repro.farm.campaign.CampaignResult`, so entry points can
+    render per-worker timing and write the merged campaign manifest
+    without threading the result through every experiment.
+    """
+
+    def __init__(
+        self,
+        kind: str = "local",
+        shards: Optional[int] = None,
+        steal_policy: Optional[StealPolicy] = None,
+        backend_factory: Optional[
+            Callable[[], WorkerBackend]
+        ] = None,
+    ) -> None:
+        if backend_factory is None:
+            _backend_candidates(kind)  # validate the kind eagerly
+        self.kind = kind
+        self.shards = shards
+        self.steal_policy = steal_policy
+        self.backend_factory = backend_factory
+        self.campaigns = 0
+        self.steals = 0
+        self.requeues = 0
+        self.worker_failures = 0
+        self.last_result: Optional[CampaignResult] = None
+
+    def _resolve_shards(self, plan: ExecutionPlan) -> int:
+        """Shard count for one plan: configured, capped by its size."""
+        shards = (
+            default_jobs() if self.shards is None else self.shards
+        )
+        return max(1, min(shards, max(1, len(plan.specs))))
+
+    def run(
+        self,
+        plan: ExecutionPlan,
+        progress: Optional[ProgressFn] = None,
+        store: Optional[object] = None,
+    ) -> List[RunOutcome]:
+        """Execute ``plan`` as a campaign; same contract as the pool.
+
+        ``store=None`` consults the process-wide store session (the
+        ``--store-dir`` plumbing) and folds the campaign's outcomes
+        into its tallies — precisely what ``run_outcomes`` does on the
+        non-farm path, so flipping ``--farm`` on changes scheduling and
+        nothing else.
+        """
+        from repro.store import runtime as store_runtime
+
+        session = None
+        refresh = False
+        if store is None:
+            session = store_runtime.active_session()
+            if session is not None:
+                store = session.store
+                refresh = session.refresh
+        shards = self._resolve_shards(plan)
+        candidates = (
+            [self.backend_factory]
+            if self.backend_factory is not None
+            else _backend_candidates(self.kind)
+        )
+        result: Optional[CampaignResult] = None
+        for index, factory in enumerate(candidates):
+            try:
+                result = run_campaign(
+                    plan,
+                    factory(),
+                    shards,
+                    store=store,
+                    refresh=refresh,
+                    progress=progress,
+                    steal_policy=self.steal_policy,
+                )
+                break
+            except BackendUnavailable:
+                if index == len(candidates) - 1:
+                    raise
+        assert result is not None
+        self.campaigns += 1
+        self.steals += result.steals
+        self.requeues += result.requeues
+        self.worker_failures += sum(
+            1 for report in result.workers if report.failure
+        )
+        self.last_result = result
+        if session is not None:
+            session.record(result.outcomes)
+        return result.outcomes
+
+
+_active: Optional[FarmSession] = None
+
+
+def configure(session: Optional[FarmSession]) -> None:
+    """Install (or, with ``None``, clear) the process-wide session."""
+    global _active
+    _active = session
+
+
+def active_farm() -> Optional[FarmSession]:
+    """The active session, or ``None`` when the farm is off."""
+    return _active
+
+
+def reset() -> None:
+    """Clear the session (CLI teardown and tests).
+
+    Backends are per-campaign, created and closed inside
+    :meth:`FarmSession.run`, so unlike the store runtime there is
+    nothing to close here.
+    """
+    global _active
+    _active = None
+
+
+def open_farm(
+    kind: str,
+    shards: Optional[int] = None,
+    steal_policy: Optional[StealPolicy] = None,
+) -> FarmSession:
+    """A session for ``kind`` (one of :data:`FARM_KINDS`)."""
+    return FarmSession(kind=kind, shards=shards, steal_policy=steal_policy)

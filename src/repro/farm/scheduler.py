@@ -1,0 +1,189 @@
+"""Sharding and work stealing: who runs which spec, and in what order.
+
+Specs are dealt **round-robin in declared grid order** into one shard
+per worker (:func:`shard_specs`), so every shard is balanced to within
+one spec and the dealing is a pure function of the plan — any two
+campaigns over the same plan and shard count agree on shard membership
+before a single worker starts.
+
+At run time the :class:`ShardScheduler` hands each worker the head of
+its own shard; a worker whose shard has drained *steals from the tail*
+of a victim shard chosen by the steal policy (default: the fullest
+remaining shard, ties to the lowest index).  Stealing from the tail
+keeps the owner and the thief colliding as late as possible — the
+classic work-stealing discipline.
+
+None of this affects results.  Scheduling decides only *where and when*
+a spec executes; reduction folds outcomes by key in declared grid
+order, so any steal schedule — including the adversarial ones
+hypothesis generates in ``tests/farm/test_sharding.py`` — produces a
+bit-identical table.  To keep that promise unconditional, the scheduler
+is defensive about policies: a policy that returns garbage (no victim,
+an empty shard, an out-of-range index) is overridden by the default
+choice rather than trusted, so a bad policy can cost locality but never
+work.
+
+The scheduler also keeps the per-spec provenance the campaign manifest
+reports: which shard a spec was dealt to, every dispatch attempt
+(requeues after a worker death mean there can be several), and the
+exactly-one worker whose execution completed it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.experiments.parallel import Key, RunSpec
+
+#: ``(thief worker index, remaining specs per shard) -> victim index``
+StealPolicy = Callable[[int, Sequence[int]], Optional[int]]
+
+
+def shard_specs(
+    specs: Sequence[RunSpec], shards: int
+) -> List[List[RunSpec]]:
+    """Deal specs round-robin into ``shards`` lists, grid order kept."""
+    if shards < 1:
+        raise ValueError(f"need at least one shard, got {shards}")
+    dealt: List[List[RunSpec]] = [[] for _ in range(shards)]
+    for index, spec in enumerate(specs):
+        dealt[index % shards].append(spec)
+    return dealt
+
+
+def default_steal_policy(
+    thief: int, remaining: Sequence[int]
+) -> Optional[int]:
+    """Steal from the fullest other shard; ties to the lowest index."""
+    best: Optional[int] = None
+    for victim, size in enumerate(remaining):
+        if victim == thief or size == 0:
+            continue
+        if best is None or size > remaining[best]:
+            best = victim
+    return best
+
+
+@dataclass
+class SpecProvenance:
+    """Where one spec lived and who actually executed it."""
+
+    key: Key
+    home_shard: int
+    #: worker indices this spec was handed to, in dispatch order;
+    #: more than one entry means a death requeued it
+    attempts: List[int] = field(default_factory=list)
+    #: dispatches that pulled the spec from a foreign shard
+    stolen: int = 0
+    #: requeues after a worker failure
+    requeued: int = 0
+    #: the one worker whose execution completed this spec
+    completed_by: Optional[int] = None
+
+
+class SchedulerError(ReproError):
+    """The scheduler's bookkeeping was violated (a farm bug)."""
+
+
+class ShardScheduler:
+    """Mutable dispatch state for one campaign (see module docs)."""
+
+    def __init__(
+        self,
+        specs: Sequence[RunSpec],
+        shards: int,
+        steal_policy: Optional[StealPolicy] = None,
+    ) -> None:
+        self.shards: List[Deque[RunSpec]] = [
+            deque(shard) for shard in shard_specs(specs, shards)
+        ]
+        self._policy = steal_policy or default_steal_policy
+        self.provenance: Dict[Key, SpecProvenance] = {}
+        for home, shard in enumerate(self.shards):
+            for spec in shard:
+                self.provenance[spec.key] = SpecProvenance(
+                    key=spec.key, home_shard=home
+                )
+        self.steals = 0
+        self.requeues = 0
+        self.completed = 0
+
+    @property
+    def pending(self) -> int:
+        """Specs still queued (not dispatched, not completed)."""
+        return sum(len(shard) for shard in self.shards)
+
+    def next_for(self, worker: int) -> Optional[RunSpec]:
+        """The next spec for ``worker``: own head, else a stolen tail.
+
+        ``None`` means every shard is empty — there is nothing left to
+        dispatch (in-flight specs may still be executing elsewhere).
+        """
+        own = self.shards[worker]
+        if own:
+            spec = own.popleft()
+            stolen = False
+        else:
+            victim = self._choose_victim(worker)
+            if victim is None:
+                return None
+            spec = self.shards[victim].pop()
+            stolen = True
+        record = self.provenance[spec.key]
+        record.attempts.append(worker)
+        if stolen:
+            record.stolen += 1
+            self.steals += 1
+        return spec
+
+    def _choose_victim(self, thief: int) -> Optional[int]:
+        remaining = [len(shard) for shard in self.shards]
+        if not any(remaining):
+            return None
+        victim = self._policy(thief, tuple(remaining))
+        if (
+            victim is None
+            or not isinstance(victim, int)
+            or not 0 <= victim < len(self.shards)
+            or victim == thief
+            or remaining[victim] == 0
+        ):
+            # an adversarial/buggy policy can cost locality, never work
+            victim = default_steal_policy(thief, remaining)
+        return victim
+
+    def requeue(self, spec: RunSpec) -> None:
+        """Return a dispatched spec whose worker died to its home shard.
+
+        It goes back at the *head*, so the next dispatch from that
+        shard retries it before fresh work — keeping completion of the
+        oldest work first and the journal's resume window small.
+        """
+        record = self.provenance[spec.key]
+        if record.completed_by is not None:
+            raise SchedulerError(
+                f"spec {spec.key!r} requeued after completion"
+            )
+        record.requeued += 1
+        self.requeues += 1
+        self.shards[record.home_shard].appendleft(spec)
+
+    def record_completion(self, key: Key, worker: int) -> None:
+        """Mark ``key`` executed by ``worker`` — exactly once, ever.
+
+        The exactly-one-leader invariant is what makes journaling safe:
+        one completion means one ``store.put``, so a resumed campaign
+        can trust every journaled entry to be the spec's single
+        authoritative result.
+        """
+        record = self.provenance[key]
+        if record.completed_by is not None:
+            raise SchedulerError(
+                f"spec {key!r} completed twice (workers "
+                f"{record.completed_by} and {worker})"
+            )
+        record.completed_by = worker
+        self.completed += 1

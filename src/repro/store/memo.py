@@ -107,6 +107,77 @@ def partition_plan(
     return part
 
 
+def plain_partition(plan: ExecutionPlan) -> PlanPartition:
+    """A store-free partition: every spec is an uncacheable leader.
+
+    The farm's campaign driver uses this when no store is configured,
+    so the same dispatch/journal/fan-out loop serves warm and cold
+    campaigns — journaling and coalescing just have nothing to do.
+    """
+    part = PlanPartition()
+    part.leaders = list(plan.specs)
+    part.store_keys = {spec.key: None for spec in plan.specs}
+    return part
+
+
+def journal_outcome(
+    store: Any, address: Optional[str], spec: RunSpec, outcome: RunOutcome
+) -> None:
+    """Journal one executed leader's result (no-op when uncacheable).
+
+    Shared by the pool path below and the farm campaign driver, so
+    "what gets journaled, when" has exactly one definition: the leader
+    completed in *this* process, its value encodes bit-exactly, and its
+    spec hashed to a content address.
+    """
+    if address is None:
+        return
+    try:
+        encoded = encode_value(outcome.value)
+    except CodecError:
+        return  # uncacheable value: execute-only
+    store.put(
+        StoreEntry(
+            key=address,
+            fn=fn_reference(spec),
+            result_version=spec.result_version,
+            value=encoded,
+            wall_seconds=outcome.wall_seconds,
+        )
+    )
+
+
+def fanout_duplicates(
+    part: PlanPartition, outcome: RunOutcome
+) -> List[RunOutcome]:
+    """The coalesced outcomes a completed leader resolves."""
+    return [
+        RunOutcome(
+            key=duplicate.key,
+            value=outcome.value,
+            wall_seconds=0.0,
+            source=SOURCE_COALESCED,
+            saved_seconds=outcome.wall_seconds,
+            worker=outcome.worker,
+        )
+        for duplicate in part.duplicates.get(outcome.key, ())
+    ]
+
+
+def hit_outcomes(part: PlanPartition) -> List[RunOutcome]:
+    """The store-answered outcomes of a partition, in plan order."""
+    return [
+        RunOutcome(
+            key=spec.key,
+            value=value,
+            wall_seconds=0.0,
+            source=SOURCE_HIT,
+            saved_seconds=saved,
+        )
+        for spec, value, saved in part.hits
+    ]
+
+
 def memoized_outcomes(
     plan: ExecutionPlan,
     store: Any,
@@ -131,16 +202,8 @@ def memoized_outcomes(
         if progress is not None:
             progress(outcome, len(outcomes), total)
 
-    for spec, value, saved in part.hits:
-        emit(
-            RunOutcome(
-                key=spec.key,
-                value=value,
-                wall_seconds=0.0,
-                source=SOURCE_HIT,
-                saved_seconds=saved,
-            )
-        )
+    for hit in hit_outcomes(part):
+        emit(hit)
 
     if not part.leaders:
         return outcomes
@@ -149,33 +212,14 @@ def memoized_outcomes(
         outcome: RunOutcome, _done: int, _total: int
     ) -> None:
         emit(outcome)
-        address = part.store_keys.get(outcome.key)
-        spec = leaders_by_key[outcome.key]
-        if address is not None:
-            try:
-                encoded = encode_value(outcome.value)
-            except CodecError:
-                pass  # uncacheable value: execute-only
-            else:
-                store.put(
-                    StoreEntry(
-                        key=address,
-                        fn=fn_reference(spec),
-                        result_version=spec.result_version,
-                        value=encoded,
-                        wall_seconds=outcome.wall_seconds,
-                    )
-                )
-        for duplicate in part.duplicates.get(outcome.key, ()):
-            emit(
-                RunOutcome(
-                    key=duplicate.key,
-                    value=outcome.value,
-                    wall_seconds=0.0,
-                    source=SOURCE_COALESCED,
-                    saved_seconds=outcome.wall_seconds,
-                )
-            )
+        journal_outcome(
+            store,
+            part.store_keys.get(outcome.key),
+            leaders_by_key[outcome.key],
+            outcome,
+        )
+        for duplicate in fanout_duplicates(part, outcome):
+            emit(duplicate)
 
     leaders_by_key = {spec.key: spec for spec in part.leaders}
     subplan = ExecutionPlan(

@@ -64,6 +64,16 @@ class StoreSession:
             progress=progress,
             refresh=self.refresh,
         )
+        self.record(outcomes)
+        return outcomes
+
+    def record(self, outcomes: List[RunOutcome]) -> None:
+        """Fold a plan's outcomes into the session tallies.
+
+        Called by :meth:`run` and by the farm runtime, which executes
+        plans through its own campaign driver but borrows this
+        session's store and must keep its bookkeeping truthful.
+        """
         for outcome in outcomes:
             if outcome.source == "hit":
                 self.hits += 1
@@ -72,7 +82,6 @@ class StoreSession:
             else:
                 self.executed += 1
             self.saved_seconds += outcome.saved_seconds
-        return outcomes
 
     def stats(self) -> Dict[str, Any]:
         """Store stats plus this session's hit/coalesce tallies."""

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.core.schemes import MulticastScheme, SwitchArchitecture
@@ -26,6 +29,79 @@ def pytest_addoption(parser):
         default=False,
         help="rewrite tests/experiments/golden/*.json from current results",
     )
+
+
+def poll_until(predicate, timeout=60.0, interval=0.01, message="condition"):
+    """Spin until ``predicate()`` is truthy; fail the test on timeout.
+
+    The crash/fault tests coordinate with subprocesses through
+    *observable state* (journal entries on disk, a process exiting) —
+    never a fixed sleep, which is exactly as long as the flake it
+    papers over.  Poll cheaply, fail loudly.
+    """
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            pytest.fail(f"timed out after {timeout:.0f}s waiting for {message}")
+        time.sleep(interval)
+
+
+def journal_entry_count(store_dir) -> int:
+    """Completed result entries across a store's journal segments.
+
+    Counts schema-tagged entry lines the same way the store's own
+    scanner does, so tests can watch a campaign's progress from outside
+    the writing process.
+    """
+    segments = Path(store_dir) / "segments"
+    if not segments.is_dir():
+        return 0
+    count = 0
+    for path in segments.iterdir():
+        text = path.read_text(encoding="utf-8")
+        count += sum(
+            1
+            for line in text.splitlines()
+            if '"repro.store.entry/1"' in line
+        )
+    return count
+
+
+def wait_journal_quiescent(store_dir, settle=0.25, timeout=60.0):
+    """Block until the journal stops growing for ``settle`` seconds.
+
+    After SIGKILLing a campaign process, its pool/fleet children may
+    briefly outlive it; sampling the journal until its byte size holds
+    still guarantees every straggling write has landed (or torn) before
+    the test inspects or resumes the store.  Returns the final entry
+    count.
+    """
+    segments = Path(store_dir) / "segments"
+
+    def footprint():
+        if not segments.is_dir():
+            return ()
+        return tuple(
+            sorted(
+                (path.name, path.stat().st_size)
+                for path in segments.iterdir()
+            )
+        )
+
+    deadline = time.monotonic() + timeout
+    last = footprint()
+    held = time.monotonic()
+    while time.monotonic() - held < settle:
+        if time.monotonic() > deadline:
+            pytest.fail(
+                f"journal still growing after {timeout:.0f}s"
+            )
+        time.sleep(0.02)
+        current = footprint()
+        if current != last:
+            last = current
+            held = time.monotonic()
+    return journal_entry_count(store_dir)
 
 
 def tiny_config(**overrides) -> SimulationConfig:

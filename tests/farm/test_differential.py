@@ -1,0 +1,115 @@
+"""The differential gate: farm ≡ serial for every experiment's table.
+
+Each of the 16 experiments runs once serially (the reference) and then
+as a fleet campaign at shard counts 2 and 4.  Rows and rendered tables
+must match *exactly* — the farm analogue of ``jobs=1`` vs ``jobs=4``
+in ``tests/experiments/test_parallel.py``, extended across a process
+boundary, a JSON pickle round-trip, sharding and work stealing.  Grids
+are shrunk to test-suite size; the invariant being checked does not
+depend on scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_cb_bandwidth_ablation,
+    run_encoding_ablation,
+    run_equal_storage_ablation,
+    run_replication_ablation,
+    run_routing_mode_ablation,
+)
+from repro.experiments.bimodal import run_bimodal
+from repro.experiments.common import Scale
+from repro.experiments.cross_topology import run_cross_topology
+from repro.experiments.degree_sweep import run_degree_sweep
+from repro.experiments.extensions import (
+    run_barrier_scaling,
+    run_buffer_occupancy,
+    run_hotspot,
+)
+from repro.experiments.length_sweep import run_length_sweep
+from repro.experiments.multiple_multicast import run_multiple_multicast
+from repro.experiments.parameters import run_parameters
+from repro.experiments.system_size import run_system_size
+from repro.experiments.unicast_baseline import run_unicast_baseline
+from repro.farm import runtime as farm_runtime
+
+#: QUICK-shaped but tiny (mirrors tests/experiments/test_parallel.py)
+SMALL = Scale(
+    name="small",
+    repeats=2,
+    warmup_cycles=100,
+    measure_cycles=600,
+    max_cycles=60_000,
+)
+
+#: every runner-visible experiment with grid kwargs shrunk to seconds
+CASES = {
+    "e1": (run_multiple_multicast,
+           dict(num_hosts=16, concurrency=(1, 4), degree=3,
+                payload_flits=16)),
+    "e2": (run_degree_sweep,
+           dict(num_hosts=16, degrees=(2, 6), payload_flits=16)),
+    "e3": (run_length_sweep,
+           dict(num_hosts=16, lengths=(8, 32), degree=4)),
+    "e4": (run_bimodal,
+           dict(num_hosts=16, loads=(0.2,), degree=4, payload_flits=16)),
+    "e5": (run_system_size, dict(sizes=(16,), payload_flits=16)),
+    "e6": (run_unicast_baseline,
+           dict(num_hosts=16, loads=(0.2,), payload_flits=16)),
+    "e7": (run_parameters, dict(num_hosts=16)),
+    "a1": (run_cb_bandwidth_ablation,
+           dict(num_hosts=16, bandwidths=(1, 4), num_multicasts=4,
+                degree=4, payload_flits=16)),
+    "a2": (run_routing_mode_ablation,
+           dict(num_hosts=16, degrees=(4, 8), payload_flits=16)),
+    "a3": (run_encoding_ablation,
+           dict(sizes=(16,), degree=4, payload_flits=16)),
+    "a4": (run_replication_ablation,
+           dict(num_hosts=16, concurrency=(2, 4), degree=4,
+                payload_flits=16)),
+    "a5": (run_equal_storage_ablation,
+           dict(num_hosts=16, loads=(0.3,), payload_flits=16)),
+    "x1": (run_barrier_scaling, dict(sizes=(16,))),
+    "x2": (run_hotspot,
+           dict(num_hosts=16, load=0.2, fractions=(0.0, 0.05),
+                payload_flits=16)),
+    "x3": (run_buffer_occupancy,
+           dict(num_hosts=16, load=0.2, degree=4)),
+    "x4": (run_cross_topology, dict(num_hosts=16, degrees=(4,))),
+}
+
+_serial_cache = {}
+
+
+def serial_reference(name):
+    if name not in _serial_cache:
+        fn, kwargs = CASES[name]
+        _serial_cache[name] = fn(scale=SMALL, jobs=1, **kwargs)
+    return _serial_cache[name]
+
+
+def run_on_fleet(name, shards):
+    fn, kwargs = CASES[name]
+    farm_runtime.configure(farm_runtime.open_farm("fleet", shards=shards))
+    try:
+        return fn(scale=SMALL, jobs=1, **kwargs)
+    finally:
+        farm_runtime.reset()
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+@pytest.mark.parametrize("shards", [2, 4])
+def test_fleet_campaign_table_is_bit_identical(name, shards):
+    serial = serial_reference(name)
+    farmed = run_on_fleet(name, shards)
+    assert serial.rows == farmed.rows
+    assert serial.render() == farmed.render()
+
+
+def test_every_runner_experiment_is_covered():
+    from repro.experiments.runner import EXPERIMENTS
+
+    assert set(CASES) == set(EXPERIMENTS)

@@ -1,0 +1,344 @@
+"""Fault injection: campaigns survive dying workers and dying parents.
+
+Three families of deliberate failure, each required to end in the same
+place — a bit-identical merged table and a journal ``verify`` calls
+clean:
+
+* a fleet worker SIGKILLed mid-campaign (externally, and via the
+  ``REPRO_FARM_FAULT`` ``die`` action) — its in-flight spec is
+  requeued and the survivors finish the plan;
+* a torn or dropped protocol message (``truncate``/``drop`` actions) —
+  stream corruption maps to a dead worker, never to wrong data;
+* the campaign *parent* SIGKILLed mid-journal-append — the next
+  campaign resumes warm from the journaled prefix and executes only
+  the remainder (the farm analogue of
+  ``tests/store/test_crash_resume.py``).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.parallel import (
+    SOURCE_EXECUTED,
+    SOURCE_HIT,
+    ExecutionPlan,
+    RunSpec,
+    resolve,
+)
+from repro.farm.backends import FarmError, SubprocessFleetBackend
+from repro.farm.campaign import run_campaign
+from repro.farm.protocol import FRAME_JOB, make_frame, pack
+from repro.farm.worker import (
+    ENV_FAULT,
+    EXIT_OK,
+    EXIT_PROTOCOL,
+    Fault,
+    parse_fault,
+    serve,
+)
+from repro.store.backend import JournalStore
+
+from tests.conftest import (
+    journal_entry_count,
+    poll_until,
+    wait_journal_quiescent,
+)
+from tests.farm import _workers
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def build_plan(runs, seconds=0.0, name="fault"):
+    return ExecutionPlan(
+        name,
+        [
+            RunSpec(
+                key=("fault", index),
+                fn=_workers.slow_square,
+                kwargs=dict(x=index, seconds=seconds),
+            )
+            for index in range(runs)
+        ],
+    )
+
+
+def reference(runs):
+    return {
+        ("fault", index): {"x": index, "squared": index * index}
+        for index in range(runs)
+    }
+
+
+def faulty_backend(spec):
+    return SubprocessFleetBackend(extra_env={ENV_FAULT: spec})
+
+
+class TestParseFault:
+    def test_scoped_and_unscoped_specs(self):
+        assert parse_fault("w1:die@2") == Fault("die", 2, "w1")
+        assert parse_fault("truncate@1") == Fault("truncate", 1, None)
+
+    def test_garbage_is_ignored_not_fatal(self):
+        for garbage in ("", "  ", "explode@1", "die@", "die@x", "@3"):
+            assert parse_fault(garbage) is None
+
+    def test_matching_is_worker_and_job_scoped(self):
+        fault = Fault("die", 2, "w1")
+        assert fault.matches("w1", 2)
+        assert not fault.matches("w0", 2)
+        assert not fault.matches("w1", 1)
+        assert Fault("die", 2).matches("anyone", 2)
+
+
+class TestWorkerProtocolDiscipline:
+    """A desynchronised worker must die, never guess (exit code 3)."""
+
+    def _serve(self, payload: bytes) -> int:
+        return serve(io.BytesIO(payload), io.BytesIO(), "wt")
+
+    def test_garbage_job_line_exits_protocol(self):
+        assert self._serve(b"}{ not a frame\n") == EXIT_PROTOCOL
+
+    def test_torn_job_frame_exits_protocol(self):
+        from repro.farm.protocol import encode_frame
+
+        line = encode_frame(
+            make_frame(FRAME_JOB, seq=1, spec=pack("x"))
+        )
+        assert self._serve(line[:-1]) == EXIT_PROTOCOL
+
+    def test_job_payload_that_is_not_a_spec_exits_protocol(self):
+        from repro.farm.protocol import encode_frame
+
+        line = encode_frame(
+            make_frame(FRAME_JOB, seq=1, spec=pack("not a RunSpec"))
+        )
+        assert self._serve(line) == EXIT_PROTOCOL
+
+    def test_eof_and_shutdown_exit_clean(self):
+        from repro.farm.protocol import FRAME_SHUTDOWN, encode_frame
+
+        assert self._serve(b"") == EXIT_OK
+        assert (
+            self._serve(encode_frame(make_frame(FRAME_SHUTDOWN)))
+            == EXIT_OK
+        )
+
+
+class TestWorkerDeathMidCampaign:
+    def test_external_sigkill_mid_campaign_completes(self):
+        """A real ``SIGKILL`` from outside, not the fault hook: the
+        campaign must requeue the victim's in-flight spec and finish
+        on the survivor with the identical table."""
+        runs = 10
+        backend = SubprocessFleetBackend()
+        victim_pid = []
+
+        original_start = backend.start
+
+        def start_and_arm(workers):
+            original_start(workers)
+            victim_pid.append(backend._procs[0].pid)
+
+        backend.start = start_and_arm
+
+        def assassinate():
+            if victim_pid:
+                os.kill(victim_pid[0], signal.SIGKILL)
+
+        killer = threading.Timer(0.4, assassinate)
+        killer.start()
+        try:
+            result = run_campaign(
+                build_plan(runs, seconds=0.15), backend, shards=2
+            )
+        finally:
+            killer.cancel()
+        assert resolve(result.outcomes) == reference(runs)
+        assert any(report.failure for report in result.workers)
+        assert result.requeues >= 1
+
+    def test_die_fault_mid_shard_is_survived(self):
+        # fault on the *first* job: the fill loop dispatches to every
+        # idle worker before collecting, so w1 is guaranteed to receive
+        # it (a later job could be stolen out from under the fault)
+        runs = 8
+        result = run_campaign(
+            build_plan(runs),
+            faulty_backend("w1:die@1"),
+            shards=2,
+        )
+        assert resolve(result.outcomes) == reference(runs)
+        assert result.workers[1].failure
+        assert result.workers[1].runs == 0
+        assert result.requeues == 1
+        # the dead worker's specs were finished by someone else
+        survivors = {
+            record.completed_by
+            for record in result.provenance.values()
+        }
+        assert survivors == {0}
+
+    def test_truncated_result_frame_is_survived(self):
+        runs = 8
+        result = run_campaign(
+            build_plan(runs),
+            faulty_backend("w0:truncate@1"),
+            shards=2,
+        )
+        assert resolve(result.outcomes) == reference(runs)
+        assert "torn" in result.workers[0].failure
+
+    def test_dropped_message_is_survived(self):
+        runs = 8
+        result = run_campaign(
+            build_plan(runs),
+            faulty_backend("w1:drop@1"),
+            shards=2,
+        )
+        assert resolve(result.outcomes) == reference(runs)
+        assert result.workers[1].failure
+
+    def test_every_worker_dead_raises_farm_error(self):
+        with pytest.raises(FarmError, match="dead"):
+            run_campaign(
+                build_plan(8),
+                faulty_backend("die@1"),  # unscoped: kills them all
+                shards=2,
+            )
+
+    def test_faulted_campaign_journal_verifies_clean(self, tmp_path):
+        runs = 8
+        with JournalStore(tmp_path / "store") as store:
+            result = run_campaign(
+                build_plan(runs),
+                faulty_backend("w0:truncate@1"),
+                shards=2,
+                store=store,
+            )
+            assert resolve(result.outcomes) == reference(runs)
+            report = store.verify()
+            assert report.ok, report.render()
+            assert report.entries == runs
+            # and a warm rerun is answered entirely from the journal
+            warm = run_campaign(
+                build_plan(runs), SubprocessFleetBackend(), shards=2,
+                store=store,
+            )
+        assert resolve(warm.outcomes) == reference(runs)
+        assert all(o.source == SOURCE_HIT for o in warm.outcomes)
+
+
+_FARM_CAMPAIGN_SCRIPT = """
+import sys
+from pathlib import Path
+
+from repro.experiments.parallel import ExecutionPlan, RunSpec
+from repro.farm.backends import SubprocessFleetBackend
+from repro.farm.campaign import run_campaign
+from repro.store.backend import JournalStore
+from tests.farm import _workers
+
+specs = [
+    RunSpec(
+        key=("fault", index),
+        fn=_workers.slow_square,
+        kwargs=dict(x=index, seconds={seconds}),
+    )
+    for index in range({runs})
+]
+with JournalStore(Path(sys.argv[1])) as store:
+    run_campaign(
+        ExecutionPlan("fault", specs),
+        SubprocessFleetBackend(),
+        shards=2,
+        store=store,
+    )
+print("campaign-finished")
+"""
+
+
+class TestParentCrashResume:
+    def test_parent_sigkill_mid_journal_resumes_bit_identical(
+        self, tmp_path
+    ):
+        runs = 40
+        store_dir = tmp_path / "store"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO_ROOT / "src"), str(REPO_ROOT)]
+        )
+        script = _FARM_CAMPAIGN_SCRIPT.format(runs=runs, seconds=0.05)
+        process = subprocess.Popen(
+            [sys.executable, "-c", script, str(store_dir)],
+            env=env,
+            cwd=REPO_ROOT,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        try:
+
+            def journaled_enough():
+                if process.poll() is not None:
+                    out, err = process.communicate()
+                    pytest.fail(
+                        "campaign finished before it could be killed: "
+                        f"{out!r} {err!r}"
+                    )
+                return journal_entry_count(store_dir) >= 3
+
+            poll_until(
+                journaled_enough,
+                message="the farm campaign to journal 3 entries",
+            )
+            # lands between (often *inside*) journal appends
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=30)
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup
+                process.kill()
+                process.wait(timeout=30)
+
+        # orphaned fleet workers exit on stdin EOF; wait for the
+        # journal to stop moving rather than sleeping a fixed time
+        journaled = wait_journal_quiescent(store_dir)
+        assert 0 < journaled < runs
+
+        # kwargs are part of the spec fingerprint: the resume plan must
+        # be byte-for-byte the plan the killed campaign was running
+        with JournalStore(store_dir) as store:
+            result = run_campaign(
+                build_plan(runs, seconds=0.05),
+                SubprocessFleetBackend(),
+                shards=2,
+                store=store,
+            )
+            report = store.verify()
+
+        sources = [o.source for o in result.outcomes]
+        hits = sources.count(SOURCE_HIT)
+        executed = sources.count(SOURCE_EXECUTED)
+        assert hits >= 3  # the killed campaign's completed runs
+        assert executed == runs - hits  # only the remainder re-ran
+        assert resolve(result.outcomes) == reference(runs)
+        # torn tails are legal crash artifacts; corruption is not
+        assert report.ok, report.render()
+        assert report.entries == runs
+
+        with JournalStore(store_dir) as store:
+            warm = run_campaign(
+                build_plan(runs, seconds=0.05),
+                SubprocessFleetBackend(),
+                shards=2,
+                store=store,
+            )
+        assert all(o.source == SOURCE_HIT for o in warm.outcomes)

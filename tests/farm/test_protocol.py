@@ -1,0 +1,120 @@
+"""Unit tests for the newline-framed JSON job protocol (pure layer)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.parallel import RunSpec
+from repro.farm.protocol import (
+    FRAME_FIELDS,
+    FRAME_HELLO,
+    FRAME_JOB,
+    FRAME_RESULT,
+    FRAME_SHUTDOWN,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    make_frame,
+    pack,
+    unpack,
+)
+
+from tests.farm import _workers
+
+
+class TestPackUnpack:
+    def test_roundtrips_plain_values(self):
+        for value in (None, 42, "text", [1, 2], {"a": (1, 2)}):
+            assert unpack(pack(value)) == value
+
+    def test_roundtrips_a_runspec(self):
+        spec = RunSpec(
+            key=("sq", 3), fn=_workers.square, kwargs={"x": 3}
+        )
+        back = unpack(pack(spec))
+        assert back == spec
+        assert back.execute() == {"x": 3, "squared": 9}
+
+    def test_garbage_payload_raises_protocol_error(self):
+        for garbage in ("", "not base64 ###", pack("ok")[:-4]):
+            with pytest.raises(ProtocolError):
+                unpack(garbage)
+
+
+class TestMakeFrame:
+    def test_adds_version_and_type(self):
+        frame = make_frame(FRAME_JOB, seq=1, spec="abc")
+        assert frame["v"] == PROTOCOL_VERSION
+        assert frame["type"] == FRAME_JOB
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown frame type"):
+            make_frame("gossip", juicy=True)
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(ProtocolError, match="missing field"):
+            make_frame(FRAME_RESULT, seq=1, value="x")  # no wall_seconds
+
+    def test_shutdown_needs_nothing(self):
+        assert make_frame(FRAME_SHUTDOWN)["type"] == FRAME_SHUTDOWN
+
+
+class TestEncodeDecode:
+    def test_roundtrip_every_frame_type(self):
+        samples = {
+            FRAME_HELLO: dict(worker="w0", pid=1, manifest={}),
+            FRAME_JOB: dict(seq=1, spec=pack("s")),
+            FRAME_RESULT: dict(seq=1, value=pack(2), wall_seconds=0.5),
+            "error": dict(seq=1, error="E", traceback="tb"),
+            FRAME_SHUTDOWN: {},
+        }
+        assert set(samples) == set(FRAME_FIELDS)
+        for frame_type, fields in samples.items():
+            frame = make_frame(frame_type, **fields)
+            line = encode_frame(frame)
+            assert line.endswith(b"\n")
+            assert b"\n" not in line[:-1]  # one frame, one line
+            assert decode_frame(line) == frame
+
+    def test_torn_line_raises(self):
+        line = encode_frame(make_frame(FRAME_SHUTDOWN))
+        with pytest.raises(ProtocolError, match="torn frame"):
+            decode_frame(line[:-1])
+
+    def test_half_a_frame_raises(self):
+        line = encode_frame(
+            make_frame(FRAME_RESULT, seq=1, value=pack(1), wall_seconds=0.1)
+        )
+        with pytest.raises(ProtocolError):
+            decode_frame(line[: len(line) // 2])
+
+    def test_non_json_raises(self):
+        with pytest.raises(ProtocolError, match="undecodable"):
+            decode_frame(b"}{ not json\n")
+
+    def test_non_object_raises(self):
+        with pytest.raises(ProtocolError, match="not a JSON object"):
+            decode_frame(b"[1, 2, 3]\n")
+
+    def test_version_mismatch_raises(self):
+        alien = json.dumps({"v": 99, "type": FRAME_SHUTDOWN}) + "\n"
+        with pytest.raises(ProtocolError, match="version mismatch"):
+            decode_frame(alien.encode())
+
+    def test_unknown_type_on_the_wire_raises(self):
+        alien = (
+            json.dumps({"v": PROTOCOL_VERSION, "type": "gossip"}) + "\n"
+        )
+        with pytest.raises(ProtocolError, match="unknown frame type"):
+            decode_frame(alien.encode())
+
+    def test_missing_field_on_the_wire_raises(self):
+        alien = (
+            json.dumps({"v": PROTOCOL_VERSION, "type": FRAME_JOB, "seq": 1})
+            + "\n"
+        )
+        with pytest.raises(ProtocolError, match="missing field"):
+            decode_frame(alien.encode())

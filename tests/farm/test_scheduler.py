@@ -1,0 +1,132 @@
+"""Unit tests for sharding, stealing, and the one-leader invariant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.parallel import RunSpec
+from repro.farm.scheduler import (
+    SchedulerError,
+    ShardScheduler,
+    default_steal_policy,
+    shard_specs,
+)
+
+from tests.farm import _workers
+
+
+def specs(n):
+    return [
+        RunSpec(key=("s", i), fn=_workers.square, kwargs={"x": i})
+        for i in range(n)
+    ]
+
+
+class TestShardSpecs:
+    def test_round_robin_in_grid_order(self):
+        dealt = shard_specs(specs(7), 3)
+        assert [[s.key[1] for s in shard] for shard in dealt] == [
+            [0, 3, 6],
+            [1, 4],
+            [2, 5],
+        ]
+
+    def test_balanced_within_one(self):
+        for n in range(0, 20):
+            for shards in range(1, 8):
+                sizes = [len(s) for s in shard_specs(specs(n), shards)]
+                assert sum(sizes) == n
+                assert max(sizes) - min(sizes) <= 1
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            shard_specs(specs(3), 0)
+
+
+class TestDefaultStealPolicy:
+    def test_picks_fullest_other_shard(self):
+        assert default_steal_policy(0, (0, 2, 5, 1)) == 2
+
+    def test_ties_go_to_lowest_index(self):
+        assert default_steal_policy(2, (3, 3, 0, 3)) == 0
+
+    def test_never_picks_self_or_empty(self):
+        assert default_steal_policy(1, (0, 9, 0)) is None
+        assert default_steal_policy(0, (5, 0, 0)) is None
+
+
+class TestShardScheduler:
+    def test_own_shard_head_first(self):
+        sched = ShardScheduler(specs(6), 2)
+        assert sched.next_for(0).key == ("s", 0)
+        assert sched.next_for(1).key == ("s", 1)
+        assert sched.next_for(0).key == ("s", 2)
+        assert sched.steals == 0
+
+    def test_drained_worker_steals_from_victim_tail(self):
+        sched = ShardScheduler(specs(6), 2)  # shard0: 0,2,4  shard1: 1,3,5
+        for _ in range(3):
+            sched.next_for(1)  # worker 1 drains its own shard
+        stolen = sched.next_for(1)
+        assert stolen.key == ("s", 4)  # tail of shard 0, not its head
+        assert sched.steals == 1
+        assert sched.provenance[("s", 4)].stolen == 1
+
+    def test_none_when_everything_dispatched(self):
+        sched = ShardScheduler(specs(2), 2)
+        sched.next_for(0)
+        sched.next_for(1)
+        assert sched.next_for(0) is None
+        assert sched.pending == 0
+
+    @pytest.mark.parametrize(
+        "bad_policy",
+        [
+            lambda thief, remaining: None,
+            lambda thief, remaining: thief,  # steal from yourself
+            lambda thief, remaining: 99,  # out of range
+            lambda thief, remaining: -1,
+            lambda thief, remaining: "zero",  # not an int
+        ],
+        ids=["none", "self", "big", "negative", "string"],
+    )
+    def test_garbage_policy_overridden_not_trusted(self, bad_policy):
+        sched = ShardScheduler(specs(4), 2, steal_policy=bad_policy)
+        sched.next_for(1)
+        sched.next_for(1)
+        stolen = sched.next_for(1)  # shard 1 empty: must steal anyway
+        assert stolen is not None
+        assert stolen.key[1] in (0, 2)
+
+    def test_requeue_returns_to_home_shard_head(self):
+        sched = ShardScheduler(specs(4), 2)  # shard0: 0,2
+        spec = sched.next_for(0)
+        sched.requeue(spec)
+        assert sched.next_for(0).key == spec.key  # retried before ("s",2)
+        assert sched.requeues == 1
+        assert sched.provenance[spec.key].requeued == 1
+        assert sched.provenance[spec.key].attempts == [0, 0]
+
+    def test_requeue_after_completion_is_a_farm_bug(self):
+        sched = ShardScheduler(specs(2), 1)
+        spec = sched.next_for(0)
+        sched.record_completion(spec.key, 0)
+        with pytest.raises(SchedulerError, match="after completion"):
+            sched.requeue(spec)
+
+    def test_exactly_one_leader_double_completion_raises(self):
+        sched = ShardScheduler(specs(2), 1)
+        spec = sched.next_for(0)
+        sched.record_completion(spec.key, 0)
+        assert sched.provenance[spec.key].completed_by == 0
+        with pytest.raises(SchedulerError, match="completed twice"):
+            sched.record_completion(spec.key, 0)
+
+    def test_stolen_spec_attempt_recorded_for_thief(self):
+        sched = ShardScheduler(specs(2), 2)
+        sched.next_for(0)
+        sched.next_for(1)
+        sched.requeue(specs(2)[0])  # worker 0's spec goes home
+        stolen = sched.next_for(1)  # worker 1 steals the retry
+        assert stolen.key == ("s", 0)
+        assert sched.provenance[("s", 0)].attempts == [0, 1]

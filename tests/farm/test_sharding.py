@@ -1,0 +1,133 @@
+"""Hypothesis properties: scheduling can never change a campaign's table.
+
+Random plans x shard counts 1..8 x adversarial steal policies must all
+merge to the serial reference in declared grid order, and every
+executed spec must have exactly one executing leader — the invariant
+that makes completion-time journaling (and therefore resume) safe.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.parallel import (
+    ExecutionPlan,
+    RunSpec,
+    resolve,
+    run_outcomes,
+)
+from repro.farm.backends import SerialBackend
+from repro.farm.campaign import run_campaign
+
+from tests.farm import _workers
+
+
+def build_plan(size):
+    return ExecutionPlan(
+        "prop",
+        [
+            RunSpec(key=("p", i), fn=_workers.square, kwargs={"x": i})
+            for i in range(size)
+        ],
+    )
+
+
+def reference(plan):
+    return resolve(run_outcomes(plan, jobs=1))
+
+
+def grid_order_values(plan, outcomes):
+    """Values folded by key in declared grid order — the reduce rule."""
+    mapping = resolve(outcomes)
+    return [mapping[spec.key] for spec in plan.specs]
+
+
+class TestShardingProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        size=st.integers(min_value=0, max_value=24),
+        shards=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_any_shard_count_and_steal_schedule_is_bit_identical(
+        self, size, shards, seed
+    ):
+        plan = build_plan(size)
+        rng = Random(seed)
+
+        def chaotic_policy(thief, remaining):
+            # adversarial: sometimes sensible, sometimes garbage — the
+            # scheduler must override garbage, never lose work
+            roll = rng.random()
+            if roll < 0.4:
+                candidates = [
+                    index
+                    for index, left in enumerate(remaining)
+                    if left and index != thief
+                ]
+                return rng.choice(candidates) if candidates else None
+            if roll < 0.6:
+                return rng.randrange(-2, len(remaining) + 2)
+            if roll < 0.8:
+                return thief
+            return None
+
+        result = run_campaign(
+            plan,
+            SerialBackend(),
+            shards,
+            steal_policy=chaotic_policy,
+        )
+        assert resolve(result.outcomes) == reference(plan)
+        assert grid_order_values(plan, result.outcomes) == [
+            {"x": i, "squared": i * i} for i in range(size)
+        ]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        size=st.integers(min_value=1, max_value=24),
+        shards=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_every_spec_has_exactly_one_executing_leader(
+        self, size, shards, seed
+    ):
+        plan = build_plan(size)
+        rng = Random(seed)
+        result = run_campaign(
+            plan,
+            SerialBackend(),
+            shards,
+            steal_policy=lambda thief, remaining: rng.randrange(
+                -1, len(remaining) + 1
+            ),
+        )
+        assert set(result.provenance) == {s.key for s in plan.specs}
+        for record in result.provenance.values():
+            assert record.completed_by is not None
+            # no requeues on a healthy backend: dispatched exactly once,
+            # and the worker that got it is the worker that finished it
+            assert len(record.attempts) == 1
+            assert record.attempts[-1] == record.completed_by
+        assert (
+            sum(report.runs for report in result.workers) == size
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        size=st.integers(min_value=2, max_value=16),
+        shards=st.integers(min_value=2, max_value=8),
+    )
+    def test_default_policy_keeps_every_worker_fed(self, size, shards):
+        """With the default policy and a serial backend, dispatches
+        happen in worker order, so the busiest/laziest split stays
+        within the stealing guarantee: no worker idles while another
+        shard still holds two or more specs."""
+        plan = build_plan(size)
+        result = run_campaign(plan, SerialBackend(), shards)
+        assert resolve(result.outcomes) == reference(plan)
+        runs = [report.runs for report in result.workers]
+        assert sum(runs) == size

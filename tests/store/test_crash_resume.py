@@ -13,7 +13,6 @@ import os
 import signal
 import subprocess
 import sys
-import time
 from pathlib import Path
 
 import pytest
@@ -28,6 +27,11 @@ from repro.experiments.parallel import (
 from repro.store.backend import JournalStore
 from repro.store.memo import memoized_outcomes
 
+from tests.conftest import (
+    journal_entry_count,
+    poll_until,
+    wait_journal_quiescent,
+)
 from tests.store import _crash_worker
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -72,21 +76,6 @@ def _plan() -> ExecutionPlan:
     return ExecutionPlan("crash", specs)
 
 
-def _entry_count(store_dir: Path) -> int:
-    segments = store_dir / "segments"
-    if not segments.is_dir():
-        return 0
-    count = 0
-    for path in segments.iterdir():
-        text = path.read_text(encoding="utf-8")
-        count += sum(
-            1
-            for line in text.splitlines()
-            if '"repro.store.entry/1"' in line
-        )
-    return count
-
-
 class TestCrashResume:
     def test_killed_campaign_resumes_from_journal(self, tmp_path):
         store_dir = tmp_path / "store"
@@ -105,17 +94,20 @@ class TestCrashResume:
             stderr=subprocess.PIPE,
         )
         try:
-            deadline = time.monotonic() + 60.0
-            while _entry_count(store_dir) < 3:
+
+            def journaled_enough():
                 if process.poll() is not None:
                     out, err = process.communicate()
                     pytest.fail(
                         "campaign finished before it could be killed: "
                         f"{out!r} {err!r}"
                     )
-                if time.monotonic() > deadline:
-                    pytest.fail("campaign never journaled an entry")
-                time.sleep(0.01)
+                return journal_entry_count(store_dir) >= 3
+
+            poll_until(
+                journaled_enough,
+                message="the campaign to journal 3 entries",
+            )
             process.send_signal(signal.SIGKILL)
             process.wait(timeout=30)
         finally:
@@ -123,7 +115,9 @@ class TestCrashResume:
                 process.kill()
                 process.wait(timeout=30)
 
-        journaled = _entry_count(store_dir)
+        # the kill may have raced a write in flight: wait for the
+        # journal to stop changing, not a fixed post-kill sleep
+        journaled = wait_journal_quiescent(store_dir)
         assert 0 < journaled < RUNS
 
         with JournalStore(store_dir) as store:
